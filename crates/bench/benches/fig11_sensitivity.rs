@@ -1,0 +1,58 @@
+//! Criterion benches backing Fig. 11: (a) speedup sensitivity to the
+//! average degree on RMAT graphs, (b) kernel time sensitivity to the
+//! feature dimension on a Flickr stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fusedmm_baseline::unfused::unfused_pipeline;
+use fusedmm_bench::workloads::kernel_workload_scaled;
+use fusedmm_core::fusedmm_opt;
+use fusedmm_graph::features::random_features;
+use fusedmm_graph::rmat::{rmat, RmatConfig};
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+fn bench_degree_sweep(c: &mut Criterion) {
+    let n = 4000;
+    let d = 128;
+    let ops = OpSet::sigmoid_embedding(None);
+    let mut g = c.benchmark_group("fig11a_degree");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    for deg in [10usize, 40, 100] {
+        let adj = rmat(&RmatConfig::new(n, n * deg / 2).with_seed(deg as u64));
+        let x = random_features(n, d, 0.5, 1);
+        let y = random_features(n, d, 0.5, 2);
+        g.bench_with_input(BenchmarkId::new("fusedmm", deg), &deg, |b, _| {
+            b.iter(|| black_box(fusedmm_opt(&adj, &x, &y, &ops)));
+        });
+        g.bench_with_input(BenchmarkId::new("dgl_unfused", deg), &deg, |b, _| {
+            b.iter(|| black_box(unfused_pipeline(&adj, &x, &y, &ops)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dimension_sweep(c: &mut Criterion) {
+    let ops = OpSet::sigmoid_embedding(None);
+    let mut g = c.benchmark_group("fig11b_dimension");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    g.sample_size(10);
+    for d in [64usize, 256, 1024] {
+        let w = kernel_workload_scaled(Dataset::Flickr, d, 0.02);
+        g.bench_with_input(BenchmarkId::new("fusedmm", d), &w, |b, w| {
+            b.iter(|| black_box(fusedmm_opt(&w.adj, &w.x, &w.y, &ops)));
+        });
+        g.bench_with_input(BenchmarkId::new("dgl_unfused", d), &w, |b, w| {
+            b.iter(|| black_box(unfused_pipeline(&w.adj, &w.x, &w.y, &ops)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_degree_sweep, bench_dimension_sweep);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches backing Table VI: DGL (unfused) vs FusedMM
+//! (generic) vs FusedMMopt (specialized) for the three kernel patterns
+//! at d = 128 on a Youtube stand-in. The repro-table6 binary runs the
+//! full graph × dimension sweep; these give statistically tight
+//! relative numbers on one representative cell per pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fusedmm_baseline::unfused::unfused_pipeline;
+use fusedmm_bench::workloads::kernel_workload_scaled;
+use fusedmm_core::{fusedmm_generic, fusedmm_opt};
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+fn bench_patterns(c: &mut Criterion) {
+    let w = kernel_workload_scaled(Dataset::Youtube, 128, 0.004);
+    let patterns: Vec<(&str, OpSet)> = vec![
+        ("embedding", OpSet::sigmoid_embedding(None)),
+        ("fr", OpSet::fr_model(1.0)),
+        ("gcn", OpSet::gcn()),
+    ];
+    let mut g = c.benchmark_group("table6_d128_youtube");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_millis(1500));
+    g.sample_size(10);
+    for (name, ops) in &patterns {
+        g.bench_with_input(BenchmarkId::new("dgl_unfused", name), ops, |b, ops| {
+            b.iter(|| black_box(unfused_pipeline(&w.adj, &w.x, &w.y, ops)));
+        });
+        g.bench_with_input(BenchmarkId::new("fusedmm_generic", name), ops, |b, ops| {
+            b.iter(|| black_box(fusedmm_generic(&w.adj, &w.x, &w.y, ops)));
+        });
+        g.bench_with_input(BenchmarkId::new("fusedmm_opt", name), ops, |b, ops| {
+            b.iter(|| black_box(fusedmm_opt(&w.adj, &w.x, &w.y, ops)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches backing Table VII: the inspector-executor SpMM
+//! (MKL stand-in) vs FusedMM's GCN/SpMM specialization at d = 128.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fusedmm_baseline::iespmm::IeSpmm;
+use fusedmm_bench::workloads::kernel_workload_scaled;
+use fusedmm_core::fusedmm_opt;
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+fn bench_spmm(c: &mut Criterion) {
+    let w = kernel_workload_scaled(Dataset::Youtube, 128, 0.004);
+    let ops = OpSet::gcn();
+    let ie = IeSpmm::inspect(&w.adj, None);
+    let mut g = c.benchmark_group("table7_spmm_d128");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_millis(1500));
+    g.sample_size(10);
+    g.bench_function("mkl_ie_executor", |b| {
+        b.iter(|| black_box(ie.execute(&w.y)));
+    });
+    g.bench_function("mkl_ie_inspect_plus_execute", |b| {
+        b.iter(|| {
+            let ie = IeSpmm::inspect(&w.adj, None);
+            black_box(ie.execute(&w.y))
+        });
+    });
+    g.bench_function("fusedmm_spmm_specialization", |b| {
+        b.iter(|| black_box(fusedmm_opt(&w.adj, &w.x, &w.y, &ops)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

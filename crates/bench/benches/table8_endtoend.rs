@@ -1,0 +1,41 @@
+//! Criterion benches backing Table VIII: one Force2Vec training epoch
+//! per backend (PyTorch-style dense, DGL-style unfused, FusedMM) on a
+//! Cora stand-in at d = 128.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fusedmm_apps::force2vec::{Backend, Force2Vec, Force2VecConfig};
+use fusedmm_graph::datasets::Dataset;
+
+fn bench_epoch(c: &mut Criterion) {
+    let g = Dataset::Cora.labeled_standin(0.4).unwrap().adj;
+    let mut group = c.benchmark_group("table8_epoch_cora");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for backend in [Backend::DenseTensor, Backend::Unfused, Backend::Fused] {
+        let cfg = Force2VecConfig {
+            dim: 128,
+            batch_size: 256,
+            epochs: 1,
+            lr: 0.02,
+            negatives: 5,
+            seed: 3,
+            backend,
+        };
+        let trainer = Force2Vec::new(g.clone(), cfg);
+        group.bench_with_input(
+            BenchmarkId::new("one_epoch", format!("{backend:?}")),
+            &trainer,
+            |b, t| {
+                b.iter(|| black_box(t.train()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 8: kernel time of FusedMM vs DGL for the FR model,
+//! Graph Embedding, and GCN (d = 128) on the Harvard / Flickr / Amazon
+//! / Youtube stand-ins.
+//!
+//! The paper runs this panel on an ARM ThunderX server to demonstrate
+//! that the generated kernels port across ISAs; our portable SIMD layer
+//! compiles to the host ISA, which is printed in the header (see
+//! DESIGN.md's substitution notes).
+//!
+//! Run: `cargo run --release --bin repro-fig8`
+
+use fusedmm_bench::figures::{host_isa, isa_panel};
+use fusedmm_ops::OpSet;
+
+fn main() {
+    println!("Fig. 8 reproduction — kernel time panel, ISA: {}\n", host_isa());
+    isa_panel(&[
+        ("FR model", OpSet::fr_model(1.0)),
+        ("Graph Embedding", OpSet::sigmoid_embedding(None)),
+        ("GCN", OpSet::gcn()),
+    ]);
+    println!("Paper shape to verify: FusedMM beats DGL on every graph (paper: 2.5-19.2x on ARM).");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 9: kernel time of FusedMM vs DGL for the FR model
+//! and Graph Embedding (d = 128) on the Harvard / Flickr / Amazon /
+//! Youtube stand-ins — the paper's AMD EPYC panel; here compiled for
+//! the host ISA (see DESIGN.md's substitution notes).
+//!
+//! Run: `cargo run --release --bin repro-fig9`
+
+use fusedmm_bench::figures::{host_isa, isa_panel};
+use fusedmm_ops::OpSet;
+
+fn main() {
+    println!("Fig. 9 reproduction — kernel time panel, ISA: {}\n", host_isa());
+    isa_panel(&[
+        ("FR model", OpSet::fr_model(1.0)),
+        ("Graph Embedding", OpSet::sigmoid_embedding(None)),
+    ]);
+    println!("Paper shape to verify: FusedMM beats DGL on every graph (paper: 1.5-11.4x on AMD).");
+}

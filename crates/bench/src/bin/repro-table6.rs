@@ -1,0 +1,63 @@
+//! Regenerates Table VI: kernel time (sec) for Graph Embedding, FR
+//! model, and GCN on the Ogbprot./Youtube/Orkut stand-ins, for
+//! d ∈ {32, 64, 128, 256, 512}, comparing DGL (unfused), FusedMM
+//! (generic fused) and FusedMMopt (specialized), with the speedup of
+//! FusedMMopt over DGL. `×` marks cells where the unfused intermediate
+//! exceeds the memory budget, as in the paper.
+//!
+//! Run: `cargo run --release --bin repro-table6`
+//! Knobs: FUSEDMM_SCALE, FUSEDMM_REPS, FUSEDMM_MEM_BUDGET_MB.
+
+use fusedmm_bench::methods::{run_method, CellResult, Method};
+use fusedmm_bench::report::{fmt_cell, fmt_speedup, Table};
+use fusedmm_bench::workloads::{describe, kernel_workload, reps};
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+const DIMS: [usize; 5] = [32, 64, 128, 256, 512];
+
+fn main() {
+    let graphs = [Dataset::Ogbprotein, Dataset::Youtube, Dataset::Orkut];
+    let patterns: [(&str, fn() -> OpSet); 3] = [
+        ("Graph Embedding", || OpSet::sigmoid_embedding(None)),
+        ("FR model", || OpSet::fr_model(1.0)),
+        ("GCN", OpSet::gcn),
+    ];
+    let r = reps();
+    println!("Table VI reproduction — kernel time (sec), {r} reps, scaled stand-ins\n");
+
+    for (pname, mk) in patterns {
+        println!("== {pname} ==");
+        let mut header = vec!["Graph".to_string(), "Method".to_string()];
+        header.extend(DIMS.iter().map(|d| format!("d={d}")));
+        let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for ds in graphs {
+            let mut rows: Vec<Vec<CellResult>> = vec![Vec::new(); 3];
+            for &d in &DIMS {
+                let w = kernel_workload(ds, d);
+                if d == DIMS[0] {
+                    eprintln!("  workload: {}", describe(&w));
+                }
+                let ops = mk();
+                for (mi, m) in Method::all().into_iter().enumerate() {
+                    rows[mi].push(run_method(m, &w, &ops, r));
+                }
+            }
+            for (mi, m) in Method::all().into_iter().enumerate() {
+                let mut cells = vec![ds.to_string(), m.label().to_string()];
+                cells.extend(rows[mi].iter().map(fmt_cell));
+                table.row(cells);
+            }
+            // Speedup row: FusedMMopt over DGL, like the paper.
+            let mut cells = vec![ds.to_string(), "Speedup".to_string()];
+            cells.extend(
+                rows[0].iter().zip(rows[2].iter()).map(|(dgl, opt)| fmt_speedup(dgl, opt)),
+            );
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+    println!("Paper shape to verify: FusedMM > DGL everywhere; FusedMMopt best;");
+    println!("speedups grow with d; FR at large d OOMs for DGL but not FusedMM.");
+}

@@ -1,0 +1,48 @@
+//! Shared drivers for the figure reproductions (Figs. 8, 9, 11).
+
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+use crate::methods::{run_method, Method};
+use crate::report::{fmt_cell, fmt_speedup, Table};
+use crate::workloads::{describe, kernel_workload, reps};
+
+/// The cross-ISA kernel panel of Figs. 8/9: DGL vs FusedMMopt at
+/// d = 128 over the four medium graphs, one sub-table per pattern.
+/// The paper runs this on ARM (Fig. 8) and AMD (Fig. 9) servers; the
+/// portable kernels compile to whatever ISA hosts this run, which the
+/// caller prints.
+pub fn isa_panel(patterns: &[(&str, OpSet)]) {
+    let graphs = [Dataset::Harvard, Dataset::Flickr, Dataset::Amazon, Dataset::Youtube];
+    let d = 128;
+    let r = reps();
+    for (pname, ops) in patterns {
+        println!("-- {pname} (d={d}) --");
+        let mut table = Table::new(&["Graph", "DGL (s)", "FusedMM (s)", "Speedup"]);
+        for ds in graphs {
+            let w = kernel_workload(ds, d);
+            eprintln!("  workload: {}", describe(&w));
+            let dgl = run_method(Method::Dgl, &w, ops, r);
+            let fused = run_method(Method::FusedMMOpt, &w, ops, r);
+            table.row(vec![
+                ds.to_string(),
+                fmt_cell(&dgl),
+                fmt_cell(&fused),
+                fmt_speedup(&dgl, &fused),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}
+
+/// The host ISA string printed in the figure header.
+pub fn host_isa() -> &'static str {
+    if cfg!(target_arch = "x86_64") {
+        "x86_64 (SSE/AVX via autovectorization)"
+    } else if cfg!(target_arch = "aarch64") {
+        "aarch64 (ASIMD/NEON via autovectorization)"
+    } else {
+        "other"
+    }
+}

@@ -1,0 +1,117 @@
+//! Paper-style table printing for the repro binaries.
+
+use crate::methods::CellResult;
+
+/// Format one table cell: seconds with three decimals, or the paper's
+/// `×` for out-of-memory entries.
+pub fn fmt_cell(r: &CellResult) -> String {
+    match r {
+        CellResult::Time(t) => format!("{:.3}", t.avg),
+        CellResult::OutOfMemory { .. } => "x".to_string(),
+    }
+}
+
+/// Format a speedup ratio like the paper's "Speedup" rows; `-` when the
+/// baseline went out of memory.
+pub fn fmt_speedup(baseline: &CellResult, ours: &CellResult) -> String {
+    match (baseline.avg(), ours.avg()) {
+        (Some(b), Some(o)) if o > 0.0 => format!("{:.3}", b / o),
+        _ => "-".to_string(),
+    }
+}
+
+/// A fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a data row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_perf::timer::TimingStats;
+
+    fn t(avg: f64) -> CellResult {
+        CellResult::Time(TimingStats { avg, min: avg, max: avg, reps: 1 })
+    }
+
+    #[test]
+    fn cells_format_like_the_paper() {
+        assert_eq!(fmt_cell(&t(0.2263)), "0.226");
+        assert_eq!(fmt_cell(&CellResult::OutOfMemory { required: 1 }), "x");
+    }
+
+    #[test]
+    fn speedup_handles_oom() {
+        assert_eq!(fmt_speedup(&t(1.0), &t(0.25)), "4.000");
+        assert_eq!(fmt_speedup(&CellResult::OutOfMemory { required: 1 }, &t(0.1)), "-");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut tb = Table::new(&["graph", "time"]);
+        tb.row(vec!["Orkut".into(), "0.346".into()]);
+        tb.row(vec!["Yt".into(), "12.5".into()]);
+        let s = tb.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("graph"));
+        assert!(lines[2].ends_with("0.346"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut tb = Table::new(&["a", "b", "c"]);
+        tb.row(vec!["1".into()]);
+        assert!(tb.render().lines().count() == 3);
+    }
+}

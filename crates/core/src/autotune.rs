@@ -1,0 +1,182 @@
+//! Runtime autotuning of the blocking strategy per (pattern, dimension).
+//!
+//! The paper's library "tuned the factor of the register blocking after
+//! applying different strategies" offline during code generation. We
+//! tune at run time instead: the first `fusedmm` call for a given
+//! (pattern, d) measures each candidate blocking on a small synthetic
+//! probe and caches the winner for the rest of the process — the ATLAS
+//! philosophy the paper cites, applied lazily.
+
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use fusedmm_ops::{OpSet, Pattern};
+use fusedmm_sparse::coo::{Coo, Dedup};
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::dispatch::{fusedmm_opt_with, specialize, Blocking};
+use crate::genkern::GENERATED_DIMS;
+use crate::part::PartitionStrategy;
+
+/// Cached tuning decisions, keyed by (pattern, dimension).
+#[derive(Debug, Default)]
+pub struct Tuner {
+    cache: RwLock<HashMap<(Pattern, usize), Blocking>>,
+}
+
+/// Probe graph size used for tuning runs. Small enough to be
+/// imperceptible, large enough that kernel time dominates dispatch.
+const PROBE_VERTICES: usize = 512;
+const PROBE_DEGREE: usize = 16;
+const PROBE_REPS: usize = 3;
+
+impl Tuner {
+    /// Create an empty tuner (global instance available via
+    /// [`global_tuner`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The blocking to use for `ops` at dimension `d`, measuring on
+    /// first use.
+    pub fn choose(&self, ops: &OpSet, d: usize) -> Blocking {
+        if specialize(ops).is_none() {
+            return Blocking::Generic;
+        }
+        let key = (ops.pattern, d);
+        if let Some(&b) = self.cache.read().get(&key) {
+            return b;
+        }
+        let chosen = self.measure(ops, d);
+        self.cache.write().insert(key, chosen);
+        chosen
+    }
+
+    /// Number of cached decisions (used by tests).
+    pub fn cached_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Forget all decisions (used by tests).
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+
+    fn measure(&self, ops: &OpSet, d: usize) -> Blocking {
+        let a = probe_graph();
+        let x = probe_features(PROBE_VERTICES, d, 1);
+        let y = probe_features(PROBE_VERTICES, d, 2);
+        let mut candidates = vec![Blocking::DynStrips];
+        if GENERATED_DIMS.contains(&d) {
+            candidates.push(Blocking::RegisterBlocked);
+        }
+        let mut best = (Blocking::DynStrips, f64::INFINITY);
+        for b in candidates {
+            // Warm-up then timed repetitions, keeping the minimum (least
+            // noisy statistic for short kernels).
+            let _ = fusedmm_opt_with(&a, &x, &y, ops, b, None, PartitionStrategy::NnzBalanced);
+            let mut t_min = f64::INFINITY;
+            for _ in 0..PROBE_REPS {
+                let t0 = Instant::now();
+                let _ = fusedmm_opt_with(&a, &x, &y, ops, b, None, PartitionStrategy::NnzBalanced);
+                t_min = t_min.min(t0.elapsed().as_secs_f64());
+            }
+            if t_min < best.1 {
+                best = (b, t_min);
+            }
+        }
+        best.0
+    }
+}
+
+/// A deterministic quasi-random probe graph (no RNG dependency): each
+/// vertex links to `PROBE_DEGREE` pseudo-random targets via a multiplier
+/// walk.
+fn probe_graph() -> Csr {
+    let n = PROBE_VERTICES;
+    let mut c = Coo::with_capacity(n, n, n * PROBE_DEGREE);
+    for u in 0..n {
+        let mut t = u;
+        for k in 0..PROBE_DEGREE {
+            t = (t.wrapping_mul(2654435761) + k + 1) % n;
+            if t != u {
+                c.push(u, t, 1.0);
+            }
+        }
+    }
+    c.to_csr(Dedup::Last)
+}
+
+fn probe_features(n: usize, d: usize, seed: usize) -> Dense {
+    Dense::from_fn(n, d, |r, c| (((r * 131 + c * 17 + seed * 97) % 1000) as f32 / 1000.0) - 0.5)
+}
+
+static GLOBAL_TUNER: OnceLock<Tuner> = OnceLock::new();
+
+/// The process-wide tuner used by [`crate::fusedmm`].
+pub fn global_tuner() -> &'static Tuner {
+    GLOBAL_TUNER.get_or_init(Tuner::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_ops::{AOp, MOp, ROp, SOp, VOp};
+
+    #[test]
+    fn caches_decisions() {
+        let tuner = Tuner::new();
+        let ops = OpSet::sigmoid_embedding(None);
+        assert_eq!(tuner.cached_len(), 0);
+        let b1 = tuner.choose(&ops, 32);
+        assert_eq!(tuner.cached_len(), 1);
+        let b2 = tuner.choose(&ops, 32);
+        assert_eq!(b1, b2);
+        assert_eq!(tuner.cached_len(), 1);
+    }
+
+    #[test]
+    fn nonspecializable_ops_pick_generic_without_measurement() {
+        let tuner = Tuner::new();
+        let ops = OpSet::custom(VOp::Add, ROp::Sum, SOp::Noop, MOp::Mul, AOp::Sum);
+        assert_eq!(tuner.choose(&ops, 64), Blocking::Generic);
+        assert_eq!(tuner.cached_len(), 0, "generic fallback needs no cache entry");
+    }
+
+    #[test]
+    fn ungeneratable_dim_picks_dyn() {
+        let tuner = Tuner::new();
+        let ops = OpSet::gcn();
+        // 100 is not in GENERATED_DIMS, so only DynStrips is a candidate.
+        assert_eq!(tuner.choose(&ops, 100), Blocking::DynStrips);
+    }
+
+    #[test]
+    fn generated_dim_picks_a_specialized_blocking() {
+        let tuner = Tuner::new();
+        let ops = OpSet::fr_model(1.0);
+        let b = tuner.choose(&ops, 64);
+        assert!(matches!(b, Blocking::DynStrips | Blocking::RegisterBlocked));
+        assert_ne!(b, Blocking::Generic);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let tuner = Tuner::new();
+        tuner.choose(&OpSet::gcn(), 100);
+        assert!(tuner.cached_len() > 0);
+        tuner.clear();
+        assert_eq!(tuner.cached_len(), 0);
+    }
+
+    #[test]
+    fn global_tuner_is_a_singleton() {
+        let a = global_tuner() as *const Tuner;
+        let b = global_tuner() as *const Tuner;
+        assert_eq!(a, b);
+    }
+}

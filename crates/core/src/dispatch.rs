@@ -1,0 +1,353 @@
+//! Pattern recognition and kernel dispatch (§IV of the paper).
+//!
+//! "If we recognize a pattern from predefined VOP, ROP, SOP, MOP, and
+//! AOP operations, we can optimize the whole kernel by feeding the
+//! output of one operation directly to the next operation without
+//! storing the results." [`specialize`] performs that recognition on an
+//! [`OpSet`]; [`fusedmm_opt`] runs the recognized specialized kernel
+//! (register-blocked when a generated dimension matches) and falls back
+//! to the generic five-step kernel otherwise.
+
+use fusedmm_ops::{AOp, MOp, OpSet, ROp, SOp, VOp};
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::driver::parallel_row_bands;
+use crate::generic::{fusedmm_generic_opts, validate_shapes};
+use crate::genkern::{
+    embed_kernel_for, embed_row_dyn, fr_kernel_for, fr_row_dyn, spmm_kernel_for, spmm_row_dyn,
+    tdist_kernel_for, tdist_row_dyn, SigmoidKind,
+};
+use crate::part::PartitionStrategy;
+
+/// Largest dimension at which [`Blocking::Auto`] picks the
+/// register-blocked kernel. The paper's generator likewise "limit[s]
+/// register blocking up to a threshold when the dimension is large":
+/// beyond ~64 f32 lanes the per-row blocks exceed the architectural
+/// register file, the fully unrolled sweeps bloat the instruction
+/// stream, and the measured advantage inverts (see the
+/// `ablation_blocking` bench). The measuring autotuner can still pick
+/// register blocking above the threshold when it actually wins.
+pub const REGISTER_BLOCK_MAX_DIM: usize = 64;
+
+/// Which kernel implementation level to use for a specialized pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Blocking {
+    /// Pick register-blocked when a generated dimension exists, else
+    /// dynamic strips (the library default).
+    Auto,
+    /// Force the const-dimension register-blocked kernel; an error if
+    /// the dimension has no generated specialization.
+    RegisterBlocked,
+    /// Force the dynamic 8-lane strip kernel (no register blocking) —
+    /// used by the register-blocking ablation.
+    DynStrips,
+    /// Force the generic five-step kernel even for recognized patterns —
+    /// the paper's unoptimized "FusedMM" row.
+    Generic,
+}
+
+/// A recognized specialized pattern with its extracted parameters.
+#[derive(Debug, Clone)]
+pub enum Specialized {
+    /// `(MUL, RSUM, SIGMOID, MUL, ASUM)` — sigmoid graph embedding.
+    Embed(SigmoidKind),
+    /// `(SUB, NORM, SCAL(α), MUL, ASUM)` — FR force model.
+    Fr(f32),
+    /// `(SUB, NORM, TDIST, MUL, ASUM)` — t-distribution embedding.
+    TDist,
+    /// `(SEL2ND, NOOP, NOOP, MUL, ASUM)` — GCN / SpMM.
+    Spmm,
+}
+
+/// Inspect the actual operator variants (not just the pattern tag,
+/// which user code could set inconsistently) and return the matching
+/// specialization, if any.
+pub fn specialize(ops: &OpSet) -> Option<Specialized> {
+    match (&ops.vop, &ops.rop, &ops.sop, &ops.mop, &ops.aop) {
+        (VOp::Mul, ROp::Sum, SOp::Sigmoid, MOp::Mul, AOp::Sum) => {
+            Some(Specialized::Embed(SigmoidKind::Exact))
+        }
+        (VOp::Mul, ROp::Sum, SOp::SigmoidLut(lut), MOp::Mul, AOp::Sum) => {
+            Some(Specialized::Embed(SigmoidKind::Lut(lut.clone())))
+        }
+        (VOp::Sub, ROp::Norm, SOp::Scale(alpha), MOp::Mul, AOp::Sum) => {
+            Some(Specialized::Fr(*alpha))
+        }
+        (VOp::Sub, ROp::Norm, SOp::TDist, MOp::Mul, AOp::Sum) => Some(Specialized::TDist),
+        (VOp::Sel2nd, ROp::Noop, SOp::Noop, MOp::Mul, AOp::Sum) => Some(Specialized::Spmm),
+        _ => None,
+    }
+}
+
+/// The optimized FusedMM ("FusedMMopt" in Table VI): specialized
+/// register-blocked kernels for recognized patterns, generic fallback
+/// otherwise. Runs on the current rayon pool with PART1D balancing.
+pub fn fusedmm_opt(a: &Csr, x: &Dense, y: &Dense, ops: &OpSet) -> Dense {
+    fusedmm_opt_with(a, x, y, ops, Blocking::Auto, None, PartitionStrategy::NnzBalanced)
+}
+
+/// [`fusedmm_opt`] with explicit blocking level, partition count, and
+/// partition strategy (the knobs the ablation and scaling benches turn).
+pub fn fusedmm_opt_with(
+    a: &Csr,
+    x: &Dense,
+    y: &Dense,
+    ops: &OpSet,
+    blocking: Blocking,
+    partitions: Option<usize>,
+    strategy: PartitionStrategy,
+) -> Dense {
+    validate_shapes(a, x, y);
+    if blocking == Blocking::Generic {
+        return fusedmm_generic_opts(a, x, y, ops, partitions, strategy);
+    }
+    let Some(spec) = specialize(ops) else {
+        return fusedmm_generic_opts(a, x, y, ops, partitions, strategy);
+    };
+    let d = x.ncols();
+    let use_const = match blocking {
+        Blocking::RegisterBlocked => true,
+        Blocking::DynStrips => false,
+        Blocking::Auto | Blocking::Generic => {
+            d <= REGISTER_BLOCK_MAX_DIM && embed_kernel_for(d).is_some()
+        }
+    };
+    let mut z = Dense::zeros(a.nrows(), d);
+
+    match spec {
+        Specialized::Embed(sk) => {
+            let kern = if use_const {
+                embed_kernel_for(d).unwrap_or_else(|| {
+                    assert!(
+                        blocking != Blocking::RegisterBlocked,
+                        "no generated register-blocked embedding kernel for d={d}"
+                    );
+                    embed_row_dyn
+                })
+            } else {
+                embed_row_dyn
+            };
+            parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
+                for (i, u) in rows.enumerate() {
+                    let (cols, vals) = a.row(u);
+                    kern(x.row(u), cols, vals, y, &mut band[i * d..(i + 1) * d], &sk);
+                }
+            });
+        }
+        Specialized::Fr(alpha) => {
+            let kern = if use_const {
+                fr_kernel_for(d).unwrap_or_else(|| {
+                    assert!(
+                        blocking != Blocking::RegisterBlocked,
+                        "no generated register-blocked FR kernel for d={d}"
+                    );
+                    fr_row_dyn
+                })
+            } else {
+                fr_row_dyn
+            };
+            parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
+                for (i, u) in rows.enumerate() {
+                    let (cols, vals) = a.row(u);
+                    kern(x.row(u), cols, vals, y, &mut band[i * d..(i + 1) * d], alpha);
+                }
+            });
+        }
+        Specialized::TDist => {
+            let kern = if use_const {
+                tdist_kernel_for(d).unwrap_or_else(|| {
+                    assert!(
+                        blocking != Blocking::RegisterBlocked,
+                        "no generated register-blocked t-dist kernel for d={d}"
+                    );
+                    tdist_row_dyn
+                })
+            } else {
+                tdist_row_dyn
+            };
+            parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
+                for (i, u) in rows.enumerate() {
+                    let (cols, vals) = a.row(u);
+                    kern(x.row(u), cols, vals, y, &mut band[i * d..(i + 1) * d]);
+                }
+            });
+        }
+        Specialized::Spmm => {
+            let kern = if use_const {
+                spmm_kernel_for(d).unwrap_or_else(|| {
+                    assert!(
+                        blocking != Blocking::RegisterBlocked,
+                        "no generated register-blocked SpMM kernel for d={d}"
+                    );
+                    spmm_row_dyn
+                })
+            } else {
+                spmm_row_dyn
+            };
+            parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
+                for (i, u) in rows.enumerate() {
+                    let (cols, vals) = a.row(u);
+                    kern(cols, vals, y, &mut band[i * d..(i + 1) * d]);
+                }
+            });
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::fusedmm_reference;
+    use fusedmm_ops::SigmoidLut;
+    use fusedmm_sparse::coo::{Coo, Dedup};
+    use std::sync::Arc;
+
+    fn graph(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            for k in 1..=3usize {
+                c.push(u, (u + k * 7) % n, 1.0 + (k as f32) * 0.25);
+            }
+        }
+        c.to_csr(Dedup::Last)
+    }
+
+    fn feats(n: usize, d: usize, seed: f32) -> Dense {
+        Dense::from_fn(n, d, |r, c| ((r * 13 + c * 5) as f32 * 0.02 + seed).cos() * 0.4)
+    }
+
+    #[test]
+    fn recognizes_the_three_specializable_presets() {
+        assert!(matches!(
+            specialize(&OpSet::sigmoid_embedding(None)),
+            Some(Specialized::Embed(SigmoidKind::Exact))
+        ));
+        assert!(matches!(specialize(&OpSet::fr_model(2.0)), Some(Specialized::Fr(a)) if a == 2.0));
+        assert!(matches!(specialize(&OpSet::tdist_embedding()), Some(Specialized::TDist)));
+        assert!(matches!(specialize(&OpSet::gcn()), Some(Specialized::Spmm)));
+    }
+
+    #[test]
+    fn rejects_nonmatching_opsets() {
+        use fusedmm_ops::{AOp, MOp, ROp, SOp, VOp};
+        let ops = OpSet::custom(VOp::Add, ROp::Sum, SOp::Sigmoid, MOp::Mul, AOp::Sum);
+        assert!(specialize(&ops).is_none());
+        let mlp = OpSet::gnn_mlp(Arc::new(fusedmm_ops::Mlp::seeded(4, 4, 4, 1)));
+        assert!(specialize(&mlp).is_none());
+    }
+
+    #[test]
+    fn opt_matches_generic_for_all_patterns_and_blockings() {
+        let n = 40;
+        let a = graph(n);
+        for d in [16usize, 24, 64] {
+            let x = feats(n, d, 0.1);
+            let y = feats(n, d, 0.9);
+            for ops in [
+                OpSet::sigmoid_embedding(None),
+                OpSet::fr_model(0.3),
+                OpSet::tdist_embedding(),
+                OpSet::gcn(),
+            ] {
+                let reference = fusedmm_reference(&a, &x, &y, &ops);
+                for blocking in [Blocking::Auto, Blocking::DynStrips] {
+                    let z = fusedmm_opt_with(
+                        &a,
+                        &x,
+                        &y,
+                        &ops,
+                        blocking,
+                        Some(4),
+                        PartitionStrategy::NnzBalanced,
+                    );
+                    assert!(
+                        z.max_abs_diff(&reference) < 1e-4,
+                        "{:?} blocking {:?} d={d}: diff {}",
+                        ops.pattern,
+                        blocking,
+                        z.max_abs_diff(&reference)
+                    );
+                }
+                if crate::genkern::GENERATED_DIMS.contains(&d) {
+                    let z = fusedmm_opt_with(
+                        &a,
+                        &x,
+                        &y,
+                        &ops,
+                        Blocking::RegisterBlocked,
+                        Some(2),
+                        PartitionStrategy::NnzBalanced,
+                    );
+                    assert!(z.max_abs_diff(&reference) < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_blocking_respects_the_dimension_threshold() {
+        // Below the threshold Auto uses the register-blocked kernel,
+        // above it the dynamic-strip kernel; both must be correct.
+        let n = 20;
+        let a = graph(n);
+        for d in [32usize, 256] {
+            let x = feats(n, d, 0.1);
+            let y = feats(n, d, 0.4);
+            let ops = OpSet::sigmoid_embedding(None);
+            let auto = fusedmm_opt(&a, &x, &y, &ops);
+            let reference = fusedmm_reference(&a, &x, &y, &ops);
+            assert!(auto.max_abs_diff(&reference) < 1e-4, "d={d}");
+        }
+        assert!(REGISTER_BLOCK_MAX_DIM >= 32);
+    }
+
+    #[test]
+    fn lut_embedding_close_to_exact() {
+        let n = 30;
+        let a = graph(n);
+        let d = 32;
+        let x = feats(n, d, 0.2);
+        let y = feats(n, d, 0.5);
+        let exact = fusedmm_opt(&a, &x, &y, &OpSet::sigmoid_embedding(None));
+        let lut = fusedmm_opt(
+            &a,
+            &x,
+            &y,
+            &OpSet::sigmoid_embedding(Some(Arc::new(SigmoidLut::default_table()))),
+        );
+        assert!(exact.max_abs_diff(&lut) < 1e-2);
+    }
+
+    #[test]
+    fn custom_pattern_falls_back_to_generic() {
+        use fusedmm_ops::{AOp, MOp, ROp, SOp, VOp};
+        let n = 20;
+        let a = graph(n);
+        let d = 8;
+        let x = feats(n, d, 0.3);
+        let y = feats(n, d, 0.6);
+        let ops = OpSet::custom(VOp::Add, ROp::Max, SOp::Tanh, MOp::Mul, AOp::Sum);
+        let opt = fusedmm_opt(&a, &x, &y, &ops);
+        let gen = fusedmm_reference(&a, &x, &y, &ops);
+        assert!(opt.max_abs_diff(&gen) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no generated register-blocked")]
+    fn forcing_register_blocking_on_odd_dim_panics() {
+        let a = graph(10);
+        let x = feats(10, 20, 0.1);
+        let y = feats(10, 20, 0.2);
+        let _ = fusedmm_opt_with(
+            &a,
+            &x,
+            &y,
+            &OpSet::sigmoid_embedding(None),
+            Blocking::RegisterBlocked,
+            Some(1),
+            PartitionStrategy::NnzBalanced,
+        );
+    }
+}

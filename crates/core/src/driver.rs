@@ -1,0 +1,123 @@
+//! Shared thread-parallel driver: PART1D + scoped threads over row bands.
+//!
+//! Algorithm 1 lines 2–7: partition `A` (and with it `X` and `Z`) into
+//! `t` parts, then process parts in parallel. Threads concurrently read
+//! `Y` but each writes only its own contiguous band of `Z`, so no
+//! synchronization is needed — expressed in Rust by handing each task a
+//! disjoint `&mut` slice of `Z`'s backing storage.
+
+use std::ops::Range;
+
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::part::{Partition, PartitionStrategy};
+
+/// Execute `body(rows, z_band)` for every part of a 1D partition of
+/// `a`, in parallel on the current rayon thread pool. `z_band` is the
+/// mutable sub-slice of `z` covering exactly `rows` (row-major, so
+/// `z_band.len() == rows.len() * z.ncols()`).
+///
+/// `partitions` defaults (when `None`) to the current thread count, as
+/// in the paper where `t` parts feed `t` OpenMP threads.
+pub fn parallel_row_bands<F>(
+    a: &Csr,
+    z: &mut Dense,
+    partitions: Option<usize>,
+    strategy: PartitionStrategy,
+    body: F,
+) where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(z.nrows(), a.nrows(), "Z must have one row per row of A");
+    let t = partitions.unwrap_or_else(rayon::current_num_threads).max(1);
+    let part = Partition::part1d(a, t, strategy);
+    let d = z.ncols();
+
+    // Carve Z into disjoint bands following the partition boundaries.
+    let mut bands: Vec<(Range<usize>, &mut [f32])> = Vec::with_capacity(part.len());
+    let mut rest: &mut [f32] = z.as_mut_slice();
+    for i in 0..part.len() {
+        let rows = part.rows(i);
+        let (band, tail) = rest.split_at_mut(rows.len() * d);
+        bands.push((rows, band));
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+
+    if part.len() == 1 {
+        // Avoid thread-pool dispatch for the sequential case.
+        let (rows, band) = bands.pop().expect("one part");
+        body(rows, band);
+        return;
+    }
+
+    rayon::scope(|scope| {
+        for (rows, band) in bands {
+            let body = &body;
+            scope.spawn(move |_| body(rows, band));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_sparse::coo::{Coo, Dedup};
+
+    fn ring(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        c.to_csr(Dedup::Last)
+    }
+
+    #[test]
+    fn bands_cover_all_rows_exactly_once() {
+        let a = ring(37);
+        let mut z = Dense::zeros(37, 4);
+        parallel_row_bands(&a, &mut z, Some(5), PartitionStrategy::NnzBalanced, |rows, band| {
+            assert_eq!(band.len(), rows.len() * 4);
+            for (i, _r) in rows.enumerate() {
+                for k in 0..4 {
+                    band[i * 4 + k] += 1.0;
+                }
+            }
+        });
+        assert!(z.as_slice().iter().all(|&v| v == 1.0), "every cell touched exactly once");
+    }
+
+    #[test]
+    fn band_offsets_match_rows() {
+        let a = ring(16);
+        let mut z = Dense::zeros(16, 2);
+        parallel_row_bands(&a, &mut z, Some(4), PartitionStrategy::NnzBalanced, |rows, band| {
+            for (i, r) in rows.enumerate() {
+                band[i * 2] = r as f32;
+            }
+        });
+        for r in 0..16 {
+            assert_eq!(z.get(r, 0), r as f32);
+        }
+    }
+
+    #[test]
+    fn single_partition_runs_inline() {
+        let a = ring(8);
+        let mut z = Dense::zeros(8, 1);
+        parallel_row_bands(&a, &mut z, Some(1), PartitionStrategy::RowBalanced, |rows, band| {
+            assert_eq!(rows, 0..8);
+            band.fill(2.0);
+        });
+        assert!(z.as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per row")]
+    fn shape_mismatch_panics() {
+        let a = ring(4);
+        let mut z = Dense::zeros(3, 1);
+        parallel_row_bands(&a, &mut z, None, PartitionStrategy::NnzBalanced, |_, _| {});
+    }
+}

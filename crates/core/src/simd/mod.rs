@@ -1,0 +1,298 @@
+//! Portable SIMD layer — the Rust analogue of the paper's `simd.h`.
+//!
+//! The reference implementation hides AVX-512/AVX/SSE/NEON intrinsics
+//! behind C preprocessor macros in a generated `simd.h`, giving every
+//! kernel one vocabulary (`VLOAD`, `VMUL`, `VMAC`, `VHADD`, ...). This
+//! module plays the same role with safe Rust: a fixed-width vector type
+//! [`F32x8`] whose inlined elementwise operations compile to the target
+//! ISA's SIMD instructions (SSE/AVX on x86, ASIMD on AArch64) through
+//! LLVM's vectorizer — the same "one source, any ISA" property the
+//! paper's code generator provides, without per-ISA source files.
+//!
+//! All lane counts are fixed at 8 (`VLEN`): wide enough to fill an AVX
+//! register exactly and an AVX-512/NEON pipeline via unrolling, and the
+//! greatest common divisor of all dimension values the paper benchmarks.
+
+/// Number of f32 lanes per register-like vector.
+pub const VLEN: usize = 8;
+
+/// An eight-lane f32 vector with value semantics.
+///
+/// 32-byte alignment matches one AVX ymm register; operations are
+/// written as straight-line lane loops that LLVM reliably turns into
+/// single vector instructions at `opt-level ≥ 2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(align(32))]
+pub struct F32x8(pub [f32; VLEN]);
+
+impl F32x8 {
+    /// All lanes zero (`VZERO`).
+    #[inline(always)]
+    pub fn zero() -> Self {
+        F32x8([0.0; VLEN])
+    }
+
+    /// All lanes set to `v` (`VBCAST` — the broadcast after SOP in the
+    /// paper's Fig. 5).
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        F32x8([v; VLEN])
+    }
+
+    /// Load 8 lanes from the first 8 elements of `src` (`VLOAD`).
+    ///
+    /// # Panics
+    /// Panics in debug builds when `src` is shorter than 8.
+    #[inline(always)]
+    pub fn load(src: &[f32]) -> Self {
+        debug_assert!(src.len() >= VLEN);
+        let mut out = [0.0; VLEN];
+        out.copy_from_slice(&src[..VLEN]);
+        F32x8(out)
+    }
+
+    /// Store all lanes into the first 8 elements of `dst` (`VSTORE`).
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f32]) {
+        debug_assert!(dst.len() >= VLEN);
+        dst[..VLEN].copy_from_slice(&self.0);
+    }
+
+    /// Lanewise addition (`VADD`).
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        let mut out = [0.0; VLEN];
+        for i in 0..VLEN {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        F32x8(out)
+    }
+
+    /// Lanewise subtraction (`VSUB`).
+    #[inline(always)]
+    pub fn sub(self, rhs: Self) -> Self {
+        let mut out = [0.0; VLEN];
+        for i in 0..VLEN {
+            out[i] = self.0[i] - rhs.0[i];
+        }
+        F32x8(out)
+    }
+
+    /// Lanewise multiplication (`VMUL`).
+    #[inline(always)]
+    pub fn mul(self, rhs: Self) -> Self {
+        let mut out = [0.0; VLEN];
+        for i in 0..VLEN {
+            out[i] = self.0[i] * rhs.0[i];
+        }
+        F32x8(out)
+    }
+
+    /// Multiply-accumulate: `self + a·b` (`VMAC` — the FMAC of the
+    /// paper's Fig. 5 combining MOP and AOP). Written as separate
+    /// multiply and add rather than `f32::mul_add`: on targets whose
+    /// baseline lacks hardware FMA (default x86-64), `mul_add` lowers to
+    /// a per-lane libm call for its single-rounding guarantee, defeating
+    /// vectorization entirely; mul+add vectorizes everywhere and LLVM
+    /// still contracts it to real FMA instructions when the target has
+    /// them.
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        let mut out = [0.0; VLEN];
+        for i in 0..VLEN {
+            out[i] = self.0[i] + a.0[i] * b.0[i];
+        }
+        F32x8(out)
+    }
+
+    /// Lanewise maximum (`VMAX` — AMAX aggregation).
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut out = [0.0; VLEN];
+        for i in 0..VLEN {
+            out[i] = self.0[i].max(rhs.0[i]);
+        }
+        F32x8(out)
+    }
+
+    /// Lanewise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        let mut out = [0.0; VLEN];
+        for i in 0..VLEN {
+            out[i] = self.0[i].min(rhs.0[i]);
+        }
+        F32x8(out)
+    }
+
+    /// Horizontal sum of all lanes (`VHADD`/reduce — completes ROP).
+    /// Pairwise tree order matches how hardware horizontal adds
+    /// associate, and is deterministic.
+    #[inline(always)]
+    pub fn hsum(self) -> f32 {
+        let a = self.0;
+        let s01 = a[0] + a[1];
+        let s23 = a[2] + a[3];
+        let s45 = a[4] + a[5];
+        let s67 = a[6] + a[7];
+        (s01 + s23) + (s45 + s67)
+    }
+
+    /// Horizontal maximum of all lanes.
+    #[inline(always)]
+    pub fn hmax(self) -> f32 {
+        let a = self.0;
+        a[0].max(a[1]).max(a[2].max(a[3])).max(a[4].max(a[5]).max(a[6].max(a[7])))
+    }
+}
+
+/// Dot product of two equal-length slices using 8-lane strips with a
+/// scalar tail — the VOP(MUL) + ROP(RSUM) fusion.
+///
+/// Strips are walked with `chunks_exact`, which hands LLVM check-free
+/// fixed-size blocks (slice-indexed loads keep a bounds check per strip
+/// that measurably slows the memory-bound kernels).
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0f32; VLEN];
+    let mut xs = x.chunks_exact(VLEN);
+    let mut ys = y.chunks_exact(VLEN);
+    for (xc, yc) in (&mut xs).zip(&mut ys) {
+        for k in 0..VLEN {
+            acc[k] += xc[k] * yc[k];
+        }
+    }
+    let mut s = F32x8(acc).hsum();
+    for (&a, &b) in xs.remainder().iter().zip(ys.remainder()) {
+        s += a * b;
+    }
+    s
+}
+
+/// `z += s * y` over equal-length slices (`MOP(MUL) + AOP(ASUM)` with a
+/// scalar message) — the axpy at the heart of the embedding pattern.
+#[inline]
+pub fn axpy(s: f32, y: &[f32], z: &mut [f32]) {
+    debug_assert_eq!(y.len(), z.len());
+    let mut zs = z.chunks_exact_mut(VLEN);
+    let mut ys = y.chunks_exact(VLEN);
+    for (zc, yc) in (&mut zs).zip(&mut ys) {
+        for k in 0..VLEN {
+            zc[k] += s * yc[k];
+        }
+    }
+    for (zr, &yr) in zs.into_remainder().iter_mut().zip(ys.remainder()) {
+        *zr += s * yr;
+    }
+}
+
+/// Squared L2 distance `‖x − y‖²` (VOP(SUB) + ROP(NORM) without the
+/// final sqrt) — the FR pattern's reduction.
+#[inline]
+pub fn sqdist(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0f32; VLEN];
+    let mut xs = x.chunks_exact(VLEN);
+    let mut ys = y.chunks_exact(VLEN);
+    for (xc, yc) in (&mut xs).zip(&mut ys) {
+        for k in 0..VLEN {
+            let d = xc[k] - yc[k];
+            acc[k] += d * d;
+        }
+    }
+    let mut s = F32x8(acc).hsum();
+    for (&a, &b) in xs.remainder().iter().zip(ys.remainder()) {
+        let d = a - b;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_zero() {
+        assert_eq!(F32x8::splat(2.0).0, [2.0; 8]);
+        assert_eq!(F32x8::zero().0, [0.0; 8]);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = F32x8::load(&src);
+        let mut dst = [0.0; 9];
+        v.store(&mut dst);
+        assert_eq!(&dst[..8], &src[..8]);
+        assert_eq!(dst[8], 0.0);
+    }
+
+    #[test]
+    fn arithmetic_lanes() {
+        let a = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(2.0);
+        assert_eq!(a.add(b).0[0], 3.0);
+        assert_eq!(a.sub(b).0[7], 6.0);
+        assert_eq!(a.mul(b).0[3], 8.0);
+        assert_eq!(a.max(F32x8::splat(4.5)).0, [4.5, 4.5, 4.5, 4.5, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.min(F32x8::splat(4.5)).0[7], 4.5);
+    }
+
+    #[test]
+    fn fma_matches_mul_add() {
+        let acc = F32x8::splat(1.0);
+        let a = F32x8::splat(2.0);
+        let b = F32x8::splat(3.0);
+        assert_eq!(acc.fma(a, b).0, [7.0; 8]);
+    }
+
+    #[test]
+    fn horizontal_reductions() {
+        let a = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.hsum(), 36.0);
+        assert_eq!(a.hmax(), 8.0);
+    }
+
+    #[test]
+    fn dot_matches_scalar_for_odd_lengths() {
+        for n in [1usize, 7, 8, 9, 16, 31, 64, 100] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 1.0).collect();
+            let y: Vec<f32> = (0..n).map(|i| 0.5 - (i as f32) * 0.125).collect();
+            let expect: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = dot(&x, &y);
+            assert!((got - expect).abs() < 1e-3, "n={n}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar() {
+        for n in [3usize, 8, 17, 40] {
+            let y: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let mut z = vec![1.0f32; n];
+            let mut z_ref = vec![1.0f32; n];
+            axpy(0.5, &y, &mut z);
+            for (zr, &yi) in z_ref.iter_mut().zip(&y) {
+                *zr += 0.5 * yi;
+            }
+            assert_eq!(z, z_ref, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sqdist_matches_scalar() {
+        for n in [2usize, 8, 13, 32] {
+            let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.3).collect();
+            let y: Vec<f32> = (0..n).map(|i| 1.0 - i as f32 * 0.1).collect();
+            let expect: f32 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!((sqdist(&x, &y) - expect).abs() < 1e-3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn alignment_is_32_bytes() {
+        assert_eq!(std::mem::align_of::<F32x8>(), 32);
+        assert_eq!(std::mem::size_of::<F32x8>(), 32);
+    }
+}

@@ -1,0 +1,111 @@
+//! Erdős–Rényi G(n, m) uniform random graphs.
+//!
+//! Used by the test suite as the "no skew" counterpoint to RMAT, and by
+//! the ablation benchmarks to isolate the effect of degree imbalance on
+//! the load-balanced partitioner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fusedmm_sparse::coo::{Coo, Dedup};
+use fusedmm_sparse::csr::Csr;
+
+/// Generate an undirected G(n, m) graph: `nedges` distinct endpoints
+/// drawn uniformly, mirrored, deduplicated, no self loops.
+pub fn erdos_renyi(nvertices: usize, nedges: usize, seed: u64) -> Csr {
+    assert!(nvertices >= 2, "need at least two vertices");
+    let max_edges = nvertices * (nvertices - 1) / 2;
+    assert!(
+        nedges <= max_edges,
+        "cannot place {nedges} simple undirected edges in a {nvertices}-vertex graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(nvertices, nvertices, 2 * nedges);
+    let mut placed = 0usize;
+    // For sparse graphs rejection sampling terminates fast; we tolerate
+    // duplicates here and let Dedup::Last merge them, topping up until
+    // the requested count of *distinct* edges is unlikely to be missed
+    // badly (exact distinctness is enforced only for small dense cases).
+    let dense = nedges * 3 > max_edges;
+    if dense {
+        // Enumerate all pairs and sample without replacement.
+        let mut pairs: Vec<(usize, usize)> = (0..nvertices)
+            .flat_map(|u| ((u + 1)..nvertices).map(move |v| (u, v)))
+            .collect();
+        for i in 0..nedges {
+            let j = rng.gen_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (u, v) = pairs[i];
+            coo.push_symmetric(u, v, 1.0);
+        }
+    } else {
+        use std::collections::HashSet;
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(nedges * 2);
+        while placed < nedges {
+            let u = rng.gen_range(0..nvertices);
+            let v = rng.gen_range(0..nvertices);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                coo.push_symmetric(key.0, key.1, 1.0);
+                placed += 1;
+            }
+        }
+    }
+    coo.to_csr(Dedup::Last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 300, 5);
+        assert_eq!(g.nnz(), 600); // undirected: each edge stored twice
+    }
+
+    #[test]
+    fn symmetric_and_loop_free() {
+        let g = erdos_renyi(64, 200, 7);
+        for (r, c, _) in g.iter() {
+            assert_ne!(r, c);
+            assert_eq!(g.get(c, r), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn dense_path_samples_without_replacement() {
+        // 10 vertices, 40 of max 45 edges -> dense path.
+        let g = erdos_renyi(10, 40, 3);
+        assert_eq!(g.nnz(), 80);
+    }
+
+    #[test]
+    fn complete_graph_possible() {
+        let g = erdos_renyi(6, 15, 1);
+        assert_eq!(g.nnz(), 30);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn reproducible() {
+        assert_eq!(erdos_renyi(50, 100, 11), erdos_renyi(50, 100, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_edges_panics() {
+        let _ = erdos_renyi(4, 100, 0);
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(500, 5000, 13);
+        // avg degree = 20; in G(n,m) the max should stay within a small
+        // multiple (binomial concentration), unlike RMAT.
+        assert!(g.max_degree() < 3 * 20, "max degree {}", g.max_degree());
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph generators and the benchmark dataset registry.
+//!
+//! The paper evaluates on eight real-world graphs (Table V: Cora,
+//! Harvard, Pubmed, Flickr, Ogbprot., Amazon, Youtube, Orkut) downloaded
+//! from networkrepository.com and the SuiteSparse collection, plus RMAT
+//! graphs generated with PaRMAT for the sensitivity study (Fig. 11a).
+//! Offline we synthesize stand-ins:
+//!
+//! * [`rmat`] — a recursive-matrix (RMAT) generator, our PaRMAT
+//!   equivalent, producing the skewed degree distributions of the
+//!   paper's social-network graphs;
+//! * [`erdos`] — Erdős–Rényi G(n, m) uniform random graphs;
+//! * [`planted`] — planted-partition (stochastic block model) graphs
+//!   with ground-truth communities, used for the Cora/Pubmed node
+//!   classification accuracy experiment (§V-D);
+//! * [`datasets`] — a registry mapping each Table V graph to a synthetic
+//!   stand-in with matched vertex count (optionally scaled down),
+//!   matched average degree, and a power-law tail;
+//! * [`stats`] — degree statistics used by tests and harness output.
+
+pub mod datasets;
+pub mod erdos;
+pub mod features;
+pub mod planted;
+pub mod rmat;
+pub mod stats;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use erdos::erdos_renyi;
+pub use features::random_features;
+pub use planted::{planted_partition, PlantedGraph};
+pub use rmat::{rmat, RmatConfig};
+pub use stats::GraphStats;

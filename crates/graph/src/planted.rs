@@ -1,0 +1,180 @@
+//! Planted-partition (stochastic block model) graphs with labels.
+//!
+//! Cora and Pubmed — the graphs the paper uses for end-to-end training
+//! and F1-micro node classification (§V-D, Table VIII) — are citation
+//! networks with strong community structure aligned with class labels.
+//! Our offline stand-ins are planted-partition graphs: `k` communities,
+//! within-community edge probability `p_in`, across-community `p_out`
+//! with `p_in ≫ p_out`, and the community id as the ground-truth label.
+//! An embedding that captures the topology therefore predicts labels,
+//! reproducing the accuracy experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fusedmm_sparse::coo::{Coo, Dedup};
+use fusedmm_sparse::csr::Csr;
+
+/// A generated planted-partition graph plus ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct PlantedGraph {
+    /// The (symmetric, loop-free) adjacency matrix.
+    pub adj: Csr,
+    /// Ground-truth community label per vertex, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Number of communities.
+    pub k: usize,
+}
+
+/// Generate a planted-partition graph.
+///
+/// `avg_degree_in` / `avg_degree_out` give the expected number of
+/// within- and across-community neighbors per vertex, which is more
+/// convenient for matching a target average degree than raw
+/// probabilities: total average degree ≈ `avg_degree_in +
+/// avg_degree_out`.
+pub fn planted_partition(
+    nvertices: usize,
+    k: usize,
+    avg_degree_in: f64,
+    avg_degree_out: f64,
+    seed: u64,
+) -> PlantedGraph {
+    assert!(k >= 1 && nvertices >= k, "need at least one vertex per community");
+    assert!(avg_degree_in >= 0.0 && avg_degree_out >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Round-robin labels give near-equal community sizes.
+    let labels: Vec<usize> = (0..nvertices).map(|v| v % k).collect();
+    let comm_size = nvertices as f64 / k as f64;
+    // Expected within-degree = p_in * (comm_size - 1).
+    let p_in = (avg_degree_in / (comm_size - 1.0).max(1.0)).min(1.0);
+    let p_out = (avg_degree_out / (nvertices as f64 - comm_size).max(1.0)).min(1.0);
+
+    let mut coo = Coo::with_capacity(
+        nvertices,
+        nvertices,
+        (nvertices as f64 * (avg_degree_in + avg_degree_out)) as usize + 16,
+    );
+    // Skip-sampling over the upper triangle would be fancier; expected
+    // O(n^2) probes are fine at stand-in scale and keep the code obvious.
+    for u in 0..nvertices {
+        for v in (u + 1)..nvertices {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if p > 0.0 && rng.gen::<f64>() < p {
+                coo.push_symmetric(u, v, 1.0);
+            }
+        }
+    }
+    PlantedGraph { adj: coo.to_csr(Dedup::Last), labels, k }
+}
+
+impl PlantedGraph {
+    /// Fraction of edges that stay within a community — a quick
+    /// assortativity check used by tests.
+    pub fn within_community_edge_fraction(&self) -> f64 {
+        let mut within = 0usize;
+        let mut total = 0usize;
+        for (u, v, _) in self.adj.iter() {
+            total += 1;
+            if self.labels[u] == self.labels[v] {
+                within += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            within as f64 / total as f64
+        }
+    }
+
+    /// Split vertex ids into a train/test partition with the given
+    /// train fraction, deterministic in `seed`, stratified per class.
+    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for class in 0..self.k {
+            let mut members: Vec<usize> =
+                (0..self.labels.len()).filter(|&v| self.labels[v] == class).collect();
+            // Fisher-Yates shuffle.
+            for i in (1..members.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                members.swap(i, j);
+            }
+            let cut = (members.len() as f64 * train_fraction).round() as usize;
+            train.extend_from_slice(&members[..cut]);
+            test.extend_from_slice(&members[cut..]);
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_communities() {
+        let g = planted_partition(100, 4, 8.0, 1.0, 1);
+        assert_eq!(g.labels.len(), 100);
+        for class in 0..4 {
+            assert!(g.labels.iter().any(|&l| l == class));
+        }
+        assert!(g.labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn assortative_when_p_in_dominates() {
+        let g = planted_partition(300, 3, 10.0, 1.0, 2);
+        assert!(
+            g.within_community_edge_fraction() > 0.7,
+            "within fraction {}",
+            g.within_community_edge_fraction()
+        );
+    }
+
+    #[test]
+    fn average_degree_close_to_requested() {
+        let g = planted_partition(400, 4, 6.0, 2.0, 3);
+        let avg = g.adj.avg_degree();
+        assert!((avg - 8.0).abs() < 2.0, "avg degree {avg} too far from 8");
+    }
+
+    #[test]
+    fn symmetric_and_loop_free() {
+        let g = planted_partition(80, 2, 5.0, 1.0, 4);
+        for (u, v, _) in g.adj.iter() {
+            assert_ne!(u, v);
+            assert_eq!(g.adj.get(v, u), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let g = planted_partition(120, 3, 5.0, 1.0, 5);
+        let (train, test) = g.train_test_split(0.5, 7);
+        assert_eq!(train.len() + test.len(), 120);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let g = planted_partition(150, 3, 5.0, 1.0, 6);
+        let (train, _) = g.train_test_split(0.6, 8);
+        for class in 0..3 {
+            let count = train.iter().filter(|&&v| g.labels[v] == class).count();
+            assert_eq!(count, 30, "class {class} has {count} train vertices");
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = planted_partition(60, 2, 4.0, 1.0, 9);
+        let b = planted_partition(60, 2, 4.0, 1.0, 9);
+        assert_eq!(a.adj, b.adj);
+        assert_eq!(a.labels, b.labels);
+    }
+}

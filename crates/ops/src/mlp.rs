@@ -1,0 +1,210 @@
+//! A small multilayer perceptron used as a user-defined VOP.
+//!
+//! Table III row 4 of the paper instantiates FusedMM for a "Graph Neural
+//! Network with MLP": the message on edge `(u, v)` is `MLP([x_u; y_v])`,
+//! followed by SIGMOID (SOP), MUL (MOP) and AMAX (AOP). The MLP is a
+//! user-provided function; this module ships a deterministic two-layer
+//! perceptron (`ReLU` hidden layer, linear output) so the pattern can be
+//! exercised and benchmarked without an external ML framework.
+
+/// A dense two-layer MLP mapping the concatenated edge endpoints
+/// `[x_u; y_v] ∈ R^{2d}` to a `d_out`-dimensional message.
+///
+/// Weights are stored row-major. `forward` is allocation-free except
+/// for a per-call hidden buffer kept small (the kernel reuses one `Mlp`
+/// across all edges; the hidden activation is written into a stack-local
+/// scratch provided by the caller via `forward_with_scratch` in hot
+/// paths).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    d_in: usize,
+    d_hidden: usize,
+    d_out: usize,
+    /// `d_hidden × (2·d_in)` first-layer weights, row-major.
+    w1: Vec<f32>,
+    /// `d_hidden` first-layer biases.
+    b1: Vec<f32>,
+    /// `d_out × d_hidden` second-layer weights, row-major.
+    w2: Vec<f32>,
+    /// `d_out` second-layer biases.
+    b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Build from explicit weights.
+    ///
+    /// # Panics
+    /// Panics if any weight/bias length disagrees with the declared
+    /// dimensions.
+    pub fn from_weights(
+        d_in: usize,
+        d_hidden: usize,
+        d_out: usize,
+        w1: Vec<f32>,
+        b1: Vec<f32>,
+        w2: Vec<f32>,
+        b2: Vec<f32>,
+    ) -> Self {
+        assert_eq!(w1.len(), d_hidden * 2 * d_in, "w1 must be d_hidden x 2*d_in");
+        assert_eq!(b1.len(), d_hidden, "b1 must be d_hidden");
+        assert_eq!(w2.len(), d_out * d_hidden, "w2 must be d_out x d_hidden");
+        assert_eq!(b2.len(), d_out, "b2 must be d_out");
+        Mlp { d_in, d_hidden, d_out, w1, b1, w2, b2 }
+    }
+
+    /// Deterministic pseudo-random initialization (a fixed linear
+    /// congruential sequence scaled to `±1/√fan_in`), so tests and
+    /// benchmarks are reproducible without a RNG dependency.
+    pub fn seeded(d_in: usize, d_hidden: usize, d_out: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // map to [-1, 1)
+            (state >> 11) as f32 / (1u64 << 52) as f32 * 2.0 - 1.0
+        };
+        let s1 = 1.0 / ((2 * d_in) as f32).sqrt();
+        let s2 = 1.0 / (d_hidden as f32).sqrt();
+        let w1 = (0..d_hidden * 2 * d_in).map(|_| next() * s1).collect();
+        let b1 = (0..d_hidden).map(|_| next() * s1).collect();
+        let w2 = (0..d_out * d_hidden).map(|_| next() * s2).collect();
+        let b2 = (0..d_out).map(|_| next() * s2).collect();
+        Mlp::from_weights(d_in, d_hidden, d_out, w1, b1, w2, b2)
+    }
+
+    /// Input feature dimension `d` (each endpoint contributes `d`).
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Hidden layer width.
+    pub fn d_hidden(&self) -> usize {
+        self.d_hidden
+    }
+
+    /// Output message dimension.
+    pub fn d_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// `out = W2·relu(W1·[x; y] + b1) + b2`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != d_in`, `y.len() != d_in`, or
+    /// `out.len() != d_out`.
+    pub fn forward(&self, x: &[f32], y: &[f32], out: &mut [f32]) {
+        let mut hidden = vec![0f32; self.d_hidden];
+        self.forward_with_scratch(x, y, out, &mut hidden);
+    }
+
+    /// Allocation-free forward pass with caller-provided hidden scratch
+    /// of length `d_hidden`.
+    pub fn forward_with_scratch(&self, x: &[f32], y: &[f32], out: &mut [f32], hidden: &mut [f32]) {
+        assert_eq!(x.len(), self.d_in, "x has wrong length");
+        assert_eq!(y.len(), self.d_in, "y has wrong length");
+        assert_eq!(out.len(), self.d_out, "out has wrong length");
+        assert_eq!(hidden.len(), self.d_hidden, "hidden scratch has wrong length");
+        let two_d = 2 * self.d_in;
+        for (j, h) in hidden.iter_mut().enumerate() {
+            let row = &self.w1[j * two_d..(j + 1) * two_d];
+            let (rx, ry) = row.split_at(self.d_in);
+            let mut acc = self.b1[j];
+            for (&w, &v) in rx.iter().zip(x) {
+                acc += w * v;
+            }
+            for (&w, &v) in ry.iter().zip(y) {
+                acc += w * v;
+            }
+            *h = acc.max(0.0); // ReLU
+        }
+        for (k, o) in out.iter_mut().enumerate() {
+            let row = &self.w2[k * self.d_hidden..(k + 1) * self.d_hidden];
+            let mut acc = self.b2[k];
+            for (&w, &h) in row.iter().zip(hidden.iter()) {
+                acc += w * h;
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_like_mlp() {
+        // d_in=2, hidden=2, out=2; W1 selects x (first half), W2 = I.
+        let w1 = vec![
+            1.0, 0.0, 0.0, 0.0, // h0 = x0
+            0.0, 1.0, 0.0, 0.0, // h1 = x1
+        ];
+        let mlp = Mlp::from_weights(2, 2, 2, w1, vec![0.0; 2], vec![1.0, 0.0, 0.0, 1.0], vec![0.0; 2]);
+        let mut out = [0.0; 2];
+        mlp.forward(&[3.0, 4.0], &[7.0, 8.0], &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn relu_clamps_hidden() {
+        // h0 = -x0 -> relu -> 0 for positive x0
+        let mlp = Mlp::from_weights(1, 1, 1, vec![-1.0, 0.0], vec![0.0], vec![1.0], vec![0.5]);
+        let mut out = [0.0; 1];
+        mlp.forward(&[2.0], &[0.0], &mut out);
+        assert_eq!(out, [0.5]); // hidden clamped to 0, only bias remains
+        mlp.forward(&[-2.0], &[0.0], &mut out);
+        assert_eq!(out, [2.5]);
+    }
+
+    #[test]
+    fn y_half_of_concat_is_used() {
+        // h0 = y0
+        let mlp = Mlp::from_weights(1, 1, 1, vec![0.0, 1.0], vec![0.0], vec![1.0], vec![0.0]);
+        let mut out = [0.0; 1];
+        mlp.forward(&[100.0], &[4.0], &mut out);
+        assert_eq!(out, [4.0]);
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = Mlp::seeded(4, 8, 4, 42);
+        let b = Mlp::seeded(4, 8, 4, 42);
+        let c = Mlp::seeded(4, 8, 4, 43);
+        let mut oa = [0.0; 4];
+        let mut ob = [0.0; 4];
+        let mut oc = [0.0; 4];
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let y = [0.5, 0.6, 0.7, 0.8];
+        a.forward(&x, &y, &mut oa);
+        b.forward(&x, &y, &mut ob);
+        c.forward(&x, &y, &mut oc);
+        assert_eq!(oa, ob);
+        assert_ne!(oa, oc);
+    }
+
+    #[test]
+    fn scratch_and_alloc_paths_agree() {
+        let mlp = Mlp::seeded(3, 5, 3, 7);
+        let x = [1.0, -1.0, 0.5];
+        let y = [0.2, 0.3, -0.7];
+        let mut o1 = [0.0; 3];
+        let mut o2 = [0.0; 3];
+        let mut scratch = [0.0; 5];
+        mlp.forward(&x, &y, &mut o1);
+        mlp.forward_with_scratch(&x, &y, &mut o2, &mut scratch);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    #[should_panic(expected = "w1 must be")]
+    fn bad_weight_shape_panics() {
+        let _ = Mlp::from_weights(2, 2, 2, vec![0.0; 3], vec![0.0; 2], vec![0.0; 4], vec![0.0; 2]);
+    }
+
+    #[test]
+    fn dimensions_exposed() {
+        let mlp = Mlp::seeded(8, 16, 8, 1);
+        assert_eq!((mlp.d_in(), mlp.d_hidden(), mlp.d_out()), (8, 16, 8));
+    }
+}

@@ -1,0 +1,140 @@
+//! Exact and lookup-table sigmoid.
+//!
+//! The sigmoid SOP dominates the scalar work of the graph-embedding
+//! pattern (`h_uv = σ(x_uᵀ y_v)`). Force2Vec — the end-to-end algorithm
+//! the paper trains — clamps the logit and reads a precomputed table
+//! instead of calling `exp` per edge; the specialized kernels here do
+//! the same.
+
+/// The exact logistic sigmoid `1 / (1 + e^{-x})`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A clamped lookup-table sigmoid.
+///
+/// Logits are clamped to `[-bound, bound]` and mapped to one of
+/// `resolution` precomputed values (nearest-entry lookup). With the
+/// default 2048 entries over `[-8, 8]` the absolute error is below
+/// `1e-3` everywhere (the sigmoid's slope is at most 1/4, and the table
+/// step is 16/2048).
+#[derive(Debug, Clone)]
+pub struct SigmoidLut {
+    table: Vec<f32>,
+    bound: f32,
+    inv_step: f32,
+}
+
+impl SigmoidLut {
+    /// Default table: 2048 entries over `[-8, 8]`, matching the
+    /// Force2Vec reference implementation's `SM_TABLE_SIZE`/`SM_BOUND`.
+    pub fn default_table() -> Self {
+        Self::new(8.0, 2048)
+    }
+
+    /// Build a table with `resolution` entries over `[-bound, bound]`.
+    ///
+    /// # Panics
+    /// Panics if `bound <= 0` or `resolution < 2`.
+    pub fn new(bound: f32, resolution: usize) -> Self {
+        assert!(bound > 0.0, "sigmoid LUT bound must be positive");
+        assert!(resolution >= 2, "sigmoid LUT needs at least 2 entries");
+        let step = 2.0 * bound / (resolution - 1) as f32;
+        let table = (0..resolution).map(|i| sigmoid(-bound + i as f32 * step)).collect();
+        SigmoidLut { table, bound, inv_step: 1.0 / step }
+    }
+
+    /// Table lookup with clamping.
+    #[inline]
+    pub fn eval(&self, x: f32) -> f32 {
+        let clamped = x.clamp(-self.bound, self.bound);
+        let idx = ((clamped + self.bound) * self.inv_step + 0.5) as usize;
+        // idx can reach table.len() due to the +0.5 rounding at the top end.
+        self.table[idx.min(self.table.len() - 1)]
+    }
+
+    /// The clamping bound.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    /// Number of table entries.
+    pub fn resolution(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Maximum absolute error against the exact sigmoid, measured on a
+    /// dense probe grid inside the bound. Exposed so callers (and tests)
+    /// can check the accuracy/speed trade-off.
+    pub fn max_error_within_bound(&self) -> f32 {
+        let probes = self.table.len() * 4;
+        (0..=probes)
+            .map(|i| {
+                let x = -self.bound + 2.0 * self.bound * i as f32 / probes as f32;
+                (self.eval(x) - sigmoid(x)).abs()
+            })
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sigmoid_known_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        // symmetry: σ(x) + σ(-x) = 1
+        for x in [-3.0f32, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lut_matches_exact_within_tolerance() {
+        let lut = SigmoidLut::default_table();
+        assert!(lut.max_error_within_bound() < 1e-3);
+    }
+
+    #[test]
+    fn lut_clamps_outside_bound() {
+        let lut = SigmoidLut::default_table();
+        assert_eq!(lut.eval(100.0), lut.eval(8.0));
+        assert_eq!(lut.eval(-100.0), lut.eval(-8.0));
+    }
+
+    #[test]
+    fn lut_endpoints_are_exact_entries() {
+        let lut = SigmoidLut::new(4.0, 256);
+        assert!((lut.eval(-4.0) - sigmoid(-4.0)).abs() < 1e-6);
+        assert!((lut.eval(4.0) - sigmoid(4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lut_is_monotone_nondecreasing() {
+        let lut = SigmoidLut::default_table();
+        let mut prev = -1.0f32;
+        for i in 0..1000 {
+            let x = -10.0 + 20.0 * i as f32 / 999.0;
+            let y = lut.eval(x);
+            assert!(y >= prev - 1e-7, "non-monotone at x={x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn lut_rejects_bad_bound() {
+        let _ = SigmoidLut::new(0.0, 16);
+    }
+
+    #[test]
+    fn coarse_lut_has_larger_error() {
+        let coarse = SigmoidLut::new(8.0, 16);
+        let fine = SigmoidLut::new(8.0, 4096);
+        assert!(coarse.max_error_within_bound() > fine.max_error_within_bound());
+    }
+}

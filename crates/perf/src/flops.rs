@@ -1,0 +1,69 @@
+//! Floating-point-operation counts per kernel pattern.
+//!
+//! §IV-C of the paper counts "both addition and multiplications as
+//! floating point operations": the embedding pattern performs a
+//! `d`-element dot product (2d flops) plus a `d`-element scaled
+//! accumulate (2d flops) per nonzero — `4·d·nnz` total, the numerator
+//! `2dmδ + 2dmδ` of Eq. 4. The other patterns are counted the same way.
+
+use fusedmm_ops::Pattern;
+
+/// Flops one edge costs for `pattern` at dimension `d` (nonlinearities
+/// like the sigmoid are excluded, as in the paper's model).
+pub fn flops_per_edge(pattern: Pattern, d: usize) -> usize {
+    match pattern {
+        // dot (2d) + axpy (2d)
+        Pattern::SigmoidEmbedding => 4 * d,
+        // subtract (d) + square-accumulate (2d) + sqrt&scale (~2) + axpy (2d)
+        Pattern::FrModel => 5 * d + 2,
+        // subtract (d) + square-accumulate (2d) + rational kernel (~3) + axpy (2d)
+        Pattern::TDistEmbedding => 5 * d + 3,
+        // axpy with the edge weight
+        Pattern::Gcn => 2 * d,
+        // MLP dominates; counted separately by callers that know the
+        // hidden width. Per-edge linear algebra after the MLP: sigmoid
+        // (excluded) + scale (d) + max (d).
+        Pattern::GnnMlp => 2 * d,
+        Pattern::Custom => 4 * d,
+    }
+}
+
+/// Total kernel flops for a graph with `nnz` nonzeros.
+pub fn total_flops(pattern: Pattern, d: usize, nnz: usize) -> usize {
+    flops_per_edge(pattern, d) * nnz
+}
+
+/// Achieved GFLOP/s given kernel seconds.
+pub fn gflops(pattern: Pattern, d: usize, nnz: usize, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "elapsed time must be positive");
+    total_flops(pattern, d, nnz) as f64 / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_matches_eq4_numerator() {
+        // Eq. 4 numerator: 2dmδ + 2dmδ = 4d·nnz.
+        assert_eq!(total_flops(Pattern::SigmoidEmbedding, 128, 1000), 4 * 128 * 1000);
+    }
+
+    #[test]
+    fn gcn_is_a_plain_spmm_count() {
+        assert_eq!(flops_per_edge(Pattern::Gcn, 64), 128);
+    }
+
+    #[test]
+    fn gflops_scales_inversely_with_time() {
+        let fast = gflops(Pattern::Gcn, 128, 1_000_000, 0.1);
+        let slow = gflops(Pattern::Gcn, 128, 1_000_000, 0.2);
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_panics() {
+        let _ = gflops(Pattern::Gcn, 8, 8, 0.0);
+    }
+}

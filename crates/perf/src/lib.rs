@@ -1,0 +1,24 @@
+//! Performance instrumentation for the FusedMM benchmark harness.
+//!
+//! * [`memtrack`] — a counting global allocator measuring live and peak
+//!   heap bytes, used to regenerate the memory-consumption experiment
+//!   (paper Fig. 10b) and to enforce the harness's out-of-memory policy
+//!   (the `×` entries of Table VI);
+//! * [`timer`] — repetition timing helpers ("we measure the time for 10
+//!   iterations and report the average time", §V-A);
+//! * [`stream`] — a STREAM-triad memory bandwidth measurement, the roof
+//!   of the paper's roofline plot (Fig. 7, "The STREAM bandwidth on
+//!   this server is 100 GB/s");
+//! * [`roofline`] — Eq. 4's arithmetic-intensity model and the
+//!   attainable-GFLOP/s bound;
+//! * [`flops`] — floating-point-operation counts per kernel pattern.
+
+pub mod flops;
+pub mod memtrack;
+pub mod roofline;
+pub mod stream;
+pub mod timer;
+
+pub use memtrack::CountingAllocator;
+pub use roofline::{arithmetic_intensity, attainable_gflops};
+pub use timer::{time_iterations, TimingStats};

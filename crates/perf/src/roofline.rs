@@ -1,0 +1,110 @@
+//! The roofline model of FusedMM (paper §IV-C, Eq. 4 and Fig. 7).
+//!
+//! The paper bounds the kernel's arithmetic intensity as
+//!
+//! ```text
+//! AI > (2dmδ + 2dmδ) / (12mδ + 8md + 4dmδ) = δ / (3δ/d + 2 + δ)
+//! ```
+//!
+//! (`δ` = average degree, `d` = feature dimension), equivalently
+//! `AI = (3/d + 2/δ + 1)⁻¹`, approaching 1 for dense graphs with large
+//! `d` and bottoming at 1/6 for `δ = d = 1`. Since AI ≤ 1, FusedMM is
+//! memory-bound for all realistic parameters and its attainable
+//! performance is `bandwidth × AI`.
+
+/// Eq. 4: the arithmetic-intensity bound for the embedding pattern.
+pub fn arithmetic_intensity(d: usize, avg_degree: f64) -> f64 {
+    assert!(d > 0, "dimension must be positive");
+    assert!(avg_degree > 0.0, "average degree must be positive");
+    1.0 / (3.0 / d as f64 + 2.0 / avg_degree + 1.0)
+}
+
+/// Attainable GFLOP/s on the bandwidth-bound roof:
+/// `bandwidth (GB/s) × AI (flops/byte)`.
+pub fn attainable_gflops(bandwidth_gbps: f64, ai: f64) -> f64 {
+    assert!(bandwidth_gbps > 0.0 && ai > 0.0);
+    bandwidth_gbps * ai
+}
+
+/// One point of the roofline plot: a graph's AI, attainable and
+/// measured performance.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// Graph name.
+    pub name: String,
+    /// Arithmetic intensity per Eq. 4.
+    pub ai: f64,
+    /// Bandwidth-bound attainable GFLOP/s.
+    pub attainable: f64,
+    /// Measured GFLOP/s.
+    pub measured: f64,
+}
+
+impl RooflinePoint {
+    /// Build a point from measured quantities.
+    pub fn new(
+        name: impl Into<String>,
+        d: usize,
+        avg_degree: f64,
+        bandwidth_gbps: f64,
+        measured_gflops: f64,
+    ) -> Self {
+        let ai = arithmetic_intensity(d, avg_degree);
+        RooflinePoint {
+            name: name.into(),
+            ai,
+            attainable: attainable_gflops(bandwidth_gbps, ai),
+            measured: measured_gflops,
+        }
+    }
+
+    /// Fraction of the attainable roof achieved.
+    pub fn efficiency(&self) -> f64 {
+        self.measured / self.attainable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq4_limits() {
+        // Worst case from the paper: δ = 1, d = 1 → 1/6.
+        assert!((arithmetic_intensity(1, 1.0) - 1.0 / 6.0).abs() < 1e-12);
+        // Dense graphs with large d approach 1.
+        assert!(arithmetic_intensity(1024, 1000.0) > 0.99);
+    }
+
+    #[test]
+    fn paper_fig7_orkut_point() {
+        // Fig. 7: Orkut (δ = 76.28) at d = 128 has AI ≈ 0.95 and, with a
+        // 100 GB/s roof, attainable ≈ 95.27 GFLOP/s.
+        let ai = arithmetic_intensity(128, 76.28);
+        assert!((ai - 0.95).abs() < 0.01, "ai = {ai}");
+        let att = attainable_gflops(100.0, ai);
+        assert!((att - 95.27).abs() < 1.0, "attainable = {att}");
+    }
+
+    #[test]
+    fn ai_monotone_in_both_parameters() {
+        assert!(arithmetic_intensity(64, 10.0) < arithmetic_intensity(128, 10.0));
+        assert!(arithmetic_intensity(64, 10.0) < arithmetic_intensity(64, 20.0));
+    }
+
+    #[test]
+    fn ai_below_one_always() {
+        for d in [1usize, 8, 128, 4096] {
+            for deg in [1.0f64, 5.0, 100.0, 10_000.0] {
+                assert!(arithmetic_intensity(d, deg) < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_ratio() {
+        let p = RooflinePoint::new("test", 128, 76.28, 100.0, 63.21);
+        // Paper: 63.21 measured of 95.27 attainable ≈ 66%.
+        assert!((p.efficiency() - 0.663).abs() < 0.01);
+    }
+}

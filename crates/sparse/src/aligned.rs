@@ -1,0 +1,183 @@
+//! Cache-line-aligned growable buffer.
+//!
+//! The register-blocked FusedMM kernels stream rows of `X`, `Y`, and `Z`
+//! through SIMD registers. Aligning the backing storage to 64 bytes keeps
+//! every `d`-dimensional row load starting on a cache-line boundary when
+//! `d` is a multiple of 16 (f32), which is the common case in the paper
+//! (d ∈ {32, 64, 128, 256, 512}).
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment in bytes for all kernel-facing buffers (one x86 cache line;
+/// also the AVX-512 vector width).
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-capacity, 64-byte-aligned, zero-initialized `f32` buffer.
+///
+/// Unlike `Vec<f32>` the allocation is guaranteed to start on a cache
+/// line. The length is fixed at construction; elements are mutated in
+/// place. This mirrors how the reference implementation allocates its
+/// dense operands once and reuses them across iterations.
+pub struct AlignedVec {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively; f32 is Send + Sync.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    /// Allocate `len` zeroed f32 values aligned to [`CACHE_LINE`] bytes.
+    ///
+    /// A zero-length buffer performs no allocation.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedVec { ptr: NonNull::dangling(), len: 0 };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has nonzero size because len > 0.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout);
+        };
+        AlignedVec { ptr, len }
+    }
+
+    /// Build from a slice, copying the contents into aligned storage.
+    pub fn from_slice(data: &[f32]) -> Self {
+        let mut v = Self::zeroed(data.len());
+        v.copy_from_slice(data);
+        v
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f32>(), CACHE_LINE)
+            .expect("aligned layout overflow")
+    }
+
+    /// Number of f32 elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reset every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+
+    /// View as an immutable slice.
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr is valid for len f32s for the life of self.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// View as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: ptr is valid for len f32s and we hold &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated with the identical layout in `zeroed`.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) }
+        }
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedVec {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedVec").field("len", &self.len).finish()
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_cache_line_aligned() {
+        for len in [1usize, 7, 16, 1000, 4096] {
+            let v = AlignedVec::zeroed(len);
+            assert_eq!(v.as_slice().as_ptr() as usize % CACHE_LINE, 0, "len={len}");
+            assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let v = AlignedVec::zeroed(513);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let v = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f32]);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        let v = AlignedVec::from_slice(&data);
+        assert_eq!(v.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedVec::from_slice(&[1.0, 2.0, 3.0]);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b[0], 1.0);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut v = AlignedVec::from_slice(&[1.0; 32]);
+        v.fill_zero();
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v = AlignedVec::zeroed(4);
+        v[2] = 42.0;
+        assert_eq!(v.as_slice(), &[0.0, 0.0, 42.0, 0.0]);
+    }
+}

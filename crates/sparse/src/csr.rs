@@ -1,0 +1,388 @@
+//! Compressed Sparse Row matrices — the FusedMM kernel input format.
+//!
+//! The kernel iterates `for each row u: for each v with a_uv != 0`, so the
+//! adjacency matrix is stored row-compressed: `rowptr[u]..rowptr[u+1]`
+//! delimits the column indices and values of row `u`. Column indices are
+//! kept sorted within each row (deterministic accumulation order, which
+//! the equivalence tests rely on).
+
+use crate::coo::{Coo, Dedup};
+use crate::csc::Csc;
+use crate::error::SparseError;
+
+/// An `m × n` sparse matrix in CSR form with `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from raw parts, validating every structure invariant.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, SparseError> {
+        if rowptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr has {} entries, expected nrows + 1 = {}",
+                rowptr.len(),
+                nrows + 1
+            )));
+        }
+        if rowptr[0] != 0 {
+            return Err(SparseError::InvalidStructure("rowptr[0] must be 0".into()));
+        }
+        if colidx.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "colidx ({}) and values ({}) lengths differ",
+                colidx.len(),
+                values.len()
+            )));
+        }
+        if *rowptr.last().unwrap() != colidx.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr[last] = {} but nnz = {}",
+                rowptr.last().unwrap(),
+                colidx.len()
+            )));
+        }
+        if rowptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::InvalidStructure("rowptr not monotone".into()));
+        }
+        for (i, &c) in colidx.iter().enumerate() {
+            if c >= ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: rowptr.partition_point(|&p| p <= i).saturating_sub(1),
+                    col: c,
+                    nrows,
+                    ncols,
+                });
+            }
+        }
+        Ok(Csr { nrows, ncols, rowptr, colidx, values })
+    }
+
+    /// An empty matrix with no stored entries.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csr { nrows, ncols, rowptr: vec![0; nrows + 1], colidx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Compress a COO matrix, merging duplicates and sorting each row's
+    /// columns ascending.
+    pub fn from_coo(coo: &Coo, dedup: Dedup) -> Self {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        // Counting sort by row.
+        let mut counts = vec![0usize; nrows + 1];
+        for &(r, _, _) in coo.entries() {
+            counts[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order = counts.clone();
+        let nnz_raw = coo.nnz();
+        let mut colidx = vec![0usize; nnz_raw];
+        let mut values = vec![0f32; nnz_raw];
+        for &(r, c, v) in coo.entries() {
+            let slot = order[r];
+            colidx[slot] = c;
+            values[slot] = v;
+            order[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_rowptr = vec![0usize; nrows + 1];
+        let mut out_col = Vec::with_capacity(nnz_raw);
+        let mut out_val = Vec::with_capacity(nnz_raw);
+        let mut scratch: Vec<(usize, f32)> = Vec::new();
+        for r in 0..nrows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            scratch.clear();
+            scratch.extend(colidx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            // Stable sort so Dedup::Last keeps the final occurrence.
+            scratch.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    match dedup {
+                        Dedup::Sum => v += scratch[j].1,
+                        Dedup::Last => v = scratch[j].1,
+                    }
+                    j += 1;
+                }
+                out_col.push(c);
+                out_val.push(v);
+                i = j;
+            }
+            out_rowptr[r + 1] = out_col.len();
+        }
+        Csr { nrows, ncols, rowptr: out_rowptr, colidx: out_col, values: out_val }
+    }
+
+    /// Number of rows (`m`).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (`n`).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// The row pointer array (`nrows + 1` entries, first 0, last `nnz`).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// All column indices, row-major.
+    pub fn colidx(&self) -> &[usize] {
+        &self.colidx
+    }
+
+    /// All values, row-major.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable values (structure stays fixed).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Number of nonzeros in row `u` (its out-degree).
+    pub fn row_nnz(&self, u: usize) -> usize {
+        self.rowptr[u + 1] - self.rowptr[u]
+    }
+
+    /// The `(column, value)` pairs of row `u`.
+    pub fn row(&self, u: usize) -> (&[usize], &[f32]) {
+        let lo = self.rowptr[u];
+        let hi = self.rowptr[u + 1];
+        (&self.colidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterate `(row, col, value)` over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Look up a single entry (binary search within the row).
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&col).ok().map(|i| vals[i])
+    }
+
+    /// Average number of nonzeros per row (the graph's average degree δ).
+    pub fn avg_degree(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Maximum row nnz (maximum degree).
+    pub fn max_degree(&self) -> usize {
+        (0..self.nrows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+
+    /// Convert back to COO triples.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        coo
+    }
+
+    /// Column-compress (transpose the storage layout without transposing
+    /// the matrix).
+    pub fn to_csc(&self) -> Csc {
+        Csc::from_csr(self)
+    }
+
+    /// The transposed matrix, in CSR form.
+    pub fn transpose(&self) -> Csr {
+        let t = self.to_coo().transpose();
+        Csr::from_coo(&t, Dedup::Sum)
+    }
+
+    /// Bytes of storage per the paper's model: 12 bytes per nonzero plus
+    /// the row-pointer array.
+    pub fn storage_bytes(&self) -> usize {
+        crate::BYTES_PER_NNZ * self.nnz() + 8 * (self.nrows + 1)
+    }
+
+    /// Replace every stored value with `v` (e.g. 1.0 for an unweighted
+    /// adjacency matrix).
+    pub fn fill_values(&mut self, v: f32) {
+        self.values.fill(v);
+    }
+
+    /// Scale row `u`'s values by `s` — used to build the symmetric-
+    /// normalized adjacency `D^{-1/2} A D^{-1/2}` for GCN.
+    pub fn scale_row(&mut self, u: usize, s: f32) {
+        let lo = self.rowptr[u];
+        let hi = self.rowptr[u + 1];
+        for v in &mut self.values[lo..hi] {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        Csr::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_parts_accepts_valid() {
+        let m = small();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_rowptr_len() {
+        let r = Csr::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(matches!(r, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn from_parts_rejects_nonmonotone_rowptr() {
+        let r = Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(r, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn from_parts_rejects_col_out_of_range() {
+        let r = Csr::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]);
+        assert!(matches!(r, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn from_parts_rejects_len_mismatch() {
+        let r = Csr::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]);
+        assert!(matches!(r, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn get_finds_entries() {
+        let m = small();
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(2, 1), Some(4.0));
+    }
+
+    #[test]
+    fn coo_round_trip_preserves_entries() {
+        let m = small();
+        let back = m.to_coo().to_csr(Dedup::Sum);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.0);
+        c.push(0, 1, 2.5);
+        let m = c.to_csr(Dedup::Sum);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), Some(3.5));
+    }
+
+    #[test]
+    fn from_coo_last_keeps_final() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.0);
+        c.push(0, 1, 2.5);
+        let m = c.to_csr(Dedup::Last);
+        assert_eq!(m.get(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn from_coo_sorts_columns() {
+        let mut c = Coo::new(1, 5);
+        c.push(0, 4, 4.0);
+        c.push(0, 1, 1.0);
+        c.push(0, 3, 3.0);
+        let m = c.to_csr(Dedup::Sum);
+        assert_eq!(m.row(0).0, &[1, 3, 4]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = small();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(0, 2), Some(3.0));
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let m = small();
+        assert!((m.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max_degree(), 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csr::empty(4, 7);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.max_degree(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn scale_row_multiplies_only_that_row() {
+        let mut m = small();
+        m.scale_row(0, 10.0);
+        assert_eq!(m.get(0, 0), Some(10.0));
+        assert_eq!(m.get(2, 0), Some(3.0));
+    }
+
+    #[test]
+    fn fill_values_sets_all() {
+        let mut m = small();
+        m.fill_values(1.0);
+        assert!(m.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn storage_matches_paper_model() {
+        let m = small();
+        assert_eq!(m.storage_bytes(), 12 * 4 + 8 * 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Row-major dense matrices over cache-aligned storage.
+//!
+//! `X` (m × d), `Y` (n × d) and `Z` (m × d) in the paper are dense
+//! feature matrices whose rows are the per-vertex feature vectors. Rows
+//! are contiguous so a kernel loads `x_u = X[u, :]` as one streaming
+//! slice.
+
+use crate::aligned::AlignedVec;
+use crate::error::SparseError;
+
+/// A dense `rows × cols` matrix of `f32`, row-major, 64-byte aligned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: AlignedVec,
+}
+
+impl Dense {
+    /// All-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense { nrows, ncols, data: AlignedVec::zeroed(nrows * ncols) }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(nrows: usize, ncols: usize, v: f32) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        m.data.as_mut_slice().fill(v);
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(nrows: usize, ncols: usize, data: &[f32]) -> Result<Self, SparseError> {
+        if data.len() != nrows * ncols {
+            return Err(SparseError::ShapeMismatch {
+                expected: format!("{} values for a {}x{} matrix", nrows * ncols, nrows, ncols),
+                found: format!("{} values", data.len()),
+            });
+        }
+        Ok(Dense { nrows, ncols, data: AlignedVec::from_slice(data) })
+    }
+
+    /// Build by calling `f(row, col)` for each element.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                m.data[r * ncols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (the embedding dimension `d` for feature
+    /// matrices).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row `r` as a slice of length `ncols`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.nrows);
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.nrows);
+        let c = self.ncols;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Single element.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.ncols + c]
+    }
+
+    /// Set a single element.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// The full backing slice, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Split into disjoint mutable row bands `[0, split)` and
+    /// `[split, nrows)` — this is how 1D-partitioned threads get
+    /// non-overlapping writable views of `Z`.
+    pub fn split_rows_mut(&mut self, split: usize) -> (&mut [f32], &mut [f32]) {
+        self.data.as_mut_slice().split_at_mut(split * self.ncols)
+    }
+
+    /// Reset all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill_zero();
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute elementwise difference against another matrix of the
+    /// same shape. Used pervasively by the fused-vs-unfused tests.
+    pub fn max_abs_diff(&self, other: &Dense) -> f32 {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "max_abs_diff requires identical shapes"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Max relative elementwise difference `|a-b| / max(1, |a|, |b|)`.
+    pub fn max_rel_diff(&self, other: &Dense) -> f32 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs() / 1f32.max(a.abs()).max(b.abs()))
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Row-major matrix product `self (r×k) × other (k×c) -> (r×c)`.
+    /// A straightforward i-k-j triple loop; used by the dense baselines
+    /// and the GCN weight multiply, not by the sparse kernels.
+    pub fn matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.ncols, other.nrows, "matmul inner dimensions must agree");
+        let mut out = Dense::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes of storage (4 bytes per single-precision element).
+    pub fn storage_bytes(&self) -> usize {
+        4 * self.nrows * self.ncols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Dense::zeros(3, 5);
+        assert_eq!((m.nrows(), m.ncols()), (3, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Dense::from_rows(2, 2, &[1.0, 2.0, 3.0]).is_err());
+        assert!(Dense::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).is_ok());
+    }
+
+    #[test]
+    fn row_access_is_contiguous() {
+        let m = Dense::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn from_fn_indexes_correctly() {
+        let m = Dense::from_fn(3, 4, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn split_rows_mut_is_disjoint() {
+        let mut m = Dense::zeros(4, 2);
+        let (top, bottom) = m.split_rows_mut(1);
+        assert_eq!(top.len(), 2);
+        assert_eq!(bottom.len(), 6);
+        top[0] = 1.0;
+        bottom[5] = 2.0;
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(3, 1), 2.0);
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Dense::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Dense::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Dense::zeros(2, 3);
+        let b = Dense::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = Dense::from_rows(1, 2, &[1.0, 2.0]).unwrap();
+        let b = Dense::from_rows(1, 2, &[1.5, 2.0]).unwrap();
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+        assert!(a.max_rel_diff(&a) == 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Dense::from_rows(1, 2, &[3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_cache_aligned_when_d_multiple_of_16() {
+        let m = Dense::zeros(8, 16);
+        for r in 0..8 {
+            assert_eq!(m.row(r).as_ptr() as usize % 64, 0);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared across the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or converting matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index is outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected relationship.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// A CSR/CSC structure invariant is violated (row pointers not
+    /// monotone, lengths inconsistent, ...).
+    InvalidStructure(String),
+    /// A file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying IO failure, flattened to a string so the error stays `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            SparseError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 3, ncols: 4 };
+        let s = e.to_string();
+        assert!(s.contains("(5, 7)"));
+        assert!(s.contains("3x4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

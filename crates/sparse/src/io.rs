@@ -1,0 +1,294 @@
+//! Matrix Market and edge-list readers/writers.
+//!
+//! The paper's datasets come from networkrepository.com and the
+//! SuiteSparse collection, both of which distribute Matrix Market
+//! (`.mtx`) files; many graph tools exchange whitespace-separated edge
+//! lists. Both formats are supported so the benchmark harness can also
+//! run on real downloads when they are available.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::coo::{Coo, Dedup};
+use crate::csr::Csr;
+use crate::error::SparseError;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// Every entry is stored explicitly.
+    General,
+    /// Only the lower triangle is stored; mirror entries are implied.
+    Symmetric,
+}
+
+/// Parse a Matrix Market coordinate file from any reader.
+///
+/// Supports `real`, `integer` and `pattern` fields with `general` or
+/// `symmetric` symmetry. `pattern` entries get value 1.0. Indices in the
+/// file are 1-based per the format specification.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse { line: 1, message: "empty file".into() })?;
+    let header = header?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse { line: 1, message: "missing %%MatrixMarket header".into() });
+    }
+    if !h.contains("coordinate") {
+        return Err(SparseError::Parse {
+            line: 1,
+            message: "only coordinate (sparse) format is supported".into(),
+        });
+    }
+    let pattern = h.contains("pattern");
+    let symmetry =
+        if h.contains("symmetric") { MmSymmetry::Symmetric } else { MmSymmetry::General };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for (idx, line) in &mut lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((idx + 1, t.to_string()));
+        break;
+    }
+    let (size_lineno, size_line) = size_line
+        .ok_or_else(|| SparseError::Parse { line: 0, message: "missing size line".into() })?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|_| SparseError::Parse {
+                line: size_lineno,
+                message: format!("bad size token {t:?}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: size_lineno,
+            message: "size line must be `rows cols nnz`".into(),
+        });
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == MmSymmetry::Symmetric { 2 * nnz } else { nnz },
+    );
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let lineno = idx + 1;
+        let parse_idx = |tok: Option<&str>| -> Result<usize, SparseError> {
+            tok.ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                message: "missing index token".into(),
+            })?
+            .parse::<usize>()
+            .map_err(|_| SparseError::Parse { line: lineno, message: "bad index token".into() })
+        };
+        let r1 = parse_idx(toks.next())?;
+        let c1 = parse_idx(toks.next())?;
+        if r1 == 0 || c1 == 0 || r1 > nrows || c1 > ncols {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("index ({r1}, {c1}) outside 1..={nrows} x 1..={ncols}"),
+            });
+        }
+        let v = if pattern {
+            1.0
+        } else {
+            toks.next()
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    message: "missing value token".into(),
+                })?
+                .parse::<f32>()
+                .map_err(|_| SparseError::Parse {
+                    line: lineno,
+                    message: "bad value token".into(),
+                })?
+        };
+        let (r, c) = (r1 - 1, c1 - 1);
+        coo.push(r, c, v);
+        if symmetry == MmSymmetry::Symmetric && r != c {
+            coo.push(c, r, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: 0,
+            message: format!("header declared {nnz} entries, found {seen}"),
+        });
+    }
+    Ok(coo)
+}
+
+/// Read a Matrix Market file from disk and compress to CSR.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<Csr, SparseError> {
+    let f = std::fs::File::open(path)?;
+    Ok(read_matrix_market(f)?.to_csr(Dedup::Sum))
+}
+
+/// Write a CSR matrix in Matrix Market `general real` coordinate format.
+pub fn write_matrix_market<W: Write>(w: &mut W, m: &Csr) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Parse a whitespace-separated edge list (`u v [weight]` per line,
+/// 0-based, `#`/`%` comments). Vertex count is `max id + 1` unless a
+/// larger `min_vertices` is given.
+pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Coo, SparseError> {
+    let mut edges: Vec<(usize, usize, f32)> = Vec::new();
+    let mut max_id = 0usize;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let lineno = idx + 1;
+        let u: usize = toks
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| SparseError::Parse { line: lineno, message: "bad source id".into() })?;
+        let v: usize = toks
+            .next()
+            .ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                message: "missing target id".into(),
+            })?
+            .parse()
+            .map_err(|_| SparseError::Parse { line: lineno, message: "bad target id".into() })?;
+        let w: f32 = match toks.next() {
+            Some(t) => t.parse().map_err(|_| SparseError::Parse {
+                line: lineno,
+                message: "bad weight".into(),
+            })?,
+            None => 1.0,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = min_vertices.max(if edges.is_empty() { 0 } else { max_id + 1 });
+    Coo::from_entries(n, n, edges)
+}
+
+/// Write an edge list (`u v weight` per line, 0-based).
+pub fn write_edge_list<W: Write>(w: &mut W, m: &Csr) -> Result<(), SparseError> {
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{r} {c} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_market_round_trip() {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 1, 1.5);
+        c.push(2, 0, -2.0);
+        let m = c.to_csr(Dedup::Sum);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap().to_csr(Dedup::Sum);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn symmetric_mirror_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        let m = coo.to_csr(Dedup::Sum);
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.get(0, 1), Some(5.0));
+        // diagonal not duplicated
+        assert_eq!(m.get(2, 2), Some(1.0));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn pattern_entries_get_unit_value() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap().to_csr(Dedup::Sum);
+        assert_eq!(m.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% another\n1 1 3.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap().to_csr(Dedup::Sum);
+        assert_eq!(m.get(0, 0), Some(3.0));
+    }
+
+    #[test]
+    fn header_mismatch_is_error() {
+        let text = "not a header\n2 2 1\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_count_is_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_index_is_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let mut c = Coo::new(4, 4);
+        c.push(0, 3, 1.0);
+        c.push(2, 1, 0.5);
+        let m = c.to_csr(Dedup::Sum);
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &m).unwrap();
+        let back = read_edge_list(&buf[..], 4).unwrap().to_csr(Dedup::Sum);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn edge_list_default_weight_and_comments() {
+        let text = "# comment\n0 1\n1 2 2.5\n";
+        let m = read_edge_list(text.as_bytes(), 0).unwrap().to_csr(Dedup::Sum);
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 2), Some(2.5));
+        assert_eq!(m.nrows(), 3);
+    }
+
+    #[test]
+    fn min_vertices_pads_shape() {
+        let text = "0 1\n";
+        let coo = read_edge_list(text.as_bytes(), 10).unwrap();
+        assert_eq!(coo.nrows(), 10);
+    }
+}

@@ -1,0 +1,67 @@
+//! GCN forward pass over the SpMM specialization (paper Fig. 1c).
+//!
+//! Builds a two-layer GCN, normalizes the adjacency matrix, and runs
+//! inference on a planted-partition graph — then shows that even an
+//! *untrained* GCN's aggregated features separate communities better
+//! than raw features, because aggregation smooths over homophilous
+//! neighborhoods.
+//!
+//! Run: `cargo run --release --example gcn_inference`
+
+use fusedmm::apps::gcn::{normalize_adjacency, Gcn2};
+use fusedmm::prelude::*;
+
+/// Mean intra-class minus inter-class cosine similarity of rows.
+fn separation(features: &Dense, labels: &[usize]) -> f64 {
+    let n = features.nrows();
+    let norm = |r: &[f32]| r.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt().max(1e-12);
+    let (mut intra, mut inter, mut ni, mut nx) = (0.0f64, 0.0f64, 0usize, 0usize);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dot: f64 = features
+                .row(u)
+                .iter()
+                .zip(features.row(v))
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum();
+            let cos = dot / (norm(features.row(u)) * norm(features.row(v)));
+            if labels[u] == labels[v] {
+                intra += cos;
+                ni += 1;
+            } else {
+                inter += cos;
+                nx += 1;
+            }
+        }
+    }
+    intra / ni as f64 - inter / nx as f64
+}
+
+fn main() {
+    let g = planted_partition(150, 3, 10.0, 1.0, 8);
+    println!("graph: {} vertices, {} edges, 3 communities", g.adj.nrows(), g.adj.nnz());
+
+    // Â = D^{-1/2}(A + I)D^{-1/2}
+    let a_norm = normalize_adjacency(&g.adj);
+    println!("normalized adjacency: {} nonzeros (self loops added)", a_norm.nnz());
+
+    // Random input features; 2-layer GCN 32 -> 16 -> 3.
+    let x = random_features(g.adj.nrows(), 32, 0.5, 5);
+    let net = Gcn2::new(32, 16, 3, 99);
+    let t0 = std::time::Instant::now();
+    let logits = net.forward(&a_norm, &x);
+    println!(
+        "forward pass: {:.3} ms, logits shape {}x{}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        logits.nrows(),
+        logits.ncols()
+    );
+
+    // Aggregation-induced separation (no training needed to see it).
+    let hidden = net.layer1.forward(&a_norm, &x);
+    let raw = separation(&x, &g.labels);
+    let agg = separation(&hidden, &g.labels);
+    println!("community separation (cosine): raw features {raw:.4}, after GCN layer {agg:.4}");
+    assert!(agg > raw, "aggregation should increase class separation on a homophilous graph");
+    println!("OK: neighborhood aggregation sharpens community structure.");
+}

@@ -1,0 +1,78 @@
+//! Integration checks on the dataset registry: every Table V stand-in
+//! can be generated (at test scale), matches its spec's average degree,
+//! and feeds the kernel without shape trouble.
+
+use fusedmm::prelude::*;
+
+/// Small per-dataset scales so the full registry stays fast in CI.
+fn test_scale(ds: Dataset) -> f64 {
+    match ds {
+        Dataset::Cora => 0.5,
+        Dataset::Harvard => 0.02,
+        Dataset::Pubmed => 0.1,
+        Dataset::Flickr => 0.01,
+        Dataset::Ogbprotein => 0.002,
+        Dataset::Amazon => 0.003,
+        Dataset::Youtube => 0.001,
+        Dataset::Orkut => 0.0005,
+    }
+}
+
+#[test]
+fn every_standin_generates_and_matches_degree() {
+    for ds in Dataset::all() {
+        let g = ds.standin_scaled(test_scale(ds));
+        assert!(g.nrows() > 0, "{ds}: empty stand-in");
+        let got = g.avg_degree();
+        let want = ds.target_degree(g.nrows());
+        assert!(
+            (got - want).abs() / want < 0.35,
+            "{ds}: avg degree {got:.2} vs paper {want:.2}"
+        );
+    }
+}
+
+#[test]
+fn every_standin_runs_through_the_kernel() {
+    let ops = OpSet::sigmoid_embedding(None);
+    for ds in Dataset::all() {
+        let g = ds.standin_scaled(test_scale(ds));
+        let d = 16;
+        let x = random_features(g.nrows(), d, 0.5, 1);
+        let y = random_features(g.ncols(), d, 0.5, 2);
+        let z = fusedmm_opt(&g, &x, &y, &ops);
+        assert_eq!(z.nrows(), g.nrows(), "{ds}");
+        assert!(z.as_slice().iter().all(|v| v.is_finite()), "{ds}: non-finite output");
+    }
+}
+
+#[test]
+fn labeled_standins_are_assortative() {
+    for ds in [Dataset::Cora, Dataset::Pubmed] {
+        let g = ds.labeled_standin(test_scale(ds)).unwrap();
+        assert_eq!(g.k, ds.num_classes().unwrap());
+        assert!(
+            g.within_community_edge_fraction() > 0.6,
+            "{ds}: within fraction {}",
+            g.within_community_edge_fraction()
+        );
+    }
+}
+
+#[test]
+fn specs_are_the_paper_table() {
+    // Spot-check the Table V constants (full table asserted in unit
+    // tests of the graph crate).
+    assert_eq!(Dataset::Youtube.spec().vertices, 1_138_499);
+    assert_eq!(Dataset::Harvard.spec().edges, 824_617);
+    assert!((Dataset::Ogbprotein.spec().avg_degree - 597.0).abs() < 1e-9);
+}
+
+#[test]
+fn standins_differ_across_datasets() {
+    let a = Dataset::Youtube.standin_scaled(0.001);
+    let b = Dataset::Amazon.standin_scaled(0.003);
+    assert_ne!(a.nnz(), 0);
+    assert_ne!(b.nnz(), 0);
+    assert_ne!((a.nrows(), a.nnz()), (b.nrows(), b.nnz()));
+}

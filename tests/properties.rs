@@ -1,0 +1,153 @@
+//! Property-based tests on the substrate invariants DESIGN.md lists:
+//! format round-trips, PART1D balance, SIMD-vs-scalar agreement, and
+//! generator guarantees.
+
+use proptest::prelude::*;
+
+use fusedmm::kernel::part::{Partition, PartitionStrategy};
+use fusedmm::kernel::simd;
+use fusedmm::prelude::*;
+use fusedmm::sparse::slice::slice_rows;
+
+/// Strategy: a random COO matrix with shape up to 40×40.
+fn arb_coo() -> impl Strategy<Value = Coo> {
+    (2usize..40, 2usize..40).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r, 0..c, -5.0f32..5.0), 0..120)
+            .prop_map(move |entries| Coo::from_entries(r, c, entries).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_coo_round_trip(coo in arb_coo()) {
+        let csr = coo.to_csr(Dedup::Sum);
+        let back = csr.to_coo().to_csr(Dedup::Sum);
+        prop_assert_eq!(&csr, &back);
+    }
+
+    #[test]
+    fn csc_round_trip(coo in arb_coo()) {
+        let csr = coo.to_csr(Dedup::Sum);
+        prop_assert_eq!(&csr.to_csc().to_csr(), &csr);
+    }
+
+    #[test]
+    fn transpose_involutive(coo in arb_coo()) {
+        let csr = coo.to_csr(Dedup::Sum);
+        prop_assert_eq!(&csr.transpose().transpose(), &csr);
+    }
+
+    #[test]
+    fn rows_sorted_and_in_range(coo in arb_coo()) {
+        let csr = coo.to_csr(Dedup::Sum);
+        for u in 0..csr.nrows() {
+            let (cols, _) = csr.row(u);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {u} not strictly sorted");
+            prop_assert!(cols.iter().all(|&c| c < csr.ncols()));
+        }
+    }
+
+    #[test]
+    fn dedup_sum_preserves_total_mass(coo in arb_coo()) {
+        let raw_sum: f64 = coo.entries().iter().map(|&(_, _, v)| v as f64).sum();
+        let csr = coo.to_csr(Dedup::Sum);
+        let csr_sum: f64 = csr.values().iter().map(|&v| v as f64).sum();
+        prop_assert!((raw_sum - csr_sum).abs() < 1e-3);
+    }
+
+    #[test]
+    fn part1d_covers_rows_and_balances(
+        coo in arb_coo(),
+        parts in 1usize..12,
+    ) {
+        let csr = coo.to_csr(Dedup::Sum);
+        let p = Partition::part1d(&csr, parts, PartitionStrategy::NnzBalanced);
+        // coverage: contiguous, complete
+        prop_assert_eq!(p.boundaries()[0], 0);
+        prop_assert_eq!(*p.boundaries().last().unwrap(), csr.nrows());
+        let covered: usize = (0..p.len()).map(|i| p.rows(i).len()).sum();
+        prop_assert_eq!(covered, csr.nrows());
+        // balance: each part within ideal + heaviest row
+        if csr.nnz() > 0 {
+            let ideal = csr.nnz() as f64 / p.len() as f64;
+            for i in 0..p.len() {
+                prop_assert!(
+                    p.part_nnz(&csr, i) as f64 <= ideal + csr.max_degree() as f64 + 1.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_slice_preserves_entries(coo in arb_coo(), pick in proptest::collection::vec(0usize..1000, 1..10)) {
+        let csr = coo.to_csr(Dedup::Sum);
+        let vertices: Vec<usize> = pick.into_iter().map(|p| p % csr.nrows()).collect();
+        let mb = slice_rows(&csr, &vertices);
+        for (i, &u) in vertices.iter().enumerate() {
+            prop_assert_eq!(mb.adj.row(i), csr.row(u), "slice row {} != source row {}", i, u);
+        }
+    }
+
+    #[test]
+    fn simd_dot_axpy_sqdist_match_scalar(
+        x in proptest::collection::vec(-3.0f32..3.0, 1..64),
+        seed in 0u64..100,
+    ) {
+        let n = x.len();
+        let y: Vec<f32> = (0..n).map(|i| ((i as u64 * 31 + seed) % 13) as f32 * 0.3 - 1.5).collect();
+        let dot_scalar: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert!((simd::dot(&x, &y) - dot_scalar).abs() < 1e-2);
+
+        let sq_scalar: f32 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+        prop_assert!((simd::sqdist(&x, &y) - sq_scalar).abs() < 1e-2);
+
+        let mut z = vec![0.5f32; n];
+        let mut z_ref = z.clone();
+        simd::axpy(0.7, &y, &mut z);
+        for (zr, &yi) in z_ref.iter_mut().zip(&y) { *zr += 0.7 * yi; }
+        for (a, b) in z.iter().zip(&z_ref) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_invariants(n in 4usize..60, seed in 0u64..50) {
+        let m = n; // sparse enough
+        let g = erdos_renyi(n, m, seed);
+        prop_assert_eq!(g.nnz(), 2 * m);
+        for (r, c, v) in g.iter() {
+            prop_assert_ne!(r, c);
+            prop_assert_eq!(v, 1.0);
+            prop_assert_eq!(g.get(c, r), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn rmat_respects_bounds(n in 16usize..200, seed in 0u64..50) {
+        let g = rmat(&RmatConfig::new(n, 2 * n).with_seed(seed));
+        prop_assert_eq!(g.nrows(), n);
+        for (r, c, _) in g.iter() {
+            prop_assert!(r < n && c < n && r != c);
+        }
+    }
+
+    #[test]
+    fn sigmoid_lut_error_bound(resolution in 64usize..4096) {
+        let lut = SigmoidLut::new(8.0, resolution);
+        // nearest-entry lookup error <= step * max-slope (1/4) + eps
+        let step = 16.0 / (resolution - 1) as f32;
+        prop_assert!(lut.max_error_within_bound() <= step * 0.25 + 1e-4);
+    }
+}
+
+#[test]
+fn matrix_market_round_trip_on_random_graph() {
+    use fusedmm::sparse::io::{read_matrix_market, write_matrix_market};
+    let g = rmat(&RmatConfig::new(64, 200).with_seed(8));
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, &g).unwrap();
+    let back = read_matrix_market(&buf[..]).unwrap().to_csr(Dedup::Sum);
+    assert_eq!(back, g);
+}
