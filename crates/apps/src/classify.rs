@@ -180,11 +180,8 @@ mod tests {
 
     #[test]
     fn untrained_model_is_uniform() {
-        let model = SoftmaxRegression {
-            weights: Dense::zeros(4, 3),
-            bias: vec![0.0; 4],
-            nclasses: 4,
-        };
+        let model =
+            SoftmaxRegression { weights: Dense::zeros(4, 3), bias: vec![0.0; 4], nclasses: 4 };
         let mut probs = vec![0f32; 4];
         model.predict_proba(&[1.0, 2.0, 3.0], &mut probs);
         assert!(probs.iter().all(|&p| (p - 0.25).abs() < 1e-6));
@@ -194,12 +191,6 @@ mod tests {
     #[should_panic(expected = "one label per feature row")]
     fn label_count_mismatch_panics() {
         let feats = Dense::zeros(3, 2);
-        let _ = SoftmaxRegression::train(
-            &feats,
-            &[0, 1],
-            &[0],
-            2,
-            &ClassifierConfig::default(),
-        );
+        let _ = SoftmaxRegression::train(&feats, &[0, 1], &[0], 2, &ClassifierConfig::default());
     }
 }

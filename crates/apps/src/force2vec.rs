@@ -328,9 +328,7 @@ mod tests {
     fn rectangular_adjacency_rejected() {
         let mut c = fusedmm_sparse::Coo::new(2, 3);
         c.push(0, 2, 1.0);
-        let _ = Force2Vec::new(
-            c.to_csr(fusedmm_sparse::coo::Dedup::Last),
-            tiny_cfg(Backend::Fused),
-        );
+        let _ =
+            Force2Vec::new(c.to_csr(fusedmm_sparse::coo::Dedup::Last), tiny_cfg(Backend::Fused));
     }
 }

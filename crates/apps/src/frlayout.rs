@@ -84,8 +84,7 @@ impl FrLayout {
     /// neighbors. The `MUL` set sums `h·x_v`, the `NOOP` set sums `h`.
     fn attract_ops(alpha: f32) -> (OpSet, OpSet) {
         let mul = OpSet::fr_model(alpha);
-        let broadcast =
-            OpSet::custom(VOp::Sub, ROp::Norm, SOp::Scale(alpha), MOp::Noop, AOp::Sum);
+        let broadcast = OpSet::custom(VOp::Sub, ROp::Norm, SOp::Scale(alpha), MOp::Noop, AOp::Sum);
         (mul, broadcast)
     }
 

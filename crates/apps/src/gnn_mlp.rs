@@ -86,8 +86,7 @@ mod tests {
         let x = Dense::filled(5, 4, 0.3);
         let z = layer.forward(&graph(), &x);
         for (r, row) in (0..5).map(|r| (r, z.row(r))) {
-            let max_w: f32 =
-                graph().row(r).1.iter().copied().fold(0.0, f32::max);
+            let max_w: f32 = graph().row(r).1.iter().copied().fold(0.0, f32::max);
             for &v in row {
                 assert!(v >= 0.0 && v <= max_w + 1e-6, "row {r} value {v} out of range");
             }

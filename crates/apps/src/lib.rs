@@ -30,5 +30,5 @@ pub use classify::SoftmaxRegression;
 pub use force2vec::{Backend, Force2Vec, Force2VecConfig};
 pub use frlayout::{FrLayout, FrLayoutConfig};
 pub use gcn::{normalize_adjacency, GcnLayer};
-pub use sage::{row_normalize, SageLayer};
 pub use metrics::{accuracy, f1_macro, f1_micro};
+pub use sage::{row_normalize, SageLayer};

@@ -34,7 +34,8 @@ impl NegativeSampler {
     /// minibatch: row `i` holds `per_vertex` sampled non-self targets
     /// for `batch[i]` (unit values; duplicates merged).
     pub fn sample_batch(&mut self, batch: &[usize]) -> Csr {
-        let mut coo = Coo::with_capacity(batch.len(), self.nvertices, batch.len() * self.per_vertex);
+        let mut coo =
+            Coo::with_capacity(batch.len(), self.nvertices, batch.len() * self.per_vertex);
         for (i, &u) in batch.iter().enumerate() {
             let mut placed = 0;
             while placed < self.per_vertex {

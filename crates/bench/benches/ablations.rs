@@ -66,9 +66,7 @@ fn bench_partition_strategy(c: &mut Criterion) {
         ("row_balanced", PartitionStrategy::RowBalanced),
     ] {
         g.bench_with_input(BenchmarkId::new("embedding", name), &strategy, |b, &s| {
-            b.iter(|| {
-                black_box(fusedmm_opt_with(&adj, &x, &y, &ops, Blocking::Auto, None, s))
-            });
+            b.iter(|| black_box(fusedmm_opt_with(&adj, &x, &y, &ops, Blocking::Auto, None, s)));
         });
     }
     g.finish();
@@ -111,10 +109,5 @@ fn bench_sigmoid_lut(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_register_blocking,
-    bench_partition_strategy,
-    bench_sigmoid_lut
-);
+criterion_group!(benches, bench_register_blocking, bench_partition_strategy, bench_sigmoid_lut);
 criterion_main!(benches);

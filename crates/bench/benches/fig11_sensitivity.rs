@@ -9,9 +9,9 @@ use std::time::Duration;
 use fusedmm_baseline::unfused::unfused_pipeline;
 use fusedmm_bench::workloads::kernel_workload_scaled;
 use fusedmm_core::fusedmm_opt;
+use fusedmm_graph::datasets::Dataset;
 use fusedmm_graph::features::random_features;
 use fusedmm_graph::rmat::{rmat, RmatConfig};
-use fusedmm_graph::datasets::Dataset;
 use fusedmm_ops::OpSet;
 
 fn bench_degree_sweep(c: &mut Criterion) {

@@ -18,8 +18,7 @@ fn main() {
     let epochs = env_usize("FUSEDMM_EPOCHS", 60);
     println!("§V-D accuracy reproduction — F1-micro, Force2Vec embeddings (d=128)\n");
     let mut table = Table::new(&["Graph", "Backend", "F1-micro", "paper"]);
-    for (ds, default_scale, paper_f1) in
-        [(Dataset::Cora, 1.0, 0.78), (Dataset::Pubmed, 0.25, 0.79)]
+    for (ds, default_scale, paper_f1) in [(Dataset::Cora, 1.0, 0.78), (Dataset::Pubmed, 0.25, 0.79)]
     {
         let scale = env_f64("FUSEDMM_SCALE", 1.0) * default_scale;
         let g = ds.labeled_standin(scale).expect("labeled dataset");

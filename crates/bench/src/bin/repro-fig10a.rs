@@ -9,9 +9,9 @@
 //!
 //! Run: `cargo run --release --bin repro-fig10a`
 
+use fusedmm_baseline::unfused::unfused_pipeline;
 use fusedmm_bench::report::Table;
 use fusedmm_bench::workloads::{describe, kernel_workload, reps};
-use fusedmm_baseline::unfused::unfused_pipeline;
 use fusedmm_core::fusedmm_opt;
 use fusedmm_graph::datasets::Dataset;
 use fusedmm_ops::OpSet;
@@ -32,13 +32,8 @@ fn main() {
         threads.push(next);
     }
 
-    let mut table = Table::new(&[
-        "Threads",
-        "FusedMM (s)",
-        "FusedMM speedup",
-        "DGL (s)",
-        "DGL speedup",
-    ]);
+    let mut table =
+        Table::new(&["Threads", "FusedMM (s)", "FusedMM speedup", "DGL (s)", "DGL speedup"]);
     let mut base_fused = 0.0f64;
     let mut base_dgl = 0.0f64;
     for &t in &threads {

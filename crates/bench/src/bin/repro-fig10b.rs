@@ -25,13 +25,8 @@ const DIMS: [usize; 5] = [16, 32, 64, 128, 256];
 fn main() {
     println!("Fig. 10(b) reproduction — FR-model memory (MB) vs dimension, Ogbprot. stand-in\n");
     let ops = OpSet::fr_model(1.0);
-    let mut table = Table::new(&[
-        "d",
-        "DGL peak (MB)",
-        "DGL model (MB)",
-        "FusedMM peak (MB)",
-        "ratio",
-    ]);
+    let mut table =
+        Table::new(&["d", "DGL peak (MB)", "DGL model (MB)", "FusedMM peak (MB)", "ratio"]);
     for &d in &DIMS {
         let w = kernel_workload(Dataset::Ogbprotein, d);
         if d == DIMS[0] {

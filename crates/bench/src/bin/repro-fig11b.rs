@@ -22,12 +22,7 @@ fn main() {
         }
         let dgl = run_method(Method::Dgl, &w, &ops, r);
         let fused = run_method(Method::FusedMMOpt, &w, &ops, r);
-        table.row(vec![
-            d.to_string(),
-            fmt_cell(&dgl),
-            fmt_cell(&fused),
-            fmt_speedup(&dgl, &fused),
-        ]);
+        table.row(vec![d.to_string(), fmt_cell(&dgl), fmt_cell(&fused), fmt_speedup(&dgl, &fused)]);
     }
     table.print();
     println!("\nPaper shape to verify: both grow with d; FusedMM faster at every d");

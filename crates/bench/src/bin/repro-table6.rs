@@ -50,9 +50,8 @@ fn main() {
             }
             // Speedup row: FusedMMopt over DGL, like the paper.
             let mut cells = vec![ds.to_string(), "Speedup".to_string()];
-            cells.extend(
-                rows[0].iter().zip(rows[2].iter()).map(|(dgl, opt)| fmt_speedup(dgl, opt)),
-            );
+            cells
+                .extend(rows[0].iter().zip(rows[2].iter()).map(|(dgl, opt)| fmt_speedup(dgl, opt)));
             table.row(cells);
         }
         table.print();

@@ -20,10 +20,7 @@ fn main() {
 
     for (ds, default_scale) in [(Dataset::Cora, 1.0), (Dataset::Pubmed, 0.35)] {
         let scale = env_f64("FUSEDMM_SCALE", 1.0) * default_scale;
-        let g = ds
-            .labeled_standin(scale)
-            .expect("classification dataset")
-            .adj;
+        let g = ds.labeled_standin(scale).expect("classification dataset").adj;
         eprintln!("  workload: {}", GraphStats::compute(&g).table_row(&ds.to_string()));
         let mut per_epoch = Vec::new();
         for backend in [Backend::DenseTensor, Backend::Unfused, Backend::Fused] {

@@ -201,13 +201,10 @@ mod tests {
             OpSet::gcn(),
             OpSet::custom(VOp::Add, ROp::Max, SOp::Relu, MOp::Mul, AOp::Min),
         ] {
-            let par = fusedmm_generic_opts(&a, &x, &y, &ops, Some(3), PartitionStrategy::NnzBalanced);
+            let par =
+                fusedmm_generic_opts(&a, &x, &y, &ops, Some(3), PartitionStrategy::NnzBalanced);
             let refr = fusedmm_reference(&a, &x, &y, &ops);
-            assert!(
-                par.max_abs_diff(&refr) < 1e-6,
-                "pattern {:?} diverged",
-                ops.pattern
-            );
+            assert!(par.max_abs_diff(&refr) < 1e-6, "pattern {:?} diverged", ops.pattern);
         }
     }
 

@@ -48,8 +48,7 @@ impl SigmoidKind {
 }
 
 /// Row kernel signature for the sigmoid-embedding pattern.
-pub type EmbedRowKernel =
-    fn(&[f32], &[usize], &[f32], &Dense, &mut [f32], &SigmoidKind);
+pub type EmbedRowKernel = fn(&[f32], &[usize], &[f32], &Dense, &mut [f32], &SigmoidKind);
 /// Row kernel signature for the FR-model pattern (`alpha` = SCAL).
 pub type FrRowKernel = fn(&[f32], &[usize], &[f32], &Dense, &mut [f32], f32);
 /// Row kernel signature for the GCN/SpMM pattern.

@@ -21,7 +21,11 @@
 //!   (Auto blocking picks register blocking whenever generated);
 //! * [`fusedmm_generic`] — the flexible five-step kernel with no
 //!   specialization (the paper's unoptimized "FusedMM" row);
-//! * [`fusedmm_reference`] — slow sequential ground truth for tests.
+//! * [`fusedmm_reference`] — slow sequential ground truth for tests;
+//! * [`fusedmm_rows`] — row-subset execution (only the requested output
+//!   rows), the serving-path entry point;
+//! * [`Plan`] / [`PlanCache`] — the autotuner's per-call choice lifted
+//!   into an explicit, reusable plan object for serving engines.
 //!
 //! # Example
 //!
@@ -50,12 +54,16 @@ pub mod driver;
 pub mod generic;
 pub mod genkern;
 pub mod part;
+pub mod plan;
+pub mod rows;
 pub mod simd;
 
 pub use autotune::{global_tuner, Tuner};
 pub use dispatch::{fusedmm_opt, fusedmm_opt_with, specialize, Blocking, Specialized};
 pub use generic::{fusedmm_generic, fusedmm_generic_opts, fusedmm_reference};
 pub use part::{Partition, PartitionStrategy};
+pub use plan::{Plan, PlanCache};
+pub use rows::{fusedmm_rows, fusedmm_rows_with};
 
 use fusedmm_ops::OpSet;
 use fusedmm_sparse::csr::Csr;

@@ -1,0 +1,228 @@
+//! Explicit, shareable kernel execution plans.
+//!
+//! [`crate::fusedmm`] consults the measuring autotuner on every call —
+//! fine for one-shot batch jobs, wasteful for a serving loop issuing
+//! thousands of small requests per second against the same (pattern,
+//! dimension). A [`Plan`] lifts that per-call decision into a value:
+//! prepare it once (paying the tuning probe at load time), then execute
+//! full-graph or row-subset kernels through it with zero per-request
+//! tuning, lock traffic, or dispatch ambiguity. [`PlanCache`] memoizes
+//! plans per (pattern, d) for engines that serve several operator sets.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use fusedmm_ops::{OpSet, Pattern};
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::autotune::global_tuner;
+use crate::dispatch::{fusedmm_opt_with, Blocking};
+use crate::part::PartitionStrategy;
+use crate::rows::fusedmm_rows_with;
+
+/// A frozen kernel configuration for one (pattern, dimension): which
+/// blocking level to run and how to partition rows across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Plan {
+    pattern: Pattern,
+    d: usize,
+    blocking: Blocking,
+    strategy: PartitionStrategy,
+}
+
+impl Plan {
+    /// Measure (via the global autotuner) and freeze the best blocking
+    /// for `ops` at dimension `d`. The probe runs at most once per
+    /// process per (pattern, d); repeated `prepare` calls are cheap.
+    pub fn prepare(ops: &OpSet, d: usize) -> Plan {
+        Plan {
+            pattern: ops.pattern,
+            d,
+            blocking: global_tuner().choose(ops, d),
+            strategy: PartitionStrategy::NnzBalanced,
+        }
+    }
+
+    /// Build a plan with an explicit blocking choice (no measurement) —
+    /// for tests, ablations, or configs pinned from a previous run.
+    pub fn with_blocking(
+        ops: &OpSet,
+        d: usize,
+        blocking: Blocking,
+        strategy: PartitionStrategy,
+    ) -> Plan {
+        Plan { pattern: ops.pattern, d, blocking, strategy }
+    }
+
+    /// The operator pattern this plan was prepared for.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// The embedding dimension this plan was prepared for.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The frozen blocking level.
+    pub fn blocking(&self) -> Blocking {
+        self.blocking
+    }
+
+    /// The frozen partition strategy.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Full-graph execution under this plan.
+    ///
+    /// # Panics
+    /// Panics when `ops` or the operand shapes disagree with what the
+    /// plan was prepared for.
+    pub fn execute(&self, a: &Csr, x: &Dense, y: &Dense, ops: &OpSet) -> Dense {
+        self.check(ops, x);
+        fusedmm_opt_with(a, x, y, ops, self.blocking, None, self.strategy)
+    }
+
+    /// Row-subset execution under this plan (see
+    /// [`crate::rows::fusedmm_rows`]).
+    pub fn execute_rows(
+        &self,
+        a: &Csr,
+        rows: &[usize],
+        x: &Dense,
+        y: &Dense,
+        ops: &OpSet,
+    ) -> Dense {
+        self.check(ops, x);
+        fusedmm_rows_with(a, rows, x, y, ops, self.blocking, None, self.strategy)
+    }
+
+    fn check(&self, ops: &OpSet, x: &Dense) {
+        assert_eq!(
+            ops.pattern, self.pattern,
+            "plan prepared for {:?} executed with {:?}",
+            self.pattern, ops.pattern
+        );
+        assert_eq!(
+            x.ncols(),
+            self.d,
+            "plan prepared for d={} executed with d={}",
+            self.d,
+            x.ncols()
+        );
+    }
+}
+
+/// A concurrent memo of [`Plan`]s keyed by (pattern, dimension).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<(Pattern, usize), Plan>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached plan for `ops` at dimension `d`, preparing (and
+    /// memoizing) it on first use.
+    pub fn plan_for(&self, ops: &OpSet, d: usize) -> Plan {
+        let key = (ops.pattern, d);
+        if let Some(&plan) = self.plans.read().get(&key) {
+            return plan;
+        }
+        let plan = Plan::prepare(ops, d);
+        self.plans.write().insert(key, plan);
+        plan
+    }
+
+    /// Number of memoized plans.
+    pub fn len(&self) -> usize {
+        self.plans.read().len()
+    }
+
+    /// True when no plan has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoized plans.
+    pub fn clear(&self) {
+        self.plans.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::fusedmm_reference;
+    use fusedmm_sparse::coo::{Coo, Dedup};
+
+    fn setup(n: usize, d: usize) -> (Csr, Dense, Dense) {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+            c.push(u, (u + 5) % n, 0.5);
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let x = Dense::from_fn(n, d, |r, k| ((r + k) as f32 * 0.1).cos());
+        let y = Dense::from_fn(n, d, |r, k| ((r * k) as f32 * 0.07).sin());
+        (a, x, y)
+    }
+
+    #[test]
+    fn plan_execution_matches_reference() {
+        let (a, x, y) = setup(32, 16);
+        let ops = OpSet::sigmoid_embedding(None);
+        let plan = Plan::prepare(&ops, 16);
+        assert_eq!(plan.pattern(), Pattern::SigmoidEmbedding);
+        assert_eq!(plan.d(), 16);
+        let z = plan.execute(&a, &x, &y, &ops);
+        let r = fusedmm_reference(&a, &x, &y, &ops);
+        assert!(z.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn plan_rows_match_reference_rows() {
+        let (a, x, y) = setup(40, 8);
+        let ops = OpSet::gcn();
+        let plan = Plan::with_blocking(&ops, 8, Blocking::Auto, PartitionStrategy::NnzBalanced);
+        let r = fusedmm_reference(&a, &x, &y, &ops);
+        let rows = [39usize, 0, 12, 12];
+        let z = plan.execute_rows(&a, &rows, &x, &y, &ops);
+        for (i, &u) in rows.iter().enumerate() {
+            for k in 0..8 {
+                assert!((z.get(i, k) - r.get(u, k)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_per_pattern_and_dim() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let ops = OpSet::gcn();
+        let p1 = cache.plan_for(&ops, 32);
+        let p2 = cache.plan_for(&ops, 32);
+        assert_eq!(p1, p2);
+        assert_eq!(cache.len(), 1);
+        let _ = cache.plan_for(&ops, 64);
+        let _ = cache.plan_for(&OpSet::fr_model(0.1), 32);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "plan prepared for")]
+    fn pattern_mismatch_panics() {
+        let (a, x, y) = setup(8, 4);
+        let plan =
+            Plan::with_blocking(&OpSet::gcn(), 4, Blocking::Auto, PartitionStrategy::NnzBalanced);
+        let _ = plan.execute(&a, &x, &y, &OpSet::fr_model(1.0));
+    }
+}

@@ -29,9 +29,8 @@ pub fn erdos_renyi(nvertices: usize, nedges: usize, seed: u64) -> Csr {
     let dense = nedges * 3 > max_edges;
     if dense {
         // Enumerate all pairs and sample without replacement.
-        let mut pairs: Vec<(usize, usize)> = (0..nvertices)
-            .flat_map(|u| ((u + 1)..nvertices).map(move |v| (u, v)))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> =
+            (0..nvertices).flat_map(|u| ((u + 1)..nvertices).map(move |v| (u, v))).collect();
         for i in 0..nedges {
             let j = rng.gen_range(i..pairs.len());
             pairs.swap(i, j);

@@ -140,7 +140,8 @@ mod tests {
             1.0, 0.0, 0.0, 0.0, // h0 = x0
             0.0, 1.0, 0.0, 0.0, // h1 = x1
         ];
-        let mlp = Mlp::from_weights(2, 2, 2, w1, vec![0.0; 2], vec![1.0, 0.0, 0.0, 1.0], vec![0.0; 2]);
+        let mlp =
+            Mlp::from_weights(2, 2, 2, w1, vec![0.0; 2], vec![1.0, 0.0, 0.0, 1.0], vec![0.0; 2]);
         let mut out = [0.0; 2];
         mlp.forward(&[3.0, 4.0], &[7.0, 8.0], &mut out);
         assert_eq!(out, [3.0, 4.0]);

@@ -180,10 +180,7 @@ impl OpSet {
     pub fn is_specializable(&self) -> bool {
         matches!(
             self.pattern,
-            Pattern::SigmoidEmbedding
-                | Pattern::FrModel
-                | Pattern::TDistEmbedding
-                | Pattern::Gcn
+            Pattern::SigmoidEmbedding | Pattern::FrModel | Pattern::TDistEmbedding | Pattern::Gcn
         )
     }
 }
@@ -225,8 +222,9 @@ mod tests {
         assert!(OpSet::sigmoid_embedding(None).is_specializable());
         assert!(OpSet::gcn().is_specializable());
         assert!(!OpSet::gnn_mlp(Arc::new(Mlp::seeded(4, 4, 4, 1))).is_specializable());
-        assert!(!OpSet::custom(VOp::Add, ROp::Sum, SOp::Noop, MOp::Mul, AOp::Sum)
-            .is_specializable());
+        assert!(
+            !OpSet::custom(VOp::Add, ROp::Sum, SOp::Noop, MOp::Mul, AOp::Sum).is_specializable()
+        );
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Lock-free latency histogram and throughput accounting for the
+//! serving engine.
+//!
+//! Serving cares about the latency *distribution* — the p99 a user at
+//! the tail experiences — not the mean a batch benchmark reports.
+//! [`LatencyHistogram`] records durations into logarithmically spaced
+//! buckets (4 sub-buckets per power of two, ≤ ~19% relative quantile
+//! error) using only relaxed atomics, so concurrent request threads
+//! record without coordination. [`HistogramSnapshot`] extracts count,
+//! mean, p50/p90/p99, and max at read time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per power of two of nanoseconds.
+const SUBBUCKETS: usize = 4;
+/// Powers of two covered: 1ns up to ~2^40 ns (~18 minutes).
+const MAJORS: usize = 40;
+const BUCKETS: usize = MAJORS * SUBBUCKETS;
+
+/// A concurrent histogram of durations with log-spaced buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < 2 {
+            return 0;
+        }
+        // floor(log2), then the position within that power-of-two
+        // span quantized to SUBBUCKETS slots.
+        let major = 63 - nanos.leading_zeros() as usize;
+        let span_lo = 1u64 << major;
+        let minor = ((nanos - span_lo) * SUBBUCKETS as u64 / span_lo) as usize;
+        (major * SUBBUCKETS + minor).min(BUCKETS - 1)
+    }
+
+    /// Lower bound (in nanoseconds) of bucket `i` — the conservative
+    /// value quantiles report.
+    fn bucket_floor(i: usize) -> u64 {
+        let major = i / SUBBUCKETS;
+        let minor = (i % SUBBUCKETS) as u64;
+        let span_lo = 1u64 << major;
+        span_lo + span_lo * minor / SUBBUCKETS as u64
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of recorded latencies, resolved
+    /// to the containing bucket's floor. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based ceil as in the
+        // nearest-rank definition.
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Duration::from_nanos(Self::bucket_floor(i)));
+            }
+        }
+        Some(Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)))
+    }
+
+    /// Consistent point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let mean = self
+            .total_nanos
+            .load(Ordering::Relaxed)
+            .checked_div(count)
+            .map_or(Duration::ZERO, Duration::from_nanos);
+        HistogramSnapshot {
+            count,
+            mean,
+            p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
+            p90: self.quantile(0.90).unwrap_or(Duration::ZERO),
+            p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
+            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time latency summary produced by
+/// [`LatencyHistogram::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Arithmetic mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 90th-percentile latency.
+    pub p90: Duration,
+    /// 99th-percentile latency — the serving SLO number.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+impl HistogramSnapshot {
+    /// Requests per second over `elapsed` wall-clock time.
+    pub fn throughput(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.count as f64 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3?} p50={:.3?} p90={:.3?} p99={:.3?} max={:.3?}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+        assert_eq!(h.snapshot().p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_observation_dominates_all_quantiles() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [s.p50, s.p90, s.p99] {
+            // Bucket floor is within ~19% below the true value.
+            assert!(q <= Duration::from_micros(100));
+            assert!(q >= Duration::from_micros(80), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn quantiles_order_and_bound() {
+        let h = LatencyHistogram::new();
+        // 98 fast observations and 2 slow ones: the nearest-rank p99
+        // (rank 99 of 100) must land in the slow bucket.
+        for _ in 0..98 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(10));
+        let s = h.snapshot();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p50 < Duration::from_micros(11));
+        assert!(s.p99 >= Duration::from_millis(8), "p99 {:?}", s.p99);
+        assert!(s.max >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_tracks_total() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        assert_eq!(h.snapshot().mean, Duration::from_micros(20));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(Duration::from_nanos(100 + t * 13 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn throughput_from_snapshot() {
+        let h = LatencyHistogram::new();
+        for _ in 0..500 {
+            h.record(Duration::from_micros(1));
+        }
+        let rps = h.snapshot().throughput(Duration::from_secs(2));
+        assert!((rps - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_floor_is_monotone_and_below_members() {
+        let mut prev = 0;
+        for i in 0..BUCKETS {
+            let f = LatencyHistogram::bucket_floor(i);
+            assert!(f >= prev, "floor not monotone at {i}");
+            prev = f;
+        }
+        for nanos in [1u64, 2, 3, 100, 1023, 1024, 1025, 1_000_000, 123_456_789] {
+            let idx = LatencyHistogram::bucket_index(nanos);
+            assert!(LatencyHistogram::bucket_floor(idx) <= nanos, "floor above member {nanos}");
+        }
+    }
+}

@@ -11,14 +11,18 @@
 //!   this server is 100 GB/s");
 //! * [`roofline`] — Eq. 4's arithmetic-intensity model and the
 //!   attainable-GFLOP/s bound;
-//! * [`flops`] — floating-point-operation counts per kernel pattern.
+//! * [`flops`] — floating-point-operation counts per kernel pattern;
+//! * [`hist`] — a lock-free log-bucketed latency histogram (p50/p99 and
+//!   throughput for the serving engine).
 
 pub mod flops;
+pub mod hist;
 pub mod memtrack;
 pub mod roofline;
 pub mod stream;
 pub mod timer;
 
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use memtrack::CountingAllocator;
 pub use roofline::{arithmetic_intensity, attainable_gflops};
 pub use timer::{time_iterations, TimingStats};

@@ -36,14 +36,13 @@ pub fn stream_triad(elements: usize, reps: usize) -> StreamResult {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
-        a.par_chunks_mut(1 << 14)
-            .zip(b.par_chunks(1 << 14))
-            .zip(c.par_chunks(1 << 14))
-            .for_each(|((ac, bc), cc)| {
+        a.par_chunks_mut(1 << 14).zip(b.par_chunks(1 << 14)).zip(c.par_chunks(1 << 14)).for_each(
+            |((ac, bc), cc)| {
                 for ((ai, &bi), &ci) in ac.iter_mut().zip(bc).zip(cc) {
                     *ai = bi + scalar * ci;
                 }
-            });
+            },
+        );
         best = best.min(t0.elapsed().as_secs_f64());
     }
     std::hint::black_box(&a);

@@ -1,0 +1,185 @@
+//! Micro-batching: coalesce concurrent node-subset requests into one
+//! deduplicated row batch per dispatcher tick.
+//!
+//! Callers block on a per-request channel while the dispatcher thread
+//! (spawned by [`Engine`](crate::Engine)) drains the queue, takes the
+//! sorted union of all requested nodes, runs the row-subset kernel
+//! once, and scatters each caller's rows back. Batching amortizes the
+//! kernel launch and deduplication means a hot node requested by ten
+//! concurrent callers is computed once.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Condvar};
+use std::time::{Duration, Instant};
+
+use fusedmm_sparse::dense::Dense;
+
+/// One enqueued embedding request.
+pub(crate) struct Pending {
+    /// Requested node ids, in the caller's order (may repeat).
+    pub nodes: Vec<usize>,
+    /// Completion channel back to the caller.
+    pub tx: mpsc::Sender<Dense>,
+    /// Enqueue time, for end-to-end latency accounting.
+    pub enqueued: Instant,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// The dispatcher's work queue: a condvar-signalled FIFO of
+/// [`Pending`] requests.
+pub(crate) struct BatchQueue {
+    state: std::sync::Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl BatchQueue {
+    pub fn new() -> Self {
+        BatchQueue {
+            state: std::sync::Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a request; returns `false` when the queue is already
+    /// shut down (the request is dropped).
+    pub fn push(&self, request: Pending) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutdown {
+            return false;
+        }
+        state.pending.push_back(request);
+        drop(state);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Mark the queue closed and wake the dispatcher.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until work arrives (or shutdown), optionally linger
+    /// `coalesce_window` so concurrent callers can join the batch, then
+    /// drain requests until `max_batch_rows` requested rows are taken
+    /// (always at least one request). Returns `None` only on shutdown
+    /// with an empty queue.
+    pub fn next_batch(
+        &self,
+        coalesce_window: Duration,
+        max_batch_rows: usize,
+    ) -> Option<Vec<Pending>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.pending.is_empty() {
+            if state.shutdown {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        let queued_rows = |s: &QueueState| s.pending.iter().map(|p| p.nodes.len()).sum::<usize>();
+        if !coalesce_window.is_zero() && !state.shutdown && queued_rows(&state) < max_batch_rows {
+            // Give concurrent callers a moment to land in this batch —
+            // but only while the batch still has room; under backlog
+            // the wait would add latency without any extra coalescing.
+            drop(state);
+            std::thread::sleep(coalesce_window);
+            state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        let mut batch = Vec::new();
+        let mut rows = 0usize;
+        while let Some(front) = state.pending.front() {
+            if !batch.is_empty() && rows + front.nodes.len() > max_batch_rows {
+                break;
+            }
+            rows += front.nodes.len();
+            batch.push(state.pending.pop_front().expect("front exists"));
+        }
+        Some(batch)
+    }
+}
+
+/// Sorted union of all node lists in `requests` (each node once).
+pub fn dedup_union<'a>(requests: impl IntoIterator<Item = &'a [usize]>) -> Vec<usize> {
+    let mut union: Vec<usize> = requests.into_iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    union
+}
+
+/// Gather `nodes`' rows out of the union result: `union_rows[i]` is the
+/// output row for node `union_nodes[i]` (sorted), and the returned
+/// matrix has one row per entry of `nodes`, in request order.
+pub fn scatter_rows(union_nodes: &[usize], union_rows: &Dense, nodes: &[usize]) -> Dense {
+    let d = union_rows.ncols();
+    let mut out = Dense::zeros(nodes.len(), d);
+    for (i, &node) in nodes.iter().enumerate() {
+        let j = union_nodes
+            .binary_search(&node)
+            .unwrap_or_else(|_| panic!("node {node} missing from its own batch union"));
+        out.row_mut(i).copy_from_slice(union_rows.row(j));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_sorts_and_dedups() {
+        let a: &[usize] = &[5, 1, 9];
+        let b: &[usize] = &[1, 1, 7];
+        assert_eq!(dedup_union([a, b]), vec![1, 5, 7, 9]);
+        assert_eq!(dedup_union([] as [&[usize]; 0]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scatter_restores_request_order_and_duplicates() {
+        let union_nodes = vec![2usize, 4, 8];
+        let union_rows = Dense::from_rows(3, 2, &[0.2, 2.0, 0.4, 4.0, 0.8, 8.0]).unwrap();
+        let out = scatter_rows(&union_nodes, &union_rows, &[8, 2, 8]);
+        assert_eq!(out.row(0), &[0.8, 8.0]);
+        assert_eq!(out.row(1), &[0.2, 2.0]);
+        assert_eq!(out.row(2), &[0.8, 8.0]);
+    }
+
+    #[test]
+    fn queue_batches_everything_waiting() {
+        let q = BatchQueue::new();
+        let (tx, _rx) = mpsc::channel();
+        for n in 0..3usize {
+            assert!(q.push(Pending { nodes: vec![n], tx: tx.clone(), enqueued: Instant::now() }));
+        }
+        let batch = q.next_batch(Duration::ZERO, 1024).expect("work available");
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn queue_respects_row_cap_but_always_progresses() {
+        let q = BatchQueue::new();
+        let (tx, _rx) = mpsc::channel();
+        // One oversized request plus a small one.
+        q.push(Pending { nodes: vec![0; 100], tx: tx.clone(), enqueued: Instant::now() });
+        q.push(Pending { nodes: vec![1], tx: tx.clone(), enqueued: Instant::now() });
+        let first = q.next_batch(Duration::ZERO, 10).unwrap();
+        assert_eq!(first.len(), 1, "oversized request still dispatched alone");
+        let second = q.next_batch(Duration::ZERO, 10).unwrap();
+        assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = BatchQueue::new();
+        let (tx, _rx) = mpsc::channel();
+        q.push(Pending { nodes: vec![3], tx, enqueued: Instant::now() });
+        q.shutdown();
+        assert!(q.next_batch(Duration::ZERO, 8).is_some(), "queued work still served");
+        assert!(q.next_batch(Duration::ZERO, 8).is_none(), "then the queue reports closed");
+        let (tx2, _rx2) = mpsc::channel();
+        assert!(!q.push(Pending { nodes: vec![1], tx: tx2, enqueued: Instant::now() }));
+    }
+}

@@ -1,0 +1,461 @@
+//! The serving engine: graph + features loaded once, plan prepared
+//! once, three request kinds served concurrently.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fusedmm_core::{Blocking, Plan};
+use fusedmm_ops::OpSet;
+use fusedmm_perf::hist::{HistogramSnapshot, LatencyHistogram};
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::batcher::{dedup_union, scatter_rows, BatchQueue, Pending};
+use crate::score::score_edges;
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Cap on requested rows the dispatcher coalesces into one kernel
+    /// launch. A single larger request is still served whole.
+    pub max_batch_rows: usize,
+    /// How long the dispatcher lingers after the first request of a
+    /// tick so concurrent callers can join the batch. Zero disables
+    /// the wait (lowest latency, least coalescing).
+    pub coalesce_window: Duration,
+    /// Pin the kernel blocking level instead of measuring it with the
+    /// autotuner at engine construction (`None` = autotune).
+    pub blocking: Option<Blocking>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch_rows: 4096,
+            coalesce_window: Duration::from_micros(50),
+            blocking: None,
+        }
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A requested node id is outside the loaded graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of vertices in the loaded graph.
+        nvertices: usize,
+    },
+    /// The engine has been shut down.
+    EngineShutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NodeOutOfRange { node, nvertices } => {
+                write!(f, "node {node} out of range for a graph of {nvertices} vertices")
+            }
+            ServeError::EngineShutdown => write!(f, "engine has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct EngineShared {
+    a: Csr,
+    x: Dense,
+    y: Dense,
+    ops: OpSet,
+    plan: Plan,
+    queue: BatchQueue,
+    embed_latency: LatencyHistogram,
+    score_latency: LatencyHistogram,
+    infer_latency: LatencyHistogram,
+    batches_dispatched: AtomicU64,
+    rows_requested: AtomicU64,
+    rows_computed: AtomicU64,
+    started: Instant,
+    stopped: AtomicBool,
+}
+
+/// A loaded, ready-to-serve graph model. Share it across request
+/// threads by reference (it is `Sync`); dropping it stops the
+/// dispatcher.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    dispatcher: Option<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Load `a` (adjacency), `x` (target-side features), `y`
+    /// (neighbor-side features) and prepare the kernel plan for `ops`.
+    /// For plain embedding refresh pass the same features as `x` and
+    /// `y`. Spawns the micro-batch dispatcher thread.
+    ///
+    /// # Panics
+    /// Panics when shapes are inconsistent (same contract as
+    /// [`fusedmm_core::fusedmm`]).
+    pub fn new(a: Csr, x: Dense, y: Dense, ops: OpSet, config: EngineConfig) -> Engine {
+        assert_eq!(x.nrows(), a.nrows(), "X must have one row per vertex");
+        assert_eq!(y.nrows(), a.ncols(), "Y must have one row per vertex");
+        assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
+        let d = x.ncols();
+        let plan = match config.blocking {
+            Some(b) => {
+                Plan::with_blocking(&ops, d, b, fusedmm_core::PartitionStrategy::NnzBalanced)
+            }
+            None => Plan::prepare(&ops, d),
+        };
+        let shared = Arc::new(EngineShared {
+            a,
+            x,
+            y,
+            ops,
+            plan,
+            queue: BatchQueue::new(),
+            embed_latency: LatencyHistogram::new(),
+            score_latency: LatencyHistogram::new(),
+            infer_latency: LatencyHistogram::new(),
+            batches_dispatched: AtomicU64::new(0),
+            rows_requested: AtomicU64::new(0),
+            rows_computed: AtomicU64::new(0),
+            started: Instant::now(),
+            stopped: AtomicBool::new(false),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("fusedmm-serve-dispatch".into())
+                .spawn(move || dispatch_loop(&shared, &config))
+                .expect("spawn dispatcher thread")
+        };
+        Engine { shared, dispatcher: Some(worker), config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of vertices in the loaded graph.
+    pub fn nvertices(&self) -> usize {
+        self.shared.a.nrows()
+    }
+
+    /// The embedding dimension served.
+    pub fn dimension(&self) -> usize {
+        self.shared.x.ncols()
+    }
+
+    /// The frozen kernel plan this engine executes under.
+    pub fn plan(&self) -> Plan {
+        self.shared.plan
+    }
+
+    /// Refresh embeddings for `nodes` (any order, duplicates allowed):
+    /// returns one output row per requested node, equal to the matching
+    /// rows of the full-graph kernel. Blocks until the micro-batcher
+    /// completes the containing batch.
+    pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        self.check_nodes(nodes.iter().copied())?;
+        if self.shared.stopped.load(Ordering::Acquire) {
+            return Err(ServeError::EngineShutdown);
+        }
+        if nodes.is_empty() {
+            return Ok(Dense::zeros(0, self.dimension()));
+        }
+        let (tx, rx) = mpsc::channel();
+        let accepted =
+            self.shared.queue.push(Pending { nodes: nodes.to_vec(), tx, enqueued: Instant::now() });
+        if !accepted {
+            return Err(ServeError::EngineShutdown);
+        }
+        rx.recv().map_err(|_| ServeError::EngineShutdown)
+    }
+
+    /// Score candidate `(u, v)` edges with the SDDMM-only path (see
+    /// [`crate::score::score_edges`]). Runs on the calling thread —
+    /// scoring is O(d) per pair and needs no batching to be cheap.
+    pub fn score_edges(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError> {
+        // Sources index the target-side rows (A/X), targets the
+        // neighbor-side rows (Y = A's column space) — these differ on
+        // rectangular (minibatch-sliced) graphs.
+        let m = self.shared.a.nrows();
+        let n = self.shared.y.nrows();
+        for &(u, v) in pairs {
+            if u >= m {
+                return Err(ServeError::NodeOutOfRange { node: u, nvertices: m });
+            }
+            if v >= n {
+                return Err(ServeError::NodeOutOfRange { node: v, nvertices: n });
+            }
+        }
+        let t0 = Instant::now();
+        let scores =
+            score_edges(&self.shared.a, pairs, &self.shared.x, &self.shared.y, &self.shared.ops);
+        self.shared.score_latency.record(t0.elapsed());
+        Ok(scores)
+    }
+
+    /// Full-graph inference under the cached plan: the classic
+    /// `Z = FusedMM(A, X, Y)` batch call.
+    pub fn infer_full(&self) -> Dense {
+        let t0 = Instant::now();
+        let z = self.shared.plan.execute(
+            &self.shared.a,
+            &self.shared.x,
+            &self.shared.y,
+            &self.shared.ops,
+        );
+        self.shared.infer_latency.record(t0.elapsed());
+        z
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn metrics(&self) -> EngineMetrics {
+        let elapsed = self.shared.started.elapsed();
+        let embed = self.shared.embed_latency.snapshot();
+        EngineMetrics {
+            uptime: elapsed,
+            embed_requests_per_sec: embed.throughput(elapsed),
+            embed,
+            score: self.shared.score_latency.snapshot(),
+            infer: self.shared.infer_latency.snapshot(),
+            batches_dispatched: self.shared.batches_dispatched.load(Ordering::Relaxed),
+            rows_requested: self.shared.rows_requested.load(Ordering::Relaxed),
+            rows_computed: self.shared.rows_computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting requests, finish queued work, and join the
+    /// dispatcher. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.stopped.store(true, Ordering::Release);
+        self.shared.queue.shutdown();
+        if let Some(worker) = self.dispatcher.take() {
+            let _ = worker.join();
+        }
+    }
+
+    fn check_nodes(&self, nodes: impl IntoIterator<Item = usize>) -> Result<(), ServeError> {
+        let n = self.nvertices();
+        for node in nodes {
+            if node >= n {
+                return Err(ServeError::NodeOutOfRange { node, nvertices: n });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
+    while let Some(batch) = shared.queue.next_batch(config.coalesce_window, config.max_batch_rows) {
+        let union = dedup_union(batch.iter().map(|p| p.nodes.as_slice()));
+        let rows_requested: usize = batch.iter().map(|p| p.nodes.len()).sum();
+        let union_rows =
+            shared.plan.execute_rows(&shared.a, &union, &shared.x, &shared.y, &shared.ops);
+        // Account before completing requests so a caller that observes
+        // its own completion also observes the batch in the metrics.
+        shared.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        shared.rows_requested.fetch_add(rows_requested as u64, Ordering::Relaxed);
+        shared.rows_computed.fetch_add(union.len() as u64, Ordering::Relaxed);
+        for request in &batch {
+            let out = scatter_rows(&union, &union_rows, &request.nodes);
+            shared.embed_latency.record(request.enqueued.elapsed());
+            // A disconnected receiver just means the caller gave up.
+            let _ = request.tx.send(out);
+        }
+    }
+}
+
+/// Serving statistics reported by [`Engine::metrics`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineMetrics {
+    /// Time since the engine was constructed.
+    pub uptime: Duration,
+    /// Embedding-request latency distribution (enqueue → completion).
+    pub embed: HistogramSnapshot,
+    /// Embedding requests per second over the whole uptime.
+    pub embed_requests_per_sec: f64,
+    /// Edge-scoring latency distribution.
+    pub score: HistogramSnapshot,
+    /// Full-graph inference latency distribution.
+    pub infer: HistogramSnapshot,
+    /// Kernel launches the micro-batcher performed.
+    pub batches_dispatched: u64,
+    /// Total rows callers asked for.
+    pub rows_requested: u64,
+    /// Total rows actually computed after deduplication (≤ requested
+    /// when concurrent requests overlap).
+    pub rows_computed: u64,
+}
+
+impl std::fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "embed: {} ({:.0} req/s)", self.embed, self.embed_requests_per_sec)?;
+        writeln!(f, "score: {}", self.score)?;
+        writeln!(f, "infer: {}", self.infer)?;
+        write!(
+            f,
+            "batches: {}  rows requested: {}  rows computed: {}",
+            self.batches_dispatched, self.rows_requested, self.rows_computed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_core::fusedmm_reference;
+    use fusedmm_sparse::coo::{Coo, Dedup};
+
+    fn engine(n: usize, d: usize, ops: OpSet) -> (Engine, Dense) {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            for k in 1..=3usize {
+                c.push(u, (u + k * 2 + 1) % n, 0.4 + k as f32 * 0.3);
+            }
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let feats = Dense::from_fn(n, d, |r, k| ((r * 5 + k * 11) as f32 * 0.03).sin() * 0.7);
+        let reference = fusedmm_reference(&a, &feats, &feats, &ops);
+        let cfg = EngineConfig {
+            coalesce_window: Duration::ZERO,
+            blocking: Some(Blocking::Auto),
+            ..EngineConfig::default()
+        };
+        (Engine::new(a, feats.clone(), feats, ops, cfg), reference)
+    }
+
+    #[test]
+    fn embed_matches_reference_rows() {
+        let (eng, reference) = engine(40, 16, OpSet::sigmoid_embedding(None));
+        let nodes = [7usize, 0, 39, 7, 12];
+        let z = eng.embed(&nodes).unwrap();
+        assert_eq!(z.nrows(), nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            for k in 0..16 {
+                assert!((z.get(i, k) - reference.get(u, k)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_request_is_cheap_and_valid() {
+        let (eng, _) = engine(10, 4, OpSet::gcn());
+        let z = eng.embed(&[]).unwrap();
+        assert_eq!((z.nrows(), z.ncols()), (0, 4));
+    }
+
+    #[test]
+    fn out_of_range_is_an_error_not_a_panic() {
+        let (eng, _) = engine(10, 4, OpSet::gcn());
+        assert_eq!(eng.embed(&[10]), Err(ServeError::NodeOutOfRange { node: 10, nvertices: 10 }));
+        assert!(matches!(
+            eng.score_edges(&[(0, 11)]),
+            Err(ServeError::NodeOutOfRange { node: 11, .. })
+        ));
+    }
+
+    #[test]
+    fn rectangular_graph_scores_targets_against_y_rows() {
+        // A 2x5 minibatch slice: 2 target vertices, 5 global vertices.
+        let mut c = Coo::new(2, 5);
+        c.push(0, 4, 1.0);
+        c.push(1, 2, 1.0);
+        let a = c.to_csr(Dedup::Sum);
+        let x = Dense::filled(2, 4, 0.5);
+        let y = Dense::filled(5, 4, 0.25);
+        let eng = Engine::new(
+            a,
+            x,
+            y,
+            OpSet::sigmoid_embedding(None),
+            EngineConfig { blocking: Some(Blocking::Auto), ..EngineConfig::default() },
+        );
+        // Target v=4 is a valid Y row even though A has only 2 rows.
+        let scores = eng.score_edges(&[(1, 4)]).unwrap();
+        assert_eq!(scores.len(), 1);
+        // Source u=2 is out of A's row space; target v=5 out of Y's.
+        assert_eq!(
+            eng.score_edges(&[(2, 0)]),
+            Err(ServeError::NodeOutOfRange { node: 2, nvertices: 2 })
+        );
+        assert_eq!(
+            eng.score_edges(&[(0, 5)]),
+            Err(ServeError::NodeOutOfRange { node: 5, nvertices: 5 })
+        );
+    }
+
+    #[test]
+    fn infer_full_matches_reference() {
+        let (eng, reference) = engine(30, 8, OpSet::gcn());
+        let z = eng.infer_full();
+        assert!(z.max_abs_diff(&reference) < 1e-4);
+        assert_eq!(eng.metrics().infer.count, 1);
+    }
+
+    #[test]
+    fn metrics_count_requests_and_dedup() {
+        let (eng, _) = engine(20, 8, OpSet::sigmoid_embedding(None));
+        eng.embed(&[1, 2, 3]).unwrap();
+        eng.embed(&[3, 3, 3]).unwrap();
+        let m = eng.metrics();
+        assert_eq!(m.embed.count, 2);
+        assert_eq!(m.rows_requested, 6);
+        assert!(m.rows_computed <= m.rows_requested);
+        assert!(m.batches_dispatched >= 1);
+        assert!(m.embed.p99 >= m.embed.p50);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let (mut eng, _) = engine(10, 4, OpSet::gcn());
+        eng.embed(&[1]).unwrap();
+        eng.shutdown();
+        assert_eq!(eng.embed(&[1]), Err(ServeError::EngineShutdown));
+    }
+
+    #[test]
+    fn concurrent_overlapping_requests_all_match_reference() {
+        let (eng, reference) = engine(60, 12, OpSet::sigmoid_embedding(None));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let eng = &eng;
+                let reference = &reference;
+                s.spawn(move || {
+                    for round in 0..5 {
+                        let nodes: Vec<usize> =
+                            (0..10).map(|i| (t * 7 + round * 13 + i * 3) % 60).collect();
+                        let z = eng.embed(&nodes).unwrap();
+                        for (i, &u) in nodes.iter().enumerate() {
+                            for k in 0..12 {
+                                assert!(
+                                    (z.get(i, k) - reference.get(u, k)).abs() < 1e-5,
+                                    "thread {t} round {round} node {u}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let m = eng.metrics();
+        assert_eq!(m.embed.count, 40);
+        assert_eq!(m.rows_requested, 400);
+    }
+}

@@ -1,0 +1,61 @@
+//! `fusedmm-serve` — a batched embedding/inference serving engine on
+//! top of the FusedMM kernel.
+//!
+//! The kernel crates answer one-shot, whole-graph calls. Serving
+//! traffic looks different: many concurrent callers each asking for a
+//! few vertices ("refresh the embeddings of these 64 users", "score
+//! these 200 candidate edges"), with latency percentiles — not batch
+//! wall-clock — as the figure of merit. This crate provides that layer:
+//!
+//! * [`Engine`] — loads a graph and feature matrices once, prepares a
+//!   reusable kernel [`Plan`](fusedmm_core::Plan) (the autotuner's
+//!   per-call choice lifted to load time), and serves three request
+//!   kinds:
+//!   * [`Engine::infer_full`] — whole-graph inference (the classic
+//!     FusedMM call, now plan-driven);
+//!   * [`Engine::embed`] — per-node embedding refresh for an arbitrary
+//!     node subset, executed through the micro-batcher and the
+//!     row-subset kernel [`fusedmm_rows`](fusedmm_core::fusedmm_rows);
+//!   * [`Engine::score_edges`] — SDDMM-only scoring of candidate
+//!     `(u, v)` pairs, no aggregation and no edge-sized intermediate.
+//! * micro-batching ([`batcher`]) — concurrent callers enqueue node
+//!   subsets; a dispatcher thread coalesces them into one deduplicated
+//!   row batch per tick, runs it on the rayon pool, and scatters the
+//!   rows back to each caller;
+//! * latency accounting — every request records into
+//!   [`LatencyHistogram`](fusedmm_perf::LatencyHistogram)s, surfaced
+//!   as p50/p90/p99 and throughput by [`Engine::metrics`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fusedmm_ops::OpSet;
+//! use fusedmm_serve::{Engine, EngineConfig};
+//! use fusedmm_sparse::{coo::Dedup, Coo, Dense};
+//!
+//! let mut coo = Coo::new(4, 4);
+//! for u in 0..4usize {
+//!     coo.push(u, (u + 1) % 4, 1.0);
+//! }
+//! let a = coo.to_csr(Dedup::Sum);
+//! let feats = Dense::from_fn(4, 8, |r, c| (r * 8 + c) as f32 * 0.01);
+//!
+//! let engine = Engine::new(
+//!     a,
+//!     feats.clone(),
+//!     feats,
+//!     OpSet::sigmoid_embedding(None),
+//!     EngineConfig::default(),
+//! );
+//! let z = engine.embed(&[2, 0]).unwrap();
+//! assert_eq!((z.nrows(), z.ncols()), (2, 8));
+//! let scores = engine.score_edges(&[(0, 1), (3, 2)]).unwrap();
+//! assert_eq!(scores.len(), 2);
+//! ```
+
+pub mod batcher;
+pub mod engine;
+pub mod score;
+
+pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
+pub use score::score_edges;

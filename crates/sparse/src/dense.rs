@@ -124,11 +124,7 @@ impl Dense {
             (other.nrows, other.ncols),
             "max_abs_diff requires identical shapes"
         );
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Max relative elementwise difference `|a-b| / max(1, |a|, |b|)`.

@@ -31,13 +31,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
     let mut lines = BufReader::new(reader).lines().enumerate();
 
     // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| SparseError::Parse { line: 1, message: "empty file".into() })?;
+    let (_, header) =
+        lines.next().ok_or_else(|| SparseError::Parse { line: 1, message: "empty file".into() })?;
     let header = header?;
     let h = header.to_ascii_lowercase();
     if !h.starts_with("%%matrixmarket") {
-        return Err(SparseError::Parse { line: 1, message: "missing %%MatrixMarket header".into() });
+        return Err(SparseError::Parse {
+            line: 1,
+            message: "missing %%MatrixMarket header".into(),
+        });
     }
     if !h.contains("coordinate") {
         return Err(SparseError::Parse {
@@ -183,10 +185,9 @@ pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Coo, Sp
             .parse()
             .map_err(|_| SparseError::Parse { line: lineno, message: "bad target id".into() })?;
         let w: f32 = match toks.next() {
-            Some(t) => t.parse().map_err(|_| SparseError::Parse {
-                line: lineno,
-                message: "bad weight".into(),
-            })?,
+            Some(t) => t
+                .parse()
+                .map_err(|_| SparseError::Parse { line: lineno, message: "bad weight".into() })?,
             None => 1.0,
         };
         max_id = max_id.max(u).max(v);

@@ -70,10 +70,7 @@ pub fn scatter_add_rows(full: &mut Dense, vertices: &[usize], batch: &Dense) {
 /// loop (batch size 256 in Table VIII).
 pub fn batches(n: usize, batch_size: usize) -> Vec<Vec<usize>> {
     assert!(batch_size > 0, "batch size must be positive");
-    (0..n)
-        .step_by(batch_size)
-        .map(|start| (start..(start + batch_size).min(n)).collect())
-        .collect()
+    (0..n).step_by(batch_size).map(|start| (start..(start + batch_size).min(n)).collect()).collect()
 }
 
 #[cfg(test)]

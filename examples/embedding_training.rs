@@ -12,12 +12,7 @@ use fusedmm::prelude::*;
 fn main() {
     // A Cora-like stand-in: 7 planted communities, strong homophily.
     let g = Dataset::Cora.labeled_standin(0.5).expect("Cora has labels");
-    println!(
-        "graph: {} vertices, {} edges, {} classes",
-        g.adj.nrows(),
-        g.adj.nnz(),
-        g.k
-    );
+    println!("graph: {} vertices, {} edges, {} classes", g.adj.nrows(), g.adj.nnz(), g.k);
 
     let cfg = Force2VecConfig {
         dim: 64,

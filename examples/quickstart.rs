@@ -12,12 +12,7 @@ use fusedmm::prelude::*;
 fn main() {
     // A scale-free graph: 2,000 vertices, ~16,000 directed edges.
     let a = rmat(&RmatConfig::new(2000, 8000));
-    println!(
-        "graph: {} vertices, {} edges, avg degree {:.1}",
-        a.nrows(),
-        a.nnz(),
-        a.avg_degree()
-    );
+    println!("graph: {} vertices, {} edges, avg degree {:.1}", a.nrows(), a.nnz(), a.avg_degree());
 
     // Random 64-dimensional features for every vertex.
     let d = 64;

@@ -1,0 +1,83 @@
+//! Online serving: load a graph once, answer per-node traffic.
+//!
+//! Spins up the [`Engine`] on an RMAT graph and issues a mixed workload
+//! from several client threads — per-node embedding refreshes (through
+//! the micro-batcher and the row-subset kernel) interleaved with
+//! candidate-edge scoring (the SDDMM-only path) — then prints the
+//! latency percentiles and throughput the engine recorded.
+//!
+//! Run: `cargo run --release --example serving`
+
+use std::time::Duration;
+
+use fusedmm::prelude::*;
+
+fn main() {
+    // The "model": a scale-free graph and trained-looking features.
+    let n = 20_000;
+    let d = 64;
+    let a = rmat(&RmatConfig::new(n, 8 * n));
+    println!(
+        "loading graph: {} vertices, {} edges, avg degree {:.1}, d={d}",
+        a.nrows(),
+        a.nnz(),
+        a.avg_degree()
+    );
+    let feats = random_features(n, d, 0.5, 42);
+
+    // One engine, loaded once: plan prepared, partitions precomputed.
+    let engine = Engine::new(
+        a,
+        feats.clone(),
+        feats,
+        OpSet::sigmoid_embedding(None),
+        EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() },
+    );
+    println!("engine ready: plan = {:?}\n", engine.plan());
+
+    // A full-graph inference pass — the classic batch call, for
+    // comparison with the per-request path below.
+    let t0 = std::time::Instant::now();
+    let z = engine.infer_full();
+    println!(
+        "full-graph inference: {} rows in {:.1} ms",
+        z.nrows(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Mixed serving traffic: 8 clients, each alternating embedding
+    // refreshes (64-node subsets) with candidate-edge scoring.
+    let clients = 8;
+    let rounds = 50;
+    println!("serving {clients} concurrent clients x {rounds} rounds of mixed traffic...");
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let engine = &engine;
+            s.spawn(move || {
+                for r in 0..rounds {
+                    // Clients c and c+4 ask for the same subset, so
+                    // concurrent batches overlap and dedup pays off.
+                    let nodes: Vec<usize> =
+                        (0..64).map(|i| ((c % 4) * 7919 + r * 104_729 + i * 31) % n).collect();
+                    let z = engine.embed(&nodes).expect("embed");
+                    assert_eq!(z.nrows(), nodes.len());
+
+                    let pairs: Vec<(usize, usize)> =
+                        nodes.iter().map(|&u| (u, (u * 13 + 1) % n)).collect();
+                    let scores = engine.score_edges(&pairs).expect("score");
+                    assert!(scores.iter().all(|s| s.is_finite()));
+                }
+            });
+        }
+    });
+
+    let m = engine.metrics();
+    println!("\nserving metrics after {:.2}s uptime:", m.uptime.as_secs_f64());
+    println!("{m}");
+    println!(
+        "\ncoalescing saved {:.1}% of row computations ({} requested, {} computed)",
+        100.0 * (1.0 - m.rows_computed as f64 / m.rows_requested.max(1) as f64),
+        m.rows_requested,
+        m.rows_computed
+    );
+}

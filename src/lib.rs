@@ -14,7 +14,10 @@
 //!   inspector-executor (MKL-style) comparators;
 //! * [`apps`] — Force2Vec embedding, FR layout, GCN, GNN-MLP,
 //!   classification;
-//! * [`perf`] — timing, memory tracking, STREAM bandwidth, roofline.
+//! * [`serve`] — the online serving engine: plan cache, row-subset
+//!   kernels, micro-batched embedding refresh, edge scoring;
+//! * [`perf`] — timing, latency histograms, memory tracking, STREAM
+//!   bandwidth, roofline.
 //!
 //! ## Quickstart
 //!
@@ -37,12 +40,14 @@ pub use fusedmm_core as kernel;
 pub use fusedmm_graph as graph;
 pub use fusedmm_ops as ops;
 pub use fusedmm_perf as perf;
+pub use fusedmm_serve as serve;
 pub use fusedmm_sparse as sparse;
 
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use fusedmm_core::{
-        fusedmm, fusedmm_generic, fusedmm_opt, fusedmm_reference, Blocking, PartitionStrategy,
+        fusedmm, fusedmm_generic, fusedmm_opt, fusedmm_reference, fusedmm_rows, Blocking,
+        PartitionStrategy, Plan, PlanCache,
     };
     pub use fusedmm_graph::datasets::Dataset;
     pub use fusedmm_graph::erdos::erdos_renyi;
@@ -50,6 +55,7 @@ pub mod prelude {
     pub use fusedmm_graph::planted::planted_partition;
     pub use fusedmm_graph::rmat::{rmat, RmatConfig};
     pub use fusedmm_ops::{AOp, MOp, Mlp, OpSet, Pattern, ROp, SOp, SigmoidLut, VOp};
+    pub use fusedmm_serve::{Engine, EngineConfig, ServeError};
     pub use fusedmm_sparse::coo::Dedup;
     pub use fusedmm_sparse::{Coo, Csc, Csr, Dense};
 }

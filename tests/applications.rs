@@ -11,15 +11,7 @@ use fusedmm::apps::metrics::{accuracy, f1_micro};
 use fusedmm::prelude::*;
 
 fn cfg(backend: Backend, epochs: usize) -> Force2VecConfig {
-    Force2VecConfig {
-        dim: 32,
-        batch_size: 32,
-        epochs,
-        lr: 0.03,
-        negatives: 4,
-        seed: 11,
-        backend,
-    }
+    Force2VecConfig { dim: 32, batch_size: 32, epochs, lr: 0.03, negatives: 4, seed: 11, backend }
 }
 
 #[test]

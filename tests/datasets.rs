@@ -25,10 +25,7 @@ fn every_standin_generates_and_matches_degree() {
         assert!(g.nrows() > 0, "{ds}: empty stand-in");
         let got = g.avg_degree();
         let want = ds.target_degree(g.nrows());
-        assert!(
-            (got - want).abs() / want < 0.35,
-            "{ds}: avg degree {got:.2} vs paper {want:.2}"
-        );
+        assert!((got - want).abs() / want < 0.35, "{ds}: avg degree {got:.2} vs paper {want:.2}");
     }
 }
 

@@ -9,7 +9,12 @@ use fusedmm::baseline::unfused::unfused_pipeline;
 use fusedmm::prelude::*;
 
 fn presets() -> Vec<OpSet> {
-    vec![OpSet::sigmoid_embedding(None), OpSet::fr_model(0.5), OpSet::tdist_embedding(), OpSet::gcn()]
+    vec![
+        OpSet::sigmoid_embedding(None),
+        OpSet::fr_model(0.5),
+        OpSet::tdist_embedding(),
+        OpSet::gcn(),
+    ]
 }
 
 #[test]

@@ -79,10 +79,7 @@ fn partition_count_does_not_change_results() {
     for parts in [1usize, 2, 3, 7, 16, 80] {
         for strategy in [PartitionStrategy::NnzBalanced, PartitionStrategy::RowBalanced] {
             let z = fusedmm::kernel::fusedmm_generic_opts(&a, &x, &y, &ops, Some(parts), strategy);
-            assert!(
-                z.max_abs_diff(&reference) < 1e-5,
-                "parts={parts} strategy={strategy:?}"
-            );
+            assert!(z.max_abs_diff(&reference) < 1e-5, "parts={parts} strategy={strategy:?}");
         }
     }
 }

@@ -20,7 +20,8 @@ fn fr_intermediate_matches_paper_model() {
     let (a, x, y) = workload(100, 64);
     let out = unfused_pipeline(&a, &x, &y, &OpSet::fr_model(1.0));
     // d-vector H (12·nnz·d) + norm scalars + scaled scalars (12·nnz each)
-    let expected = unfused_intermediate_bytes(a.nnz(), 64) + 2 * unfused_intermediate_bytes(a.nnz(), 1);
+    let expected =
+        unfused_intermediate_bytes(a.nnz(), 64) + 2 * unfused_intermediate_bytes(a.nnz(), 1);
     assert_eq!(out.intermediate_bytes, expected);
 }
 

@@ -1,0 +1,176 @@
+//! Serving-path correctness: the row-subset kernel must agree with the
+//! full-graph reference on exactly the requested rows — for random
+//! graphs, operator sets, and subsets (empty, duplicated, out of
+//! order) — and the engine must preserve that agreement under
+//! concurrent, overlapping request traffic.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use fusedmm::prelude::*;
+use fusedmm::serve::score_edges;
+
+fn assert_rows_match(z: &Dense, reference: &Dense, rows: &[usize], tol: f32, label: &str) {
+    assert_eq!(z.nrows(), rows.len(), "{label}: one output row per requested row");
+    for (i, &u) in rows.iter().enumerate() {
+        for k in 0..z.ncols() {
+            let (got, want) = (z.get(i, k), reference.get(u, k));
+            assert!(
+                (got - want).abs() < tol,
+                "{label}: row {i} (vertex {u}) lane {k}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn subset_rows_equal_reference_rows(
+        seed in 0u64..500,
+        n in 8usize..48,
+        d in 1usize..40,
+        pattern in 0usize..4,
+        pick in proptest::collection::vec(0usize..1000, 0..24),
+    ) {
+        let ops = match pattern {
+            0 => OpSet::sigmoid_embedding(None),
+            1 => OpSet::fr_model(0.3),
+            2 => OpSet::tdist_embedding(),
+            _ => OpSet::gcn(),
+        };
+        let a = rmat(&RmatConfig::new(n, 3 * n).with_seed(seed));
+        let x = random_features(n, d, 0.5, seed ^ 1);
+        let y = random_features(n, d, 0.5, seed ^ 2);
+        let reference = fusedmm_reference(&a, &x, &y, &ops);
+        // Arbitrary order, with duplicates, possibly empty.
+        let rows: Vec<usize> = pick.into_iter().map(|p| p % n).collect();
+        let z = fusedmm_rows(&a, &rows, &x, &y, &ops);
+        prop_assert_eq!(z.nrows(), rows.len());
+        for (i, &u) in rows.iter().enumerate() {
+            for k in 0..d {
+                prop_assert!(
+                    (z.get(i, k) - reference.get(u, k)).abs() < 1e-5,
+                    "pattern {:?} n={} d={} row {} vertex {}",
+                    ops.pattern, n, d, i, u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_and_direct_row_calls_agree(
+        seed in 0u64..200,
+        n in 8usize..32,
+        d in 1usize..24,
+    ) {
+        let ops = OpSet::sigmoid_embedding(None);
+        let a = rmat(&RmatConfig::new(n, 2 * n).with_seed(seed));
+        let x = random_features(n, d, 0.5, seed ^ 5);
+        let y = random_features(n, d, 0.5, seed ^ 6);
+        let rows: Vec<usize> = (0..n).rev().step_by(2).collect();
+        let plan = Plan::prepare(&ops, d);
+        let via_plan = plan.execute_rows(&a, &rows, &x, &y, &ops);
+        let direct = fusedmm_rows(&a, &rows, &x, &y, &ops);
+        prop_assert!(via_plan.max_abs_diff(&direct) < 1e-6);
+    }
+}
+
+#[test]
+fn empty_duplicate_and_reversed_subsets() {
+    let n = 30;
+    let a = rmat(&RmatConfig::new(n, 120).with_seed(9));
+    let x = random_features(n, 16, 0.5, 1);
+    let y = random_features(n, 16, 0.5, 2);
+    let ops = OpSet::sigmoid_embedding(None);
+    let reference = fusedmm_reference(&a, &x, &y, &ops);
+
+    let empty = fusedmm_rows(&a, &[], &x, &y, &ops);
+    assert_eq!((empty.nrows(), empty.ncols()), (0, 16));
+
+    let dupes = vec![4usize; 7];
+    assert_rows_match(&fusedmm_rows(&a, &dupes, &x, &y, &ops), &reference, &dupes, 1e-5, "dupes");
+
+    let reversed: Vec<usize> = (0..n).rev().collect();
+    assert_rows_match(
+        &fusedmm_rows(&a, &reversed, &x, &y, &ops),
+        &reference,
+        &reversed,
+        1e-5,
+        "reversed",
+    );
+}
+
+#[test]
+fn engine_serves_concurrent_overlapping_batches() {
+    let n = 120;
+    let d = 32;
+    let a = rmat(&RmatConfig::new(n, 600).with_seed(77));
+    let feats = random_features(n, d, 0.5, 3);
+    let ops = OpSet::sigmoid_embedding(None);
+    let reference = fusedmm_reference(&a, &feats, &feats, &ops);
+
+    let engine = Engine::new(
+        a,
+        feats.clone(),
+        feats,
+        ops,
+        EngineConfig {
+            coalesce_window: Duration::from_micros(20),
+            blocking: Some(Blocking::Auto),
+            ..EngineConfig::default()
+        },
+    );
+
+    let threads = 8;
+    let rounds = 6;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let engine = &engine;
+            let reference = &reference;
+            s.spawn(move || {
+                for r in 0..rounds {
+                    // Deliberately overlapping subsets across threads.
+                    let nodes: Vec<usize> =
+                        (0..16).map(|i| (t * 11 + r * 17 + i * 5) % n).collect();
+                    let z = engine.embed(&nodes).expect("embed succeeds");
+                    assert_rows_match(&z, reference, &nodes, 1e-5, "concurrent embed");
+                }
+            });
+        }
+    });
+
+    let m = engine.metrics();
+    assert_eq!(m.embed.count, (threads * rounds) as u64);
+    assert_eq!(m.rows_requested, (threads * rounds * 16) as u64);
+    assert!(m.rows_computed <= m.rows_requested, "dedup never computes more than asked");
+    assert!(m.embed.p50 <= m.embed.p99);
+    assert!(m.embed_requests_per_sec > 0.0);
+}
+
+#[test]
+fn engine_edge_scores_match_direct_sddmm() {
+    let n = 40;
+    let a = rmat(&RmatConfig::new(n, 160).with_seed(5));
+    let x = random_features(n, 8, 0.5, 7);
+    let y = random_features(n, 8, 0.5, 8);
+    let ops = OpSet::sigmoid_embedding(None);
+    let pairs: Vec<(usize, usize)> = (0..n).map(|u| (u, (u * 3 + 1) % n)).collect();
+    let direct = score_edges(&a, &pairs, &x, &y, &ops);
+
+    let engine = Engine::new(
+        a,
+        x.clone(),
+        y,
+        ops,
+        EngineConfig { blocking: Some(Blocking::Auto), ..EngineConfig::default() },
+    );
+    let served = engine.score_edges(&pairs).unwrap();
+    assert_eq!(served.len(), direct.len());
+    for (i, (s, d)) in served.iter().zip(&direct).enumerate() {
+        assert!((s - d).abs() < 1e-6, "pair {i}");
+    }
+    // Scores are sigmoids: all in (0, 1).
+    assert!(served.iter().all(|&s| s > 0.0 && s < 1.0));
+}

@@ -1,0 +1,240 @@
+//! A minimal, API-compatible stand-in for the subset of `criterion`
+//! this workspace's benches use: [`Criterion`], benchmark groups with
+//! `warm_up_time` / `measurement_time` / `sample_size`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Vendored because
+//! the build environment has no access to crates.io.
+//!
+//! Statistics are deliberately simple: warm up for the configured time,
+//! then run up to `sample_size` samples within the measurement budget
+//! and report mean / min / max seconds per iteration on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function by
+/// [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    defaults: Config,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            defaults: Config {
+                warm_up: Duration::from_millis(300),
+                measurement: Duration::from_secs(2),
+                sample_size: 10,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.defaults;
+        BenchmarkGroup { _parent: self, name: name.into(), config }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&id.to_string(), self.defaults, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time spent running the closure untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Target wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Maximum number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.config, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.config, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (report separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Per-benchmark timing driver passed to the user closure.
+pub struct Bencher {
+    config: Config,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Warm up, then repeatedly time `routine`, recording seconds per
+    /// sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_deadline = Instant::now() + self.config.warm_up;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let budget = Instant::now() + self.config.measurement;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if Instant::now() >= budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, config: Config, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { config, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let n = b.samples.len();
+    let mean = b.samples.iter().sum::<f64>() / n as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<48} time: [{} {} {}]  ({n} samples)",
+        format_secs(min),
+        format_secs(mean),
+        format_secs(max)
+    );
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Group benchmark functions into one callable, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` from one or more [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert!(runs >= 1 + 1, "warm-up plus at least one sample, got {runs}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,48 @@
+//! Collection strategies: `vec(element, size_range)`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and
+/// whose elements are drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `proptest::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_tuples() {
+        let s = vec((0usize..7, -1.0f32..1.0), 0..10);
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 10);
+            for (a, b) in v {
+                assert!(a < 7);
+                assert!((-1.0..1.0).contains(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! A minimal, API-compatible stand-in for the subset of `proptest` this
+//! workspace's property tests use. Vendored because the build
+//! environment has no access to crates.io.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `arg in strategy` parameters;
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, range
+//!   strategies over integers and floats, tuple strategies up to arity
+//!   four, [`strategy::Just`], and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-case seed (reproducible by construction, so no
+//! failure-persistence files), and there is no shrinking — a failing
+//! case reports the case number; re-running reproduces it exactly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Runner configuration: the number of generated cases per test.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases generated per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `body` over generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::prelude::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prelude::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: $crate::test_runner::TestCaseResult = (move || {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest case #{case} (of {}) failed: {e}",
+                            config.cases
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body, failing the current case with a
+/// message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in -1.5f32..1.5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-1.5..1.5).contains(&b));
+        }
+
+        #[test]
+        fn flat_map_threads_outer_value(
+            pair in (2usize..8).prop_flat_map(|n| (Just(n), 0usize..n))
+        ) {
+            let (n, k) = pair;
+            prop_assert!(k < n, "k={} n={}", k, n);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> =
+            (0..5).map(|c| s.sample(&mut crate::test_runner::TestRng::for_case(c))).collect();
+        let b: Vec<u64> =
+            (0..5).map(|c| s.sample(&mut crate::test_runner::TestRng::for_case(c))).collect();
+        assert_eq!(a, b);
+    }
+}

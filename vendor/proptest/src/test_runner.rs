@@ -1,0 +1,47 @@
+//! Case generation and failure plumbing for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic per-case random source. Case `i` of every property
+/// test uses the same stream on every run, so failures reproduce
+/// without persistence files.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for case number `case`.
+    pub fn for_case(case: u64) -> Self {
+        // Decorrelate neighbouring cases with a golden-ratio stride.
+        TestRng(StdRng::seed_from_u64(case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5DEECE66D))
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property case (carried by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;

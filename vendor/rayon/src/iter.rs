@@ -1,0 +1,98 @@
+//! The sliver of rayon's parallel iterators the workspace uses:
+//! `par_chunks(_mut)` on slices, `zip`, and `for_each`.
+//!
+//! Items are materialized into a `Vec`, split into
+//! [`current_num_threads`](crate::current_num_threads) contiguous
+//! groups, and each group is processed by one scoped thread — the same
+//! static 1D decomposition the FusedMM drivers use, which is exactly
+//! what the STREAM bandwidth probe needs.
+
+use crate::current_num_threads;
+
+/// A pseudo-parallel iterator wrapping a standard iterator.
+pub struct Par<I> {
+    inner: I,
+}
+
+impl<I: Iterator> Par<I> {
+    /// Pair up with another parallel iterator, element by element.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par { inner: self.inner.zip(other.inner) }
+    }
+
+    /// Apply `f` to every item, fanning out across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.inner.collect();
+        let t = current_num_threads().max(1);
+        if t <= 1 || items.len() <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(t);
+        let mut items = items;
+        std::thread::scope(|s| {
+            let f = &f;
+            while !items.is_empty() {
+                let take = chunk.min(items.len());
+                let group: Vec<I::Item> = items.drain(..take).collect();
+                s.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel analogue of [`slice::chunks`].
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par { inner: self.chunks(chunk_size) }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel analogue of [`slice::chunks_mut`].
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par { inner: self.chunks_mut(chunk_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_shape_zip_for_each() {
+        let b: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let c: Vec<f32> = (0..1000).map(|i| (i * 2) as f32).collect();
+        let mut a = vec![0f32; 1000];
+        a.par_chunks_mut(64).zip(b.par_chunks(64)).zip(c.par_chunks(64)).for_each(
+            |((ac, bc), cc)| {
+                for ((ai, &bi), &ci) in ac.iter_mut().zip(bc).zip(cc) {
+                    *ai = bi + 3.0 * ci;
+                }
+            },
+        );
+        for i in 0..1000 {
+            assert_eq!(a[i], i as f32 + 3.0 * (i * 2) as f32);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! A minimal, API-compatible stand-in for the subset of `rayon` this
+//! workspace uses, implemented over [`std::thread::scope`]. The build
+//! environment has no access to crates.io, so the dependency is
+//! vendored rather than fetched.
+//!
+//! Covered surface:
+//!
+//! * [`current_num_threads`] — the pool width the drivers partition for;
+//! * [`scope`] / [`Scope::spawn`] — structured fork-join parallelism
+//!   (every spawn is a real OS thread; the workloads here spawn one
+//!   task per partition, so thread counts stay small);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — width overrides
+//!   for the scaling benchmarks, implemented as a thread-local override
+//!   consulted by [`current_num_threads`];
+//! * [`prelude`] — `par_chunks` / `par_chunks_mut` / `zip` / `for_each`,
+//!   enough for the STREAM-triad bandwidth probe.
+
+use std::cell::Cell;
+use std::thread;
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads computations should fan out to: the installed
+/// pool's width when running under [`ThreadPool::install`], otherwise
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH
+        .with(|w| w.get())
+        .unwrap_or_else(|| thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
+/// A scope for structured task parallelism; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+    width: Option<usize>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn `f` as a task that must finish before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        let width = self.width;
+        inner.spawn(move || {
+            // Propagate the installed pool width into the worker so
+            // nested `current_num_threads` calls see it.
+            let prev = POOL_WIDTH.with(|w| w.replace(width));
+            let s = Scope { inner, width };
+            f(&s);
+            POOL_WIDTH.with(|w| w.set(prev));
+        });
+    }
+}
+
+/// Run `op` with a [`Scope`] whose spawned tasks are all joined before
+/// `scope` returns (the rayon fork-join contract).
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let width = POOL_WIDTH.with(|w| w.get());
+    thread::scope(|s| {
+        let wrapper = Scope { inner: s, width };
+        op(&wrapper)
+    })
+}
+
+/// Builder for a [`ThreadPool`] of a fixed width.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (machine-width) settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool width (0 means machine width, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. Infallible here, but kept `Result` for API
+    /// compatibility with rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = self
+            .num_threads
+            .unwrap_or_else(|| thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A logical thread pool: a width that [`install`](ThreadPool::install)
+/// makes visible to [`current_num_threads`] for the duration of a
+/// closure. Work is still executed by scoped OS threads; the pool
+/// controls how many tasks the drivers partition into.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's width installed as the current one.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_WIDTH.with(|w| w.replace(Some(self.width)));
+        let out = f();
+        POOL_WIDTH.with(|w| w.set(prev));
+        out
+    }
+
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn install_overrides_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_width_visible_inside_scope_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    assert_eq!(current_num_threads(), 2);
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn mutable_borrows_can_be_split_across_tasks() {
+        let mut data = vec![0u32; 10];
+        let (a, b) = data.split_at_mut(5);
+        scope(|s| {
+            s.spawn(move |_| a.fill(1));
+            s.spawn(move |_| b.fill(2));
+        });
+        assert_eq!(&data[..5], &[1; 5]);
+        assert_eq!(&data[5..], &[2; 5]);
+    }
+}
