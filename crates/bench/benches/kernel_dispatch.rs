@@ -1,0 +1,86 @@
+//! Kernel dispatch bench: blocking level × SIMD backend at the
+//! serving-typical dimensions.
+//!
+//! The const-generic register-blocked kernels only exist for
+//! `GENERATED_DIMS`; the dimensions real embedding services run
+//! (d = 48/96/192/384) used to fall back to the dynamic-strip kernel.
+//! This bench measures what the strip-mined family (8-lane panels,
+//! register-resident accumulators across the neighbor loop) buys over
+//! that fallback, per pattern — the acceptance gate is `strip_mined`
+//! beating `dyn_strips` at d = 96 and d = 192 on the SpMM and
+//! sigmoid-embedding patterns. The `register_blocked` row appears only
+//! at generated dimensions for context.
+//!
+//! The header line records the detected CPU features and chosen
+//! backend; set `FUSEDMM_FORCE_SCALAR=1` to measure the portable
+//! fallback on the same machine.
+//!
+//! Run: `cargo bench --bench kernel_dispatch`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fusedmm_bench::workloads::kernel_workload_scaled;
+use fusedmm_core::genkern::GENERATED_DIMS;
+use fusedmm_core::{cpu_features, fusedmm_opt_with, Blocking, PartitionStrategy};
+use fusedmm_graph::datasets::Dataset;
+use fusedmm_ops::OpSet;
+
+// 48/96/192/384 are the strip-only serving dims; 64 is a generated
+// dimension, included so the register_blocked row appears for context.
+const DIMS: [usize; 5] = [48, 64, 96, 192, 384];
+
+fn bench_pattern(c: &mut Criterion, pattern_name: &str, ops: &OpSet) {
+    for &d in &DIMS {
+        // Scale the graph down as d grows so each configuration stays
+        // in a comparable time budget.
+        let w = kernel_workload_scaled(Dataset::Youtube, d, 0.004 * 96.0 / d as f64);
+        let mut g = c.benchmark_group(format!("kernel_dispatch_{pattern_name}_d{d}"));
+        g.warm_up_time(Duration::from_millis(500));
+        g.measurement_time(Duration::from_millis(4000));
+        g.sample_size(48);
+        let mut levels =
+            vec![("dyn_strips", Blocking::DynStrips), ("strip_mined", Blocking::StripMined)];
+        if GENERATED_DIMS.contains(&d) {
+            levels.push(("register_blocked", Blocking::RegisterBlocked));
+        }
+        for (name, blocking) in levels {
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    // Single partition: measure the kernels themselves,
+                    // not rayon fork-join jitter.
+                    black_box(fusedmm_opt_with(
+                        &w.adj,
+                        &w.x,
+                        &w.y,
+                        ops,
+                        blocking,
+                        Some(1),
+                        PartitionStrategy::NnzBalanced,
+                    ))
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    bench_pattern(c, "spmm", &OpSet::gcn());
+}
+
+fn bench_sigmoid_embed(c: &mut Criterion) {
+    bench_pattern(c, "embed", &OpSet::sigmoid_embedding(None));
+}
+
+fn bench_tdist(c: &mut Criterion) {
+    bench_pattern(c, "tdist", &OpSet::tdist_embedding());
+}
+
+fn print_header(_c: &mut Criterion) {
+    println!("{}", cpu_features());
+}
+
+criterion_group!(benches, print_header, bench_spmm, bench_sigmoid_embed, bench_tdist);
+criterion_main!(benches);

@@ -24,7 +24,10 @@ fn main() {
         ("GCN", OpSet::gcn),
     ];
     let r = reps();
-    println!("Table VI reproduction — kernel time (sec), {r} reps, scaled stand-ins\n");
+    println!("Table VI reproduction — kernel time (sec), {r} reps, scaled stand-ins");
+    // Benchmark numbers are meaningless without the hardware path that
+    // produced them.
+    println!("{}\n", fusedmm_core::cpu_features());
 
     for (pname, mk) in patterns {
         println!("== {pname} ==");

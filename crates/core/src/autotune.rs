@@ -3,9 +3,12 @@
 //! The paper's library "tuned the factor of the register blocking after
 //! applying different strategies" offline during code generation. We
 //! tune at run time instead: the first `fusedmm` call for a given
-//! (pattern, d) measures each candidate blocking on a small synthetic
-//! probe and caches the winner for the rest of the process — the ATLAS
-//! philosophy the paper cites, applied lazily.
+//! (pattern, d) measures each candidate blocking — dynamic strips,
+//! strip-mined (when `d ≡ 0 (mod 8)`), register-blocked (when a const
+//! specialization exists) — on a small synthetic probe and caches the
+//! winner for the rest of the process — the ATLAS philosophy the paper
+//! cites, applied lazily. The SIMD backend is fixed per process, so
+//! the (pattern, d) key implicitly tunes per (pattern, d, ISA).
 
 use std::time::Instant;
 
@@ -19,7 +22,7 @@ use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
 use crate::dispatch::{fusedmm_opt_with, specialize, Blocking};
-use crate::genkern::GENERATED_DIMS;
+use crate::genkern::{strip_minable, GENERATED_DIMS};
 use crate::part::PartitionStrategy;
 
 /// Cached tuning decisions, keyed by (pattern, dimension).
@@ -71,6 +74,9 @@ impl Tuner {
         let x = probe_features(PROBE_VERTICES, d, 1);
         let y = probe_features(PROBE_VERTICES, d, 2);
         let mut candidates = vec![Blocking::DynStrips];
+        if strip_minable(d) {
+            candidates.push(Blocking::StripMined);
+        }
         if GENERATED_DIMS.contains(&d) {
             candidates.push(Blocking::RegisterBlocked);
         }
@@ -151,8 +157,19 @@ mod tests {
     fn ungeneratable_dim_picks_dyn() {
         let tuner = Tuner::new();
         let ops = OpSet::gcn();
-        // 100 is not in GENERATED_DIMS, so only DynStrips is a candidate.
+        // 100 is neither in GENERATED_DIMS nor a multiple of 8, so only
+        // DynStrips is a candidate.
         assert_eq!(tuner.choose(&ops, 100), Blocking::DynStrips);
+    }
+
+    #[test]
+    fn strip_minable_dim_never_falls_back_to_generic() {
+        let tuner = Tuner::new();
+        let ops = OpSet::gcn();
+        // 96 is a multiple of 8 but has no const specialization:
+        // candidates are DynStrips and StripMined.
+        let b = tuner.choose(&ops, 96);
+        assert!(matches!(b, Blocking::DynStrips | Blocking::StripMined), "{b:?}");
     }
 
     #[test]
@@ -160,7 +177,10 @@ mod tests {
         let tuner = Tuner::new();
         let ops = OpSet::fr_model(1.0);
         let b = tuner.choose(&ops, 64);
-        assert!(matches!(b, Blocking::DynStrips | Blocking::RegisterBlocked));
+        assert!(matches!(
+            b,
+            Blocking::DynStrips | Blocking::StripMined | Blocking::RegisterBlocked
+        ));
         assert_ne!(b, Blocking::Generic);
     }
 

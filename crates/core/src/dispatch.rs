@@ -15,10 +15,12 @@ use fusedmm_sparse::dense::Dense;
 use crate::driver::parallel_row_bands;
 use crate::generic::{fusedmm_generic_opts, validate_shapes};
 use crate::genkern::{
-    embed_kernel_for, embed_row_dyn, fr_kernel_for, fr_row_dyn, spmm_kernel_for, spmm_row_dyn,
-    tdist_kernel_for, tdist_row_dyn, SigmoidKind,
+    embed_dyn_kernel, embed_kernel_for, embed_strip_kernel, fr_dyn_kernel, fr_kernel_for,
+    fr_strip_kernel, spmm_dyn_kernel, spmm_kernel_for, spmm_strip_kernel, strip_minable,
+    tdist_dyn_kernel, tdist_kernel_for, tdist_strip_kernel, SigmoidKind, GENERATED_DIMS,
 };
 use crate::part::PartitionStrategy;
+use crate::simd::active_backend;
 
 /// Largest dimension at which [`Blocking::Auto`] picks the
 /// register-blocked kernel. The paper's generator likewise "limit[s]
@@ -33,18 +35,55 @@ pub const REGISTER_BLOCK_MAX_DIM: usize = 64;
 /// Which kernel implementation level to use for a specialized pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Blocking {
-    /// Pick register-blocked when a generated dimension exists, else
-    /// dynamic strips (the library default).
+    /// Pick the best level the dimension admits: register-blocked for
+    /// small generated dimensions, strip-mined for any other multiple
+    /// of 8, dynamic strips otherwise (the library default).
     Auto,
     /// Force the const-dimension register-blocked kernel; an error if
     /// the dimension has no generated specialization.
     RegisterBlocked,
+    /// Force the strip-mined kernel (8-lane panels with
+    /// register-resident accumulators, any `d ≡ 0 (mod 8)`); an error
+    /// for other dimensions.
+    StripMined,
     /// Force the dynamic 8-lane strip kernel (no register blocking) —
     /// used by the register-blocking ablation.
     DynStrips,
     /// Force the generic five-step kernel even for recognized patterns —
     /// the paper's unoptimized "FusedMM" row.
     Generic,
+}
+
+/// The concrete kernel level [`fusedmm_opt_with`] resolved a
+/// [`Blocking`] request to for a given dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    Const,
+    Strip,
+    Dyn,
+}
+
+fn resolve_level(blocking: Blocking, d: usize) -> Level {
+    match blocking {
+        Blocking::RegisterBlocked => Level::Const,
+        Blocking::StripMined => {
+            assert!(
+                strip_minable(d),
+                "no strip-mined kernel for d={d} (d must be a positive multiple of 8)"
+            );
+            Level::Strip
+        }
+        Blocking::DynStrips => Level::Dyn,
+        Blocking::Auto | Blocking::Generic => {
+            if d <= REGISTER_BLOCK_MAX_DIM && GENERATED_DIMS.contains(&d) {
+                Level::Const
+            } else if strip_minable(d) {
+                Level::Strip
+            } else {
+                Level::Dyn
+            }
+        }
+    }
 }
 
 /// A recognized specialized pattern with its extracted parameters.
@@ -106,27 +145,22 @@ pub fn fusedmm_opt_with(
         return fusedmm_generic_opts(a, x, y, ops, partitions, strategy);
     };
     let d = x.ncols();
-    let use_const = match blocking {
-        Blocking::RegisterBlocked => true,
-        Blocking::DynStrips => false,
-        Blocking::Auto | Blocking::Generic => {
-            d <= REGISTER_BLOCK_MAX_DIM && embed_kernel_for(d).is_some()
-        }
-    };
+    let level = resolve_level(blocking, d);
+    let backend = active_backend();
     let mut z = Dense::zeros(a.nrows(), d);
 
     match spec {
         Specialized::Embed(sk) => {
-            let kern = if use_const {
-                embed_kernel_for(d).unwrap_or_else(|| {
+            let kern = match level {
+                Level::Const => embed_kernel_for(d).unwrap_or_else(|| {
                     assert!(
                         blocking != Blocking::RegisterBlocked,
                         "no generated register-blocked embedding kernel for d={d}"
                     );
-                    embed_row_dyn
-                })
-            } else {
-                embed_row_dyn
+                    embed_dyn_kernel(backend)
+                }),
+                Level::Strip => embed_strip_kernel(backend),
+                Level::Dyn => embed_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
                 for (i, u) in rows.enumerate() {
@@ -136,16 +170,16 @@ pub fn fusedmm_opt_with(
             });
         }
         Specialized::Fr(alpha) => {
-            let kern = if use_const {
-                fr_kernel_for(d).unwrap_or_else(|| {
+            let kern = match level {
+                Level::Const => fr_kernel_for(d).unwrap_or_else(|| {
                     assert!(
                         blocking != Blocking::RegisterBlocked,
                         "no generated register-blocked FR kernel for d={d}"
                     );
-                    fr_row_dyn
-                })
-            } else {
-                fr_row_dyn
+                    fr_dyn_kernel(backend)
+                }),
+                Level::Strip => fr_strip_kernel(backend),
+                Level::Dyn => fr_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
                 for (i, u) in rows.enumerate() {
@@ -155,16 +189,16 @@ pub fn fusedmm_opt_with(
             });
         }
         Specialized::TDist => {
-            let kern = if use_const {
-                tdist_kernel_for(d).unwrap_or_else(|| {
+            let kern = match level {
+                Level::Const => tdist_kernel_for(d).unwrap_or_else(|| {
                     assert!(
                         blocking != Blocking::RegisterBlocked,
                         "no generated register-blocked t-dist kernel for d={d}"
                     );
-                    tdist_row_dyn
-                })
-            } else {
-                tdist_row_dyn
+                    tdist_dyn_kernel(backend)
+                }),
+                Level::Strip => tdist_strip_kernel(backend),
+                Level::Dyn => tdist_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
                 for (i, u) in rows.enumerate() {
@@ -174,16 +208,16 @@ pub fn fusedmm_opt_with(
             });
         }
         Specialized::Spmm => {
-            let kern = if use_const {
-                spmm_kernel_for(d).unwrap_or_else(|| {
+            let kern = match level {
+                Level::Const => spmm_kernel_for(d).unwrap_or_else(|| {
                     assert!(
                         blocking != Blocking::RegisterBlocked,
                         "no generated register-blocked SpMM kernel for d={d}"
                     );
-                    spmm_row_dyn
-                })
-            } else {
-                spmm_row_dyn
+                    spmm_dyn_kernel(backend)
+                }),
+                Level::Strip => spmm_strip_kernel(backend),
+                Level::Dyn => spmm_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
                 for (i, u) in rows.enumerate() {
@@ -252,7 +286,7 @@ mod tests {
                 OpSet::gcn(),
             ] {
                 let reference = fusedmm_reference(&a, &x, &y, &ops);
-                for blocking in [Blocking::Auto, Blocking::DynStrips] {
+                for blocking in [Blocking::Auto, Blocking::DynStrips, Blocking::StripMined] {
                     let z = fusedmm_opt_with(
                         &a,
                         &x,
@@ -289,7 +323,7 @@ mod tests {
     #[test]
     fn auto_blocking_respects_the_dimension_threshold() {
         // Below the threshold Auto uses the register-blocked kernel,
-        // above it the dynamic-strip kernel; both must be correct.
+        // above it the strip-mined kernel; both must be correct.
         let n = 20;
         let a = graph(n);
         for d in [32usize, 256] {
@@ -332,6 +366,55 @@ mod tests {
         let opt = fusedmm_opt(&a, &x, &y, &ops);
         let gen = fusedmm_reference(&a, &x, &y, &ops);
         assert!(opt.max_abs_diff(&gen) < 1e-5);
+    }
+
+    #[test]
+    fn strip_mined_covers_serving_dims_the_const_list_misses() {
+        let n = 36;
+        let a = graph(n);
+        for d in [48usize, 96, 192] {
+            assert!(!crate::genkern::GENERATED_DIMS.contains(&d));
+            let x = feats(n, d, 0.15);
+            let y = feats(n, d, 0.55);
+            for ops in [OpSet::sigmoid_embedding(None), OpSet::gcn()] {
+                let reference = fusedmm_reference(&a, &x, &y, &ops);
+                let z = fusedmm_opt_with(
+                    &a,
+                    &x,
+                    &y,
+                    &ops,
+                    Blocking::StripMined,
+                    Some(3),
+                    PartitionStrategy::NnzBalanced,
+                );
+                assert!(
+                    z.max_abs_diff(&reference) < 1e-4,
+                    "{:?} d={d}: diff {}",
+                    ops.pattern,
+                    z.max_abs_diff(&reference)
+                );
+                // Auto must also land on a correct kernel at these dims.
+                let auto = fusedmm_opt(&a, &x, &y, &ops);
+                assert!(auto.max_abs_diff(&reference) < 1e-4, "auto {:?} d={d}", ops.pattern);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no strip-mined kernel for d=20")]
+    fn forcing_strip_mining_on_odd_dim_panics() {
+        let a = graph(10);
+        let x = feats(10, 20, 0.1);
+        let y = feats(10, 20, 0.2);
+        let _ = fusedmm_opt_with(
+            &a,
+            &x,
+            &y,
+            &OpSet::gcn(),
+            Blocking::StripMined,
+            Some(1),
+            PartitionStrategy::NnzBalanced,
+        );
     }
 
     #[test]

@@ -11,22 +11,38 @@
 //! dimension), and the portable [`crate::simd`] layer supplies the ISA
 //! abstraction.
 //!
-//! Two blocking levels exist per pattern:
+//! Three blocking levels exist per pattern:
 //!
 //! * `*_row_dyn` — dimension known only at run time; processes the row
 //!   in 8-lane strips, `z_u` accumulates in memory (one load+store per
 //!   strip per neighbor);
+//! * [`strip`] — strip-mined kernels for any `d ≡ 0 (mod 8)`: the
+//!   dimension is tiled into 8-lane panels whose accumulators stay in
+//!   registers across the neighbor loop, covering the serving-typical
+//!   d = 48/96/192/384 the const list misses;
 //! * `*_row_const::<D>` — dimension fixed at compile time; `x_u` and
 //!   `z_u` live in fixed-size stack arrays that LLVM promotes to
 //!   registers, giving the paper's register-blocking (the win measured
 //!   by the `register_blocking` ablation bench).
+//!
+//! The dyn and strip families are additionally monomorphized per SIMD
+//! [`Backend`](crate::simd::Backend) (AVX2+FMA / NEON / scalar) in
+//! [`strip`]; the const family relies on LLVM autovectorization of the
+//! portable [`crate::simd`] layer.
+
+pub mod strip;
 
 use std::sync::Arc;
 
 use fusedmm_ops::{sigmoid, SigmoidLut};
 use fusedmm_sparse::dense::Dense;
 
-use crate::simd::{axpy, dot, sqdist, F32x8, VLEN};
+use crate::simd::{active_backend, F32x8, VLEN};
+
+pub use strip::{
+    embed_dyn_kernel, embed_strip_kernel, fr_dyn_kernel, fr_strip_kernel, spmm_dyn_kernel,
+    spmm_strip_kernel, strip_minable, tdist_dyn_kernel, tdist_strip_kernel,
+};
 
 /// Which sigmoid evaluation the embedding kernels use for SOP.
 #[derive(Debug, Clone)]
@@ -59,55 +75,39 @@ pub type TDistRowKernel = fn(&[f32], &[usize], &[f32], &Dense, &mut [f32]);
 // ---------------------------------------------------------------------------
 // Dynamic-dimension kernels (8-lane strips, z_u in memory)
 // ---------------------------------------------------------------------------
+//
+// These are thin fronts over the ISA-monomorphized entries in
+// [`strip`]: each resolves the active backend once per row. The
+// dispatcher avoids even that by calling the `*_dyn_kernel(backend)`
+// selectors once per launch.
 
 /// Embedding, dynamic d: `z_u += σ(x_u·y_v) · y_v` per neighbor.
 pub fn embed_row_dyn(
     xu: &[f32],
     cols: &[usize],
-    _vals: &[f32],
+    vals: &[f32],
     y: &Dense,
     zu: &mut [f32],
     sk: &SigmoidKind,
 ) {
-    for &v in cols {
-        let yv = y.row(v);
-        let h = sk.eval(dot(xu, yv));
-        axpy(h, yv, zu);
-    }
+    embed_dyn_kernel(active_backend())(xu, cols, vals, y, zu, sk)
 }
 
 /// FR model, dynamic d: `z_u += α·‖x_u − y_v‖ · y_v` per neighbor.
-pub fn fr_row_dyn(
-    xu: &[f32],
-    cols: &[usize],
-    _vals: &[f32],
-    y: &Dense,
-    zu: &mut [f32],
-    alpha: f32,
-) {
-    for &v in cols {
-        let yv = y.row(v);
-        let h = alpha * sqdist(xu, yv).sqrt();
-        axpy(h, yv, zu);
-    }
+pub fn fr_row_dyn(xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32], alpha: f32) {
+    fr_dyn_kernel(active_backend())(xu, cols, vals, y, zu, alpha)
 }
 
 /// GCN/SpMM, dynamic d: `z_u += a_uv · y_v` per neighbor.
 pub fn spmm_row_dyn(cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]) {
-    for (&v, &a) in cols.iter().zip(vals) {
-        axpy(a, y.row(v), zu);
-    }
+    spmm_dyn_kernel(active_backend())(cols, vals, y, zu)
 }
 
 /// t-distribution embedding, dynamic d:
 /// `z_u += y_v / (1 + ‖x_u − y_v‖²)` per neighbor. The squared distance
 /// feeds the rational kernel directly — no square root needed.
-pub fn tdist_row_dyn(xu: &[f32], cols: &[usize], _vals: &[f32], y: &Dense, zu: &mut [f32]) {
-    for &v in cols {
-        let yv = y.row(v);
-        let h = 1.0 / (1.0 + sqdist(xu, yv));
-        axpy(h, yv, zu);
-    }
+pub fn tdist_row_dyn(xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]) {
+    tdist_dyn_kernel(active_backend())(xu, cols, vals, y, zu)
 }
 
 // ---------------------------------------------------------------------------

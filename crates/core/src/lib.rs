@@ -27,6 +27,11 @@
 //! * [`Plan`] / [`PlanCache`] — the autotuner's per-call choice lifted
 //!   into an explicit, reusable plan object for serving engines.
 //!
+//! Kernels execute on a SIMD backend detected once per process
+//! (AVX2+FMA on x86-64, NEON on AArch64, portable scalar otherwise —
+//! see [`crate::simd`] and [`cpu_features`]); set
+//! `FUSEDMM_FORCE_SCALAR=1` to pin the portable fallback.
+//!
 //! # Example
 //!
 //! ```
@@ -64,6 +69,7 @@ pub use generic::{fusedmm_generic, fusedmm_generic_opts, fusedmm_reference};
 pub use part::{Partition, PartitionStrategy};
 pub use plan::{Plan, PlanCache};
 pub use rows::{fusedmm_rows, fusedmm_rows_with};
+pub use simd::{active_backend, cpu_features, Backend, CpuFeatures};
 
 use fusedmm_ops::OpSet;
 use fusedmm_sparse::csr::Csr;

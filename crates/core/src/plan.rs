@@ -21,14 +21,17 @@ use crate::autotune::global_tuner;
 use crate::dispatch::{fusedmm_opt_with, Blocking};
 use crate::part::PartitionStrategy;
 use crate::rows::fusedmm_rows_with;
+use crate::simd::{active_backend, Backend};
 
 /// A frozen kernel configuration for one (pattern, dimension): which
-/// blocking level to run and how to partition rows across threads.
+/// blocking level to run, which SIMD backend executes it, and how to
+/// partition rows across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Plan {
     pattern: Pattern,
     d: usize,
     blocking: Blocking,
+    backend: Backend,
     strategy: PartitionStrategy,
 }
 
@@ -41,6 +44,7 @@ impl Plan {
             pattern: ops.pattern,
             d,
             blocking: global_tuner().choose(ops, d),
+            backend: active_backend(),
             strategy: PartitionStrategy::NnzBalanced,
         }
     }
@@ -53,7 +57,7 @@ impl Plan {
         blocking: Blocking,
         strategy: PartitionStrategy,
     ) -> Plan {
-        Plan { pattern: ops.pattern, d, blocking, strategy }
+        Plan { pattern: ops.pattern, d, blocking, backend: active_backend(), strategy }
     }
 
     /// The operator pattern this plan was prepared for.
@@ -69,6 +73,13 @@ impl Plan {
     /// The frozen blocking level.
     pub fn blocking(&self) -> Blocking {
         self.blocking
+    }
+
+    /// The SIMD backend that executes this plan — recorded at
+    /// preparation time for observability; kernels always run on the
+    /// process-wide [`active_backend`].
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The frozen partition strategy.
@@ -199,6 +210,20 @@ mod tests {
                 assert!((z.get(i, k) - r.get(u, k)).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn plan_records_the_active_backend() {
+        let ops = OpSet::gcn();
+        let plan =
+            Plan::with_blocking(&ops, 48, Blocking::StripMined, PartitionStrategy::NnzBalanced);
+        assert_eq!(plan.backend(), crate::simd::active_backend());
+        assert_eq!(plan.blocking(), Blocking::StripMined);
+        // Strip-mined plans execute correctly at non-generated dims.
+        let (a, x, y) = setup(24, 48);
+        let z = plan.execute(&a, &x, &y, &ops);
+        let r = fusedmm_reference(&a, &x, &y, &ops);
+        assert!(z.max_abs_diff(&r) < 1e-4);
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::part::PartitionStrategy;
 
 /// `out[i, :] = FusedMM(A, X, Y)[rows[i], :]`, computing only the
 /// requested rows. Tuned like [`crate::fusedmm`]: the blocking strategy
-/// comes from the global autotuner.
+/// (dynamic, strip-mined, or register-blocked) comes from the global
+/// autotuner, and the kernels run on the detected SIMD backend.
 ///
 /// # Panics
 /// Panics when the full-problem shapes are inconsistent or any
@@ -98,6 +99,35 @@ mod tests {
                         ops.pattern
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn strip_mined_subset_matches_full_kernel_at_serving_dims() {
+        // d = 48 has no const-generic kernel; the row path must serve
+        // it through the strip-mined family.
+        let n = 40;
+        let a = graph(n);
+        let d = 48;
+        let x = feats(n, d, 0.15);
+        let y = feats(n, d, 0.75);
+        let ops = OpSet::sigmoid_embedding(None);
+        let full = fusedmm_reference(&a, &x, &y, &ops);
+        let rows = [5usize, 0, 39, 5, 21];
+        let z = fusedmm_rows_with(
+            &a,
+            &rows,
+            &x,
+            &y,
+            &ops,
+            Blocking::StripMined,
+            Some(2),
+            PartitionStrategy::NnzBalanced,
+        );
+        for (i, &u) in rows.iter().enumerate() {
+            for k in 0..d {
+                assert!((z.get(i, k) - full.get(u, k)).abs() < 1e-4, "row {u} lane {k}");
             }
         }
     }

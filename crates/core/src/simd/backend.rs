@@ -1,0 +1,198 @@
+//! Runtime ISA backend selection.
+//!
+//! The paper's build system compiles one kernel library per ISA
+//! (AVX-512/AVX/SSE on x86, ASIMD on ARM) and picks at configure time.
+//! We decide once per process at run time instead: the first caller of
+//! [`active_backend`] probes the CPU (`is_x86_feature_detected!` /
+//! `is_aarch64_feature_detected!`), honors the `FUSEDMM_FORCE_SCALAR`
+//! environment variable, and caches the answer for the lifetime of the
+//! process. Everything downstream — the slice primitives in
+//! [`crate::simd`], the per-ISA kernel entries in
+//! [`crate::genkern::strip`] — routes through that single decision, so
+//! there is no per-operation feature sniffing on the hot path.
+
+use std::sync::OnceLock;
+
+/// Which SIMD implementation the process executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// x86-64 AVX2 + FMA: 8-lane `__m256` arithmetic with true fused
+    /// multiply-add (`_mm256_fmadd_ps`).
+    Avx2Fma,
+    /// AArch64 NEON/ASIMD: an 8-lane vector emulated as a pair of
+    /// 4-lane `float32x4_t` q-registers with `vfmaq_f32`.
+    Neon,
+    /// Portable lane loops (the seed implementation) — correct on every
+    /// target; LLVM autovectorizes them to whatever the build target
+    /// guarantees (SSE2 on default x86-64).
+    Scalar,
+}
+
+impl Backend {
+    /// Every backend, in preference order.
+    pub const ALL: &'static [Backend] = &[Backend::Avx2Fma, Backend::Neon, Backend::Scalar];
+
+    /// Whether this backend can execute on the current CPU. `Scalar`
+    /// is always available; the ISA backends require both the matching
+    /// compile-time architecture and the runtime CPU features.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            Backend::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            Backend::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    std::arch::is_aarch64_feature_detected!("neon")
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Human-readable name used in reports and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Avx2Fma => "avx2+fma",
+            Backend::Neon => "neon",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// True when `FUSEDMM_FORCE_SCALAR` is set to anything other than the
+/// empty string or `0` — the debugging escape hatch that pins every
+/// kernel to the portable fallback regardless of CPU capabilities.
+pub fn scalar_forced() -> bool {
+    match std::env::var("FUSEDMM_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// The one-time decision: the backend plus whether the scalar force
+/// flag drove it. Captured together so [`cpu_features`] can never
+/// attribute a backend to an env state it did not see.
+static ACTIVE: OnceLock<(Backend, bool)> = OnceLock::new();
+
+fn decide_backend() -> (Backend, bool) {
+    *ACTIVE.get_or_init(|| {
+        if scalar_forced() {
+            return (Backend::Scalar, true);
+        }
+        for &b in Backend::ALL {
+            if b.is_available() {
+                return (b, false);
+            }
+        }
+        (Backend::Scalar, false)
+    })
+}
+
+/// The backend this process runs on, decided once: forced scalar if
+/// the env var says so, otherwise the best ISA the CPU supports.
+pub fn active_backend() -> Backend {
+    decide_backend().0
+}
+
+/// What the CPU offers and what we chose — recorded by benchmark
+/// binaries so measurements are attributable to a hardware path.
+#[derive(Debug, Clone)]
+pub struct CpuFeatures {
+    /// Compile-time architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+    /// Runtime-detected ISA features relevant to kernel selection,
+    /// as `(name, present)` pairs.
+    pub detected: Vec<(&'static str, bool)>,
+    /// Whether `FUSEDMM_FORCE_SCALAR` suppressed the ISA backends —
+    /// as observed when the backend was decided, not at report time.
+    pub forced_scalar: bool,
+    /// The backend the process executes (see [`active_backend`]).
+    pub backend: Backend,
+}
+
+/// Probe the CPU and report the detected features and chosen backend.
+pub fn cpu_features() -> CpuFeatures {
+    #[cfg(target_arch = "x86_64")]
+    let detected = vec![
+        ("avx2", is_x86_feature_detected!("avx2")),
+        ("fma", is_x86_feature_detected!("fma")),
+        ("avx512f", is_x86_feature_detected!("avx512f")),
+    ];
+    #[cfg(target_arch = "aarch64")]
+    let detected = vec![("neon", std::arch::is_aarch64_feature_detected!("neon"))];
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let detected = Vec::new();
+
+    let (backend, forced_scalar) = decide_backend();
+    CpuFeatures { arch: std::env::consts::ARCH, detected, forced_scalar, backend }
+}
+
+impl std::fmt::Display for CpuFeatures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu: {}", self.arch)?;
+        for (name, present) in &self.detected {
+            write!(f, " {name}={}", if *present { "yes" } else { "no" })?;
+        }
+        write!(f, " | simd backend: {}", self.backend)?;
+        if self.forced_scalar {
+            write!(f, " (FUSEDMM_FORCE_SCALAR)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(Backend::Scalar.is_available());
+    }
+
+    #[test]
+    fn active_backend_is_available_and_stable() {
+        let b = active_backend();
+        assert!(b.is_available());
+        assert_eq!(b, active_backend());
+    }
+
+    #[test]
+    fn at_most_one_arch_backend_per_target() {
+        // A single build can never see both x86 and ARM backends.
+        assert!(!(Backend::Avx2Fma.is_available() && Backend::Neon.is_available()));
+    }
+
+    #[test]
+    fn report_names_the_active_backend() {
+        let report = cpu_features();
+        assert_eq!(report.backend, active_backend());
+        let text = report.to_string();
+        assert!(text.contains("simd backend:"));
+        assert!(text.contains(report.backend.label()));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Backend::Avx2Fma.label(), Backend::Scalar.label());
+        assert_ne!(Backend::Neon.label(), Backend::Scalar.label());
+    }
+}

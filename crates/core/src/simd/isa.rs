@@ -1,0 +1,240 @@
+//! The ISA abstraction the kernels are written against.
+//!
+//! [`SimdIsa`] is the Rust analogue of the paper's `simd.h` macro
+//! vocabulary: an 8-lane register type plus `VZERO`/`VBCAST`/`VLOAD`/
+//! `VSTORE`/`VADD`/`VSUB`/`VMUL`/`VMAC`/`VHADD`. Kernel bodies are
+//! generic over it and marked `#[inline(always)]`; each backend then
+//! exposes one monomorphized entry per kernel, compiled under the
+//! matching `#[target_feature]` so the intrinsics (and everything
+//! inlined into the entry) codegen with the real ISA. This is the
+//! memchr/pulp pattern: features apply *after* inlining, so one source
+//! body serves every backend.
+//!
+//! Loads and stores take raw pointers and are **unaligned by
+//! contract** — callers hand in arbitrary row offsets of `f32` data
+//! with only 4-byte alignment guaranteed (see the module header of
+//! [`crate::simd`]).
+
+use crate::simd::{F32x8, VLEN};
+
+/// An 8-lane f32 vector ISA.
+///
+/// # Safety
+///
+/// Implementations may compile to instructions beyond the build
+/// target's baseline. An implementation must only be *executed* on a
+/// CPU that supports its ISA; the per-backend entry functions uphold
+/// this by being reachable only through
+/// [`Backend`](crate::simd::Backend) detection. `loadu`/`storeu`
+/// additionally require pointers valid for `VLEN` consecutive `f32`
+/// reads/writes (any 4-byte alignment).
+pub unsafe trait SimdIsa {
+    /// The register type (8 f32 lanes).
+    type V: Copy;
+
+    /// All lanes zero (`VZERO`).
+    fn zero() -> Self::V;
+    /// All lanes set to `v` (`VBCAST`).
+    fn splat(v: f32) -> Self::V;
+    /// Unaligned 8-lane load (`VLOAD`).
+    ///
+    /// # Safety
+    /// `p` must be valid for reading `VLEN` consecutive `f32`s.
+    unsafe fn loadu(p: *const f32) -> Self::V;
+    /// Unaligned 8-lane store (`VSTORE`).
+    ///
+    /// # Safety
+    /// `p` must be valid for writing `VLEN` consecutive `f32`s.
+    unsafe fn storeu(p: *mut f32, v: Self::V);
+    /// Lanewise `a + b` (`VADD`).
+    fn add(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a - b` (`VSUB`).
+    fn sub(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `acc + a * b` (`VMAC`), fused where the ISA has FMA.
+    /// (`VMUL` is expressed as `fma(zero, a, b)` — every pattern's
+    /// multiply feeds an accumulate, so a standalone mul never appears
+    /// in kernel bodies.)
+    fn fma(acc: Self::V, a: Self::V, b: Self::V) -> Self::V;
+    /// Horizontal sum of all lanes (`VHADD`).
+    fn hsum(v: Self::V) -> f32;
+}
+
+/// The portable backend: [`F32x8`] lane loops, correct everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarIsa;
+
+unsafe impl SimdIsa for ScalarIsa {
+    type V = F32x8;
+
+    #[inline(always)]
+    fn zero() -> F32x8 {
+        F32x8::zero()
+    }
+
+    #[inline(always)]
+    fn splat(v: f32) -> F32x8 {
+        F32x8::splat(v)
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(p: *const f32) -> F32x8 {
+        let mut out = [0f32; VLEN];
+        unsafe { std::ptr::copy_nonoverlapping(p, out.as_mut_ptr(), VLEN) };
+        F32x8(out)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(p: *mut f32, v: F32x8) {
+        unsafe { std::ptr::copy_nonoverlapping(v.0.as_ptr(), p, VLEN) };
+    }
+
+    #[inline(always)]
+    fn add(a: F32x8, b: F32x8) -> F32x8 {
+        a.add(b)
+    }
+
+    #[inline(always)]
+    fn sub(a: F32x8, b: F32x8) -> F32x8 {
+        a.sub(b)
+    }
+
+    #[inline(always)]
+    fn fma(acc: F32x8, a: F32x8, b: F32x8) -> F32x8 {
+        acc.fma(a, b)
+    }
+
+    #[inline(always)]
+    fn hsum(v: F32x8) -> f32 {
+        v.hsum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ISA-generic slice primitive bodies. Each is `#[inline(always)]` so a
+// `#[target_feature]` entry that instantiates it compiles the whole
+// body — intrinsics included — under the entry's feature set.
+// ---------------------------------------------------------------------------
+
+/// Dot product `x · y` over `x.len()` elements: two 8-lane accumulator
+/// chains (hides FMA latency), scalar tail.
+#[inline(always)]
+pub(crate) fn dot_body<I: SimdIsa>(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len();
+    assert!(y.len() >= n, "dot: y shorter than x");
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut acc0 = I::zero();
+    let mut acc1 = I::zero();
+    let mut k = 0;
+    // Safety: k + 2*VLEN <= n bounds every read below.
+    unsafe {
+        while k + 2 * VLEN <= n {
+            acc0 = I::fma(acc0, I::loadu(xp.add(k)), I::loadu(yp.add(k)));
+            acc1 = I::fma(acc1, I::loadu(xp.add(k + VLEN)), I::loadu(yp.add(k + VLEN)));
+            k += 2 * VLEN;
+        }
+        while k + VLEN <= n {
+            acc0 = I::fma(acc0, I::loadu(xp.add(k)), I::loadu(yp.add(k)));
+            k += VLEN;
+        }
+    }
+    let mut s = I::hsum(I::add(acc0, acc1));
+    while k < n {
+        s += x[k] * y[k];
+        k += 1;
+    }
+    s
+}
+
+/// Squared L2 distance `‖x − y‖²` over `x.len()` elements.
+#[inline(always)]
+pub(crate) fn sqdist_body<I: SimdIsa>(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len();
+    assert!(y.len() >= n, "sqdist: y shorter than x");
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut acc0 = I::zero();
+    let mut acc1 = I::zero();
+    let mut k = 0;
+    // Safety: k + 2*VLEN <= n bounds every read below.
+    unsafe {
+        while k + 2 * VLEN <= n {
+            let d0 = I::sub(I::loadu(xp.add(k)), I::loadu(yp.add(k)));
+            let d1 = I::sub(I::loadu(xp.add(k + VLEN)), I::loadu(yp.add(k + VLEN)));
+            acc0 = I::fma(acc0, d0, d0);
+            acc1 = I::fma(acc1, d1, d1);
+            k += 2 * VLEN;
+        }
+        while k + VLEN <= n {
+            let d0 = I::sub(I::loadu(xp.add(k)), I::loadu(yp.add(k)));
+            acc0 = I::fma(acc0, d0, d0);
+            k += VLEN;
+        }
+    }
+    let mut s = I::hsum(I::add(acc0, acc1));
+    while k < n {
+        let d = x[k] - y[k];
+        s += d * d;
+        k += 1;
+    }
+    s
+}
+
+/// `z += s * y` over `z.len()` elements.
+#[inline(always)]
+pub(crate) fn axpy_body<I: SimdIsa>(s: f32, y: &[f32], z: &mut [f32]) {
+    let n = z.len();
+    assert!(y.len() >= n, "axpy: y shorter than z");
+    let yp = y.as_ptr();
+    let zp = z.as_mut_ptr();
+    let sv = I::splat(s);
+    let mut k = 0;
+    // Safety: k + 2*VLEN <= n bounds every access below; y and z are
+    // distinct slices (&/&mut), so reads and writes never alias.
+    unsafe {
+        while k + 2 * VLEN <= n {
+            let z0 = I::fma(I::loadu(zp.add(k)), sv, I::loadu(yp.add(k)));
+            let z1 = I::fma(I::loadu(zp.add(k + VLEN)), sv, I::loadu(yp.add(k + VLEN)));
+            I::storeu(zp.add(k), z0);
+            I::storeu(zp.add(k + VLEN), z1);
+            k += 2 * VLEN;
+        }
+        while k + VLEN <= n {
+            let z0 = I::fma(I::loadu(zp.add(k)), sv, I::loadu(yp.add(k)));
+            I::storeu(zp.add(k), z0);
+            k += VLEN;
+        }
+    }
+    while k < n {
+        z[k] += s * y[k];
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_bodies_match_plain_loops() {
+        for n in [0usize, 1, 7, 8, 15, 16, 17, 33, 96] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 0.5).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.21).cos() * 0.5).collect();
+            let dot_ref: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot_body::<ScalarIsa>(&x, &y) - dot_ref).abs() < 1e-4, "dot n={n}");
+            let sq_ref: f32 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!((sqdist_body::<ScalarIsa>(&x, &y) - sq_ref).abs() < 1e-4, "sqdist n={n}");
+            let mut z = vec![0.25f32; n];
+            axpy_body::<ScalarIsa>(0.5, &y, &mut z);
+            for (k, zv) in z.iter().enumerate() {
+                assert!((zv - (0.25 + 0.5 * y[k])).abs() < 1e-6, "axpy n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "y shorter than x")]
+    fn dot_rejects_short_y() {
+        let _ = dot_body::<ScalarIsa>(&[0.0; 9], &[0.0; 8]);
+    }
+}

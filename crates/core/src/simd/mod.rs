@@ -1,17 +1,59 @@
-//! Portable SIMD layer — the Rust analogue of the paper's `simd.h`.
+//! Multi-backend SIMD layer — the Rust analogue of the paper's `simd.h`.
 //!
 //! The reference implementation hides AVX-512/AVX/SSE/NEON intrinsics
 //! behind C preprocessor macros in a generated `simd.h`, giving every
-//! kernel one vocabulary (`VLOAD`, `VMUL`, `VMAC`, `VHADD`, ...). This
-//! module plays the same role with safe Rust: a fixed-width vector type
-//! [`F32x8`] whose inlined elementwise operations compile to the target
-//! ISA's SIMD instructions (SSE/AVX on x86, ASIMD on AArch64) through
-//! LLVM's vectorizer — the same "one source, any ISA" property the
-//! paper's code generator provides, without per-ISA source files.
+//! kernel one vocabulary (`VLOAD`, `VMUL`, `VMAC`, `VHADD`, ...) and
+//! selecting the ISA at build time. This module provides the same
+//! vocabulary with **runtime** ISA selection:
+//!
+//! | backend           | ISA                | selected when |
+//! |-------------------|--------------------|---------------|
+//! | [`Backend::Avx2Fma`] | x86-64 AVX2 + FMA (`std::arch` intrinsics) | `is_x86_feature_detected!("avx2")` and `("fma")` |
+//! | [`Backend::Neon`]    | AArch64 NEON/ASIMD (`std::arch` intrinsics) | aarch64 build (NEON is baseline) |
+//! | [`Backend::Scalar`]  | portable lane loops ([`F32x8`])             | everything else, or `FUSEDMM_FORCE_SCALAR=1` |
+//!
+//! The choice is made once per process ([`active_backend`]) and
+//! consulted at kernel-launch granularity — the slice primitives below
+//! route through a cached function-pointer table, and the row kernels
+//! in [`crate::genkern`] are monomorphized per backend and picked by
+//! the dispatcher — so no hot loop ever sniffs CPU features. Setting
+//! `FUSEDMM_FORCE_SCALAR=1` before first use pins everything to the
+//! portable fallback for debugging and A/B runs, and
+//! [`cpu_features`] reports what was detected and chosen.
+//!
+//! # Alignment contract
+//!
+//! [`F32x8`] the *value type* is 32-byte aligned (one AVX ymm image),
+//! but every load/store in this module — [`F32x8::load`],
+//! [`F32x8::store`], and all ISA-backend memory ops — accepts data with
+//! only the natural 4-byte `f32` alignment, because kernels index
+//! arbitrary row offsets (`&row[k..]`) of packed dense matrices. The
+//! AVX2 backend therefore always uses the unaligned intrinsics
+//! (`_mm256_loadu_ps`/`_mm256_storeu_ps`; full speed on aligned
+//! addresses on every AVX2 part), and NEON uses `vld1q_f32`/
+//! `vst1q_f32`, which only require element alignment. Do not introduce
+//! aligned intrinsics here without also guaranteeing 32-byte row
+//! pitches in [`fusedmm_sparse::dense::Dense`].
 //!
 //! All lane counts are fixed at 8 (`VLEN`): wide enough to fill an AVX
 //! register exactly and an AVX-512/NEON pipeline via unrolling, and the
 //! greatest common divisor of all dimension values the paper benchmarks.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod backend;
+mod isa;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx2::Avx2Isa;
+pub use backend::{active_backend, cpu_features, scalar_forced, Backend, CpuFeatures};
+pub(crate) use isa::{axpy_body, dot_body, sqdist_body, ScalarIsa, SimdIsa};
+#[cfg(target_arch = "aarch64")]
+pub(crate) use neon::NeonIsa;
+
+use std::sync::OnceLock;
 
 /// Number of f32 lanes per register-like vector.
 pub const VLEN: usize = 8;
@@ -20,7 +62,9 @@ pub const VLEN: usize = 8;
 ///
 /// 32-byte alignment matches one AVX ymm register; operations are
 /// written as straight-line lane loops that LLVM reliably turns into
-/// single vector instructions at `opt-level ≥ 2`.
+/// single vector instructions at `opt-level ≥ 2`. This is the portable
+/// backend's register type and the reference semantics the ISA
+/// backends are tested against.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[repr(align(32))]
 pub struct F32x8(pub [f32; VLEN]);
@@ -40,6 +84,8 @@ impl F32x8 {
     }
 
     /// Load 8 lanes from the first 8 elements of `src` (`VLOAD`).
+    /// `src` needs only `f32` alignment — see the module header's
+    /// alignment contract.
     ///
     /// # Panics
     /// Panics in debug builds when `src` is shorter than 8.
@@ -52,6 +98,7 @@ impl F32x8 {
     }
 
     /// Store all lanes into the first 8 elements of `dst` (`VSTORE`).
+    /// `dst` needs only `f32` alignment.
     #[inline(always)]
     pub fn store(self, dst: &mut [f32]) {
         debug_assert!(dst.len() >= VLEN);
@@ -93,9 +140,8 @@ impl F32x8 {
     /// multiply and add rather than `f32::mul_add`: on targets whose
     /// baseline lacks hardware FMA (default x86-64), `mul_add` lowers to
     /// a per-lane libm call for its single-rounding guarantee, defeating
-    /// vectorization entirely; mul+add vectorizes everywhere and LLVM
-    /// still contracts it to real FMA instructions when the target has
-    /// them.
+    /// vectorization entirely. The AVX2 backend gets true fused FMA via
+    /// `_mm256_fmadd_ps` instead (see [`crate::simd`] submodules).
     #[inline(always)]
     pub fn fma(self, a: Self, b: Self) -> Self {
         let mut out = [0.0; VLEN];
@@ -146,67 +192,102 @@ impl F32x8 {
     }
 }
 
-/// Dot product of two equal-length slices using 8-lane strips with a
-/// scalar tail — the VOP(MUL) + ROP(RSUM) fusion.
+// ---------------------------------------------------------------------------
+// Dispatched slice primitives
+// ---------------------------------------------------------------------------
+
+/// The function-pointer table one backend installs — resolved once per
+/// process so the per-call cost is a single indirect call.
+#[derive(Clone, Copy)]
+struct SliceOps {
+    dot: fn(&[f32], &[f32]) -> f32,
+    sqdist: fn(&[f32], &[f32]) -> f32,
+    axpy: fn(f32, &[f32], &mut [f32]),
+}
+
+fn scalar_ops() -> SliceOps {
+    SliceOps {
+        dot: |x, y| isa::dot_body::<ScalarIsa>(x, y),
+        sqdist: |x, y| isa::sqdist_body::<ScalarIsa>(x, y),
+        axpy: |s, y, z| isa::axpy_body::<ScalarIsa>(s, y, z),
+    }
+}
+
+fn ops_for(b: Backend) -> SliceOps {
+    match b {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2Fma => SliceOps { dot: avx2::dot, sqdist: avx2::sqdist, axpy: avx2::axpy },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => SliceOps { dot: neon::dot, sqdist: neon::sqdist, axpy: neon::axpy },
+        _ => scalar_ops(),
+    }
+}
+
+static SLICE_OPS: OnceLock<SliceOps> = OnceLock::new();
+
+#[inline]
+fn slice_ops() -> &'static SliceOps {
+    SLICE_OPS.get_or_init(|| ops_for(active_backend()))
+}
+
+/// Dot product of two equal-length slices (VOP(MUL) + ROP(RSUM)
+/// fusion), computed by the active backend.
 ///
-/// Strips are walked with `chunks_exact`, which hands LLVM check-free
-/// fixed-size blocks (slice-indexed loads keep a bounds check per strip
-/// that measurably slows the memory-bound kernels).
+/// # Panics
+/// Panics when `y` is shorter than `x`.
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
-    debug_assert_eq!(x.len(), y.len());
-    let mut acc = [0f32; VLEN];
-    let mut xs = x.chunks_exact(VLEN);
-    let mut ys = y.chunks_exact(VLEN);
-    for (xc, yc) in (&mut xs).zip(&mut ys) {
-        for k in 0..VLEN {
-            acc[k] += xc[k] * yc[k];
-        }
-    }
-    let mut s = F32x8(acc).hsum();
-    for (&a, &b) in xs.remainder().iter().zip(ys.remainder()) {
-        s += a * b;
-    }
-    s
+    (slice_ops().dot)(x, y)
 }
 
 /// `z += s * y` over equal-length slices (`MOP(MUL) + AOP(ASUM)` with a
-/// scalar message) — the axpy at the heart of the embedding pattern.
+/// scalar message) — the axpy at the heart of the embedding pattern,
+/// computed by the active backend.
+///
+/// # Panics
+/// Panics when `y` is shorter than `z`.
 #[inline]
 pub fn axpy(s: f32, y: &[f32], z: &mut [f32]) {
-    debug_assert_eq!(y.len(), z.len());
-    let mut zs = z.chunks_exact_mut(VLEN);
-    let mut ys = y.chunks_exact(VLEN);
-    for (zc, yc) in (&mut zs).zip(&mut ys) {
-        for k in 0..VLEN {
-            zc[k] += s * yc[k];
-        }
-    }
-    for (zr, &yr) in zs.into_remainder().iter_mut().zip(ys.remainder()) {
-        *zr += s * yr;
-    }
+    (slice_ops().axpy)(s, y, z)
 }
 
 /// Squared L2 distance `‖x − y‖²` (VOP(SUB) + ROP(NORM) without the
-/// final sqrt) — the FR pattern's reduction.
+/// final sqrt) — the FR pattern's reduction, computed by the active
+/// backend.
+///
+/// # Panics
+/// Panics when `y` is shorter than `x`.
 #[inline]
 pub fn sqdist(x: &[f32], y: &[f32]) -> f32 {
-    debug_assert_eq!(x.len(), y.len());
-    let mut acc = [0f32; VLEN];
-    let mut xs = x.chunks_exact(VLEN);
-    let mut ys = y.chunks_exact(VLEN);
-    for (xc, yc) in (&mut xs).zip(&mut ys) {
-        for k in 0..VLEN {
-            let d = xc[k] - yc[k];
-            acc[k] += d * d;
-        }
-    }
-    let mut s = F32x8(acc).hsum();
-    for (&a, &b) in xs.remainder().iter().zip(ys.remainder()) {
-        let d = a - b;
-        s += d * d;
-    }
-    s
+    (slice_ops().sqdist)(x, y)
+}
+
+/// [`dot`] computed by an explicit backend — for cross-backend tests
+/// and ablation benches.
+///
+/// # Panics
+/// Panics when `b` is not available on this CPU.
+pub fn dot_with(b: Backend, x: &[f32], y: &[f32]) -> f32 {
+    assert!(b.is_available(), "backend {b} not available on this CPU");
+    (ops_for(b).dot)(x, y)
+}
+
+/// [`sqdist`] computed by an explicit backend.
+///
+/// # Panics
+/// Panics when `b` is not available on this CPU.
+pub fn sqdist_with(b: Backend, x: &[f32], y: &[f32]) -> f32 {
+    assert!(b.is_available(), "backend {b} not available on this CPU");
+    (ops_for(b).sqdist)(x, y)
+}
+
+/// [`axpy`] computed by an explicit backend.
+///
+/// # Panics
+/// Panics when `b` is not available on this CPU.
+pub fn axpy_with(b: Backend, s: f32, y: &[f32], z: &mut [f32]) {
+    assert!(b.is_available(), "backend {b} not available on this CPU");
+    (ops_for(b).axpy)(s, y, z)
 }
 
 #[cfg(test)]
@@ -227,6 +308,21 @@ mod tests {
         v.store(&mut dst);
         assert_eq!(&dst[..8], &src[..8]);
         assert_eq!(dst[8], 0.0);
+    }
+
+    #[test]
+    fn load_store_tolerate_unaligned_offsets() {
+        // Slices at odd offsets are only 4-byte aligned — the contract
+        // the ISA backends' unaligned intrinsics exist for.
+        let src: Vec<f32> = (0..17).map(|i| i as f32).collect();
+        for off in 0..8 {
+            let v = F32x8::load(&src[off..]);
+            assert_eq!(v.0[0], off as f32);
+            let mut dst = vec![0.0; 17];
+            v.store(&mut dst[off..]);
+            assert_eq!(dst[off], off as f32);
+            assert_eq!(dst[off + 7], (off + 7) as f32);
+        }
     }
 
     #[test]
@@ -288,6 +384,43 @@ mod tests {
             let expect: f32 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!((sqdist(&x, &y) - expect).abs() < 1e-3, "n={n}");
         }
+    }
+
+    #[test]
+    fn every_available_backend_agrees_on_primitives() {
+        for n in [1usize, 8, 24, 48, 96, 192, 384, 391] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin() * 0.4).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.19).cos() * 0.4).collect();
+            let d_ref = dot_with(Backend::Scalar, &x, &y);
+            let s_ref = sqdist_with(Backend::Scalar, &x, &y);
+            for &b in Backend::ALL {
+                if !b.is_available() {
+                    continue;
+                }
+                assert!((dot_with(b, &x, &y) - d_ref).abs() < 1e-5, "dot {b} n={n}");
+                assert!((sqdist_with(b, &x, &y) - s_ref).abs() < 1e-5, "sqdist {b} n={n}");
+                let mut z = vec![0.2f32; n];
+                let mut z_ref = vec![0.2f32; n];
+                axpy_with(b, 0.7, &x, &mut z);
+                axpy_with(Backend::Scalar, 0.7, &x, &mut z_ref);
+                for k in 0..n {
+                    assert!((z[k] - z_ref[k]).abs() < 1e-5, "axpy {b} n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn explicit_backend_requires_availability() {
+        // One of the two ISA backends is always foreign to the build
+        // target, so this panics on every machine.
+        let unavailable = if Backend::Avx2Fma.is_available() || cfg!(target_arch = "x86_64") {
+            Backend::Neon
+        } else {
+            Backend::Avx2Fma
+        };
+        let _ = dot_with(unavailable, &[1.0; 8], &[1.0; 8]);
     }
 
     #[test]

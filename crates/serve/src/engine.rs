@@ -160,6 +160,13 @@ impl Engine {
         self.shared.plan
     }
 
+    /// The SIMD backend the plan was prepared on — surfaced so serving
+    /// deployments can log which hardware path their latencies belong
+    /// to (see [`fusedmm_core::cpu_features`]).
+    pub fn backend(&self) -> fusedmm_core::Backend {
+        self.shared.plan.backend()
+    }
+
     /// Refresh embeddings for `nodes` (any order, duplicates allowed):
     /// returns one output row per requested node, equal to the matching
     /// rows of the full-graph kernel. Blocks until the micro-batcher

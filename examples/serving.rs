@@ -13,6 +13,10 @@ use std::time::Duration;
 use fusedmm::prelude::*;
 
 fn main() {
+    // Record the hardware path before anything else, so pasted output
+    // always says which SIMD backend produced the numbers below.
+    println!("{}", fusedmm::kernel::cpu_features());
+
     // The "model": a scale-free graph and trained-looking features.
     let n = 20_000;
     let d = 64;
@@ -33,7 +37,7 @@ fn main() {
         OpSet::sigmoid_embedding(None),
         EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() },
     );
-    println!("engine ready: plan = {:?}\n", engine.plan());
+    println!("engine ready: plan = {:?}, backend = {}\n", engine.plan(), engine.backend());
 
     // A full-graph inference pass — the classic batch call, for
     // comparison with the per-request path below.

@@ -46,8 +46,8 @@ pub use fusedmm_sparse as sparse;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use fusedmm_core::{
-        fusedmm, fusedmm_generic, fusedmm_opt, fusedmm_reference, fusedmm_rows, Blocking,
-        PartitionStrategy, Plan, PlanCache,
+        cpu_features, fusedmm, fusedmm_generic, fusedmm_opt, fusedmm_reference, fusedmm_rows,
+        Backend, Blocking, PartitionStrategy, Plan, PlanCache,
     };
     pub use fusedmm_graph::datasets::Dataset;
     pub use fusedmm_graph::erdos::erdos_renyi;

@@ -167,13 +167,18 @@ fn run_benchmark(label: &str, config: Config, mut f: impl FnMut(&mut Bencher)) {
         return;
     }
     let n = b.samples.len();
-    let mean = b.samples.iter().sum::<f64>() / n as f64;
-    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    // [min median max]: the median is the headline statistic — on
+    // shared machines scheduler preemption produces far outliers that
+    // make the mean unrepresentative of kernel cost.
+    b.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = b.samples[0];
+    let max = b.samples[n - 1];
+    let median =
+        if n % 2 == 1 { b.samples[n / 2] } else { 0.5 * (b.samples[n / 2 - 1] + b.samples[n / 2]) };
     println!(
-        "{label:<48} time: [{} {} {}]  ({n} samples)",
+        "{label:<48} time: [{} {} {}]  ({n} samples, median)",
         format_secs(min),
-        format_secs(mean),
+        format_secs(median),
         format_secs(max)
     );
 }
