@@ -67,8 +67,8 @@ pub use autotune::{global_tuner, Tuner};
 pub use dispatch::{fusedmm_opt, fusedmm_opt_with, specialize, Blocking, Specialized};
 pub use generic::{fusedmm_generic, fusedmm_generic_opts, fusedmm_reference};
 pub use part::{Partition, PartitionStrategy};
-pub use plan::{Plan, PlanCache};
-pub use rows::{fusedmm_rows, fusedmm_rows_with};
+pub use plan::{Plan, PlanCache, PlanTag};
+pub use rows::{fusedmm_rows, fusedmm_rows_banded, fusedmm_rows_with};
 pub use simd::{active_backend, cpu_features, Backend, CpuFeatures};
 
 use fusedmm_ops::OpSet;

@@ -218,4 +218,74 @@ mod tests {
         let a = skewed(4, 1);
         let _ = Partition::part1d(&a, 0, PartitionStrategy::NnzBalanced);
     }
+
+    /// Shard bands must be contiguous, monotone, and tile `0..m` with
+    /// no gap or overlap — the invariant engine-level sharding stacks
+    /// band outputs on.
+    fn assert_tiles_exactly(p: &Partition, m: usize) {
+        let b = p.boundaries();
+        assert_eq!(b[0], 0, "first band starts at row 0");
+        assert_eq!(*b.last().unwrap(), m, "last band ends at row m");
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "boundaries monotone");
+        let covered: usize = (0..p.len()).map(|i| p.rows(i).len()).sum();
+        assert_eq!(covered, m, "bands cover every row exactly once");
+    }
+
+    #[test]
+    fn star_graph_concentrates_but_still_tiles() {
+        // All nnz in one row (a star's hub): every cut lands right
+        // after the hub and the remaining bands are empty, but they
+        // still tile 0..m.
+        let mut c = Coo::new(64, 64);
+        for v in 1..64 {
+            c.push(0, v, 1.0);
+        }
+        let a = c.to_csr(Dedup::Last);
+        for parts in [1usize, 2, 4, 7, 64] {
+            let p = Partition::part1d(&a, parts, PartitionStrategy::NnzBalanced);
+            assert_tiles_exactly(&p, 64);
+            let hub_part =
+                (0..p.len()).find(|&i| p.rows(i).contains(&0)).expect("some band owns the hub");
+            assert_eq!(p.part_nnz(&a, hub_part), a.nnz(), "hub band holds every nonzero");
+        }
+    }
+
+    #[test]
+    fn interspersed_empty_rows_tile_exactly() {
+        // Rows 0, 3, 6, ... have degree 2; the rest are empty.
+        let mut c = Coo::new(90, 90);
+        for r in (0..90).step_by(3) {
+            c.push(r, (r + 1) % 90, 1.0);
+            c.push(r, (r + 2) % 90, 1.0);
+        }
+        let a = c.to_csr(Dedup::Last);
+        for strategy in [PartitionStrategy::NnzBalanced, PartitionStrategy::RowBalanced] {
+            for parts in [1usize, 3, 5, 8] {
+                let p = Partition::part1d(&a, parts, strategy);
+                assert_tiles_exactly(&p, 90);
+                let nnz_covered: usize = (0..p.len()).map(|i| p.part_nnz(&a, i)).sum();
+                assert_eq!(nnz_covered, a.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_rows_tiles_with_singleton_bands() {
+        let a = skewed(5, 2);
+        let p = Partition::part1d(&a, 100, PartitionStrategy::NnzBalanced);
+        assert_eq!(p.len(), 5, "clamped to one band per row");
+        assert_tiles_exactly(&p, 5);
+        for i in 0..p.len() {
+            assert!(p.rows(i).len() <= 1, "band {i} spans more than one row");
+        }
+    }
+
+    #[test]
+    fn all_empty_rows_tile_exactly() {
+        let a = Csr::empty(12, 12);
+        for parts in [1usize, 4, 12, 20] {
+            let p = Partition::part1d(&a, parts, PartitionStrategy::NnzBalanced);
+            assert_tiles_exactly(&p, 12);
+        }
+    }
 }

@@ -20,7 +20,7 @@ use fusedmm_sparse::dense::Dense;
 use crate::autotune::global_tuner;
 use crate::dispatch::{fusedmm_opt_with, Blocking};
 use crate::part::PartitionStrategy;
-use crate::rows::fusedmm_rows_with;
+use crate::rows::{fusedmm_rows_banded, fusedmm_rows_with};
 use crate::simd::{active_backend, Backend};
 
 /// A frozen kernel configuration for one (pattern, dimension): which
@@ -111,6 +111,24 @@ impl Plan {
         fusedmm_rows_with(a, rows, x, y, ops, self.blocking, None, self.strategy)
     }
 
+    /// Row-subset execution against a PART1D row band (see
+    /// [`crate::rows::fusedmm_rows_banded`]): `a_band` holds global rows
+    /// `band_start..` under local indices, `rows` are global ids inside
+    /// the band, `x` is the full (store-global) feature matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_rows_banded(
+        &self,
+        a_band: &Csr,
+        band_start: usize,
+        rows: &[usize],
+        x: &Dense,
+        y: &Dense,
+        ops: &OpSet,
+    ) -> Dense {
+        self.check(ops, x);
+        fusedmm_rows_banded(a_band, band_start, rows, x, y, ops, self.blocking, None, self.strategy)
+    }
+
     fn check(&self, ops: &OpSet, x: &Dense) {
         assert_eq!(
             ops.pattern, self.pattern,
@@ -127,10 +145,32 @@ impl Plan {
     }
 }
 
-/// A concurrent memo of [`Plan`]s keyed by (pattern, dimension).
+/// Disambiguates otherwise-identical `(pattern, d)` cache entries that
+/// belong to different serving contexts: the engine shard a plan was
+/// prepared for and the feature epoch it serves. Shards may autotune
+/// independently (their bands have different nnz profiles) and
+/// epoch-keyed entries give invalidation-aware layers — result caches,
+/// per-epoch specializations — a home in the same cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PlanTag {
+    /// Serving shard id (0 for an unsharded engine).
+    pub shard: u64,
+    /// Feature epoch (0 when the plan is epoch-agnostic).
+    pub epoch: u64,
+}
+
+impl PlanTag {
+    /// Tag for `shard`, epoch-agnostic.
+    pub fn for_shard(shard: u64) -> Self {
+        PlanTag { shard, epoch: 0 }
+    }
+}
+
+/// A concurrent memo of [`Plan`]s keyed by (pattern, dimension,
+/// [`PlanTag`]).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<(Pattern, usize), Plan>>,
+    plans: RwLock<HashMap<(Pattern, usize, PlanTag), Plan>>,
 }
 
 impl PlanCache {
@@ -139,16 +179,35 @@ impl PlanCache {
         Self::default()
     }
 
-    /// The cached plan for `ops` at dimension `d`, preparing (and
-    /// memoizing) it on first use.
+    /// The cached plan for `ops` at dimension `d` under the default
+    /// (unsharded, epoch-agnostic) tag, preparing (and memoizing) it on
+    /// first use.
     pub fn plan_for(&self, ops: &OpSet, d: usize) -> Plan {
-        let key = (ops.pattern, d);
+        self.plan_tagged(ops, d, PlanTag::default())
+    }
+
+    /// The cached plan for `ops` at dimension `d` under `tag`,
+    /// preparing (and memoizing) it on first use.
+    pub fn plan_tagged(&self, ops: &OpSet, d: usize, tag: PlanTag) -> Plan {
+        let key = (ops.pattern, d, tag);
         if let Some(&plan) = self.plans.read().get(&key) {
             return plan;
         }
         let plan = Plan::prepare(ops, d);
         self.plans.write().insert(key, plan);
         plan
+    }
+
+    /// Drop every entry tagged with `epoch` — the invalidation hook a
+    /// feature publish uses to retire epoch-keyed plans. Epoch 0 is the
+    /// epoch-*agnostic* sentinel ([`PlanTag::default`] /
+    /// [`PlanTag::for_shard`]), not a real generation, so
+    /// `evict_epoch(0)` is a no-op rather than a cache wipe.
+    pub fn evict_epoch(&self, epoch: u64) {
+        if epoch == 0 {
+            return;
+        }
+        self.plans.write().retain(|&(_, _, tag), _| tag.epoch != epoch);
     }
 
     /// Number of memoized plans.
@@ -240,6 +299,36 @@ mod tests {
         assert_eq!(cache.len(), 3);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tagged_entries_are_distinct_and_epoch_evictable() {
+        let cache = PlanCache::new();
+        let ops = OpSet::gcn();
+        let _ = cache.plan_for(&ops, 32);
+        let _ = cache.plan_tagged(&ops, 32, PlanTag::for_shard(1));
+        let _ = cache.plan_tagged(&ops, 32, PlanTag { shard: 1, epoch: 7 });
+        assert_eq!(cache.len(), 3, "shard/epoch tags key separate entries");
+        cache.evict_epoch(7);
+        assert_eq!(cache.len(), 2, "only the epoch-7 entry is retired");
+        cache.evict_epoch(0);
+        assert_eq!(cache.len(), 2, "epoch 0 is the agnostic sentinel, never evicted");
+    }
+
+    #[test]
+    fn banded_plan_execution_matches_reference_rows() {
+        let (a, x, y) = setup(36, 8);
+        let ops = OpSet::gcn();
+        let plan = Plan::with_blocking(&ops, 8, Blocking::Auto, PartitionStrategy::NnzBalanced);
+        let r = fusedmm_reference(&a, &x, &y, &ops);
+        let band = a.row_band(10..30);
+        let rows = [29usize, 10, 17];
+        let z = plan.execute_rows_banded(&band, 10, &rows, &x, &y, &ops);
+        for (i, &u) in rows.iter().enumerate() {
+            for k in 0..8 {
+                assert!((z.get(i, k) - r.get(u, k)).abs() < 1e-5);
+            }
+        }
     }
 
     #[test]

@@ -50,10 +50,57 @@ pub fn fusedmm_rows_with(
     strategy: PartitionStrategy,
 ) -> Dense {
     validate_shapes(a, x, y);
+    fusedmm_rows_banded(a, 0, rows, x, y, ops, blocking, partitions, strategy)
+}
+
+/// Row-subset FusedMM against a **row band** of a larger matrix: the
+/// PART1D shard shape (see [`fusedmm_sparse::csr::Csr::row_band`]).
+///
+/// `a_band` stores global rows `band_start..band_start + a_band.nrows()`
+/// under local indices while its columns — and therefore `y` — stay
+/// global. `x` is the *full* feature matrix (`x.nrows() ≥ band end`),
+/// shared by every shard, and `rows` are **global** vertex ids that must
+/// fall inside the band. Output row `i` corresponds to `rows[i]`,
+/// bit-identical to the same rows of the unsharded kernel (each output
+/// row is computed independently, in the same column order).
+///
+/// # Panics
+/// Panics when shapes are inconsistent or a requested row falls outside
+/// the band.
+#[allow(clippy::too_many_arguments)]
+pub fn fusedmm_rows_banded(
+    a_band: &Csr,
+    band_start: usize,
+    rows: &[usize],
+    x: &Dense,
+    y: &Dense,
+    ops: &OpSet,
+    blocking: Blocking,
+    partitions: Option<usize>,
+    strategy: PartitionStrategy,
+) -> Dense {
+    let band_end = band_start + a_band.nrows();
+    assert!(
+        x.nrows() >= band_end,
+        "X must cover the band: {} rows < band end {band_end}",
+        x.nrows()
+    );
+    assert_eq!(y.nrows(), a_band.ncols(), "Y must have one row per (global) column of the band");
+    assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
     if rows.is_empty() {
         return Dense::zeros(0, x.ncols());
     }
-    let mb = slice_rows(a, rows);
+    let local: Vec<usize> = rows
+        .iter()
+        .map(|&u| {
+            assert!(
+                (band_start..band_end).contains(&u),
+                "row {u} out of range for band {band_start}..{band_end}"
+            );
+            u - band_start
+        })
+        .collect();
+    let mb = slice_rows(a_band, &local);
     let xb = gather_rows(x, rows);
     fusedmm_opt_with(&mb.adj, &xb, y, ops, blocking, partitions, strategy)
 }
@@ -130,6 +177,57 @@ mod tests {
                 assert!((z.get(i, k) - full.get(u, k)).abs() < 1e-4, "row {u} lane {k}");
             }
         }
+    }
+
+    #[test]
+    fn banded_subset_matches_unsharded_rows() {
+        let n = 48;
+        let a = graph(n);
+        let d = 16;
+        let x = feats(n, d, 0.25);
+        let y = feats(n, d, 0.65);
+        let ops = OpSet::sigmoid_embedding(None);
+        let full = fusedmm_reference(&a, &x, &y, &ops);
+        let (lo, hi) = (13usize, 37usize);
+        let band = a.row_band(lo..hi);
+        // Global ids inside the band, out of order, with a duplicate.
+        let rows = [20usize, 13, 36, 20, 29];
+        let z = fusedmm_rows_banded(
+            &band,
+            lo,
+            &rows,
+            &x,
+            &y,
+            &ops,
+            Blocking::Auto,
+            None,
+            PartitionStrategy::NnzBalanced,
+        );
+        for (i, &u) in rows.iter().enumerate() {
+            for k in 0..d {
+                assert!((z.get(i, k) - full.get(u, k)).abs() < 1e-5, "row {u} lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for band")]
+    fn banded_rejects_rows_outside_the_band() {
+        let a = graph(20);
+        let x = feats(20, 8, 0.0);
+        let y = feats(20, 8, 0.0);
+        let band = a.row_band(5..15);
+        let _ = fusedmm_rows_banded(
+            &band,
+            5,
+            &[4],
+            &x,
+            &y,
+            &OpSet::gcn(),
+            Blocking::Auto,
+            None,
+            PartitionStrategy::NnzBalanced,
+        );
     }
 
     #[test]

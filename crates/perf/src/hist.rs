@@ -100,6 +100,23 @@ impl LatencyHistogram {
         Some(Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)))
     }
 
+    /// Add every observation recorded in `other` into `self`,
+    /// bucket-wise — the cross-shard merge a sharded engine uses to
+    /// report one fleet-wide latency distribution next to the
+    /// per-shard ones. Concurrent `record`s on either histogram are
+    /// safe; the merge sees each observation at most once.
+    pub fn absorb(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total_nanos.fetch_add(other.total_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos.fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Consistent point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
@@ -116,6 +133,61 @@ impl LatencyHistogram {
             p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
             max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// A fixed-size family of [`LatencyHistogram`]s indexed by a small
+/// integer — one per serving shard, worker, or priority class. Each
+/// member records independently (same relaxed-atomic hot path);
+/// [`HistogramVec::merged`] folds them into one distribution for
+/// fleet-wide percentiles, and per-member snapshots expose stragglers.
+#[derive(Debug)]
+pub struct HistogramVec {
+    members: Vec<LatencyHistogram>,
+}
+
+impl HistogramVec {
+    /// A family of `len` empty histograms.
+    pub fn new(len: usize) -> Self {
+        HistogramVec { members: (0..len).map(|_| LatencyHistogram::new()).collect() }
+    }
+
+    /// Number of member histograms.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the family has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Record one observation into member `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn record(&self, i: usize, latency: Duration) {
+        self.members[i].record(latency);
+    }
+
+    /// The member histogram at `i`.
+    pub fn member(&self, i: usize) -> &LatencyHistogram {
+        &self.members[i]
+    }
+
+    /// Snapshot of member `i`.
+    pub fn snapshot(&self, i: usize) -> HistogramSnapshot {
+        self.members[i].snapshot()
+    }
+
+    /// All observations across every member, merged into one
+    /// distribution.
+    pub fn merged(&self) -> HistogramSnapshot {
+        let all = LatencyHistogram::new();
+        for m in &self.members {
+            all.absorb(m);
+        }
+        all.snapshot()
     }
 }
 
@@ -232,6 +304,39 @@ mod tests {
         }
         let rps = h.snapshot().throughput(Duration::from_secs(2));
         assert!((rps - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_merges_counts_mean_and_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(30));
+        b.record(Duration::from_millis(5));
+        a.absorb(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert!(s.max >= Duration::from_millis(5));
+        // Mean of 10us + 30us + 5000us.
+        assert_eq!(s.mean, Duration::from_nanos((10_000 + 30_000 + 5_000_000) / 3));
+        // The donor is untouched.
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn histogram_vec_tracks_members_and_merges() {
+        let v = HistogramVec::new(3);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        v.record(0, Duration::from_micros(10));
+        v.record(0, Duration::from_micros(10));
+        v.record(2, Duration::from_millis(2));
+        assert_eq!(v.snapshot(0).count, 2);
+        assert_eq!(v.snapshot(1).count, 0);
+        assert_eq!(v.member(2).count(), 1);
+        let merged = v.merged();
+        assert_eq!(merged.count, 3);
+        assert!(merged.max >= Duration::from_millis(2), "straggler member dominates max");
     }
 
     #[test]

@@ -9,15 +9,20 @@
 //! concurrent callers is computed once.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Condvar};
+use std::sync::{mpsc, Arc, Condvar};
 use std::time::{Duration, Instant};
 
 use fusedmm_sparse::dense::Dense;
+
+use crate::store::FeatureEpoch;
 
 /// One enqueued embedding request.
 pub(crate) struct Pending {
     /// Requested node ids, in the caller's order (may repeat).
     pub nodes: Vec<usize>,
+    /// The feature epoch pinned at enqueue time: the whole response is
+    /// computed from this snapshot, never torn across a publish.
+    pub epoch: Arc<FeatureEpoch>,
     /// Completion channel back to the caller.
     pub tx: mpsc::Sender<Dense>,
     /// Enqueue time, for end-to-end latency accounting.
@@ -102,6 +107,25 @@ impl BatchQueue {
     }
 }
 
+/// Split a drained batch into kernel-launch groups that share one
+/// pinned [`FeatureEpoch`] (identity, not number — two snapshots of the
+/// same epoch object are the same group). Requests pinned to different
+/// epochs must never share a kernel launch, or responses would mix
+/// feature generations; grouping (rather than flushing per request)
+/// keeps full coalescing in the common case where no publish landed
+/// mid-batch. Order is preserved: groups appear in first-seen order and
+/// requests keep their queue order within a group.
+pub(crate) fn group_by_epoch(batch: Vec<Pending>) -> Vec<Vec<Pending>> {
+    let mut groups: Vec<Vec<Pending>> = Vec::new();
+    for pending in batch {
+        match groups.iter_mut().find(|g| Arc::ptr_eq(&g[0].epoch, &pending.epoch)) {
+            Some(group) => group.push(pending),
+            None => groups.push(vec![pending]),
+        }
+    }
+    groups
+}
+
 /// Sorted union of all node lists in `requests` (each node once).
 pub fn dedup_union<'a>(requests: impl IntoIterator<Item = &'a [usize]>) -> Vec<usize> {
     let mut union: Vec<usize> = requests.into_iter().flatten().copied().collect();
@@ -128,6 +152,15 @@ pub fn scatter_rows(union_nodes: &[usize], union_rows: &Dense, nodes: &[usize]) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::FeatureStore;
+
+    fn epoch() -> Arc<FeatureEpoch> {
+        FeatureStore::new(Dense::zeros(1, 1), Dense::zeros(1, 1)).snapshot()
+    }
+
+    fn pending(nodes: Vec<usize>, epoch: Arc<FeatureEpoch>, tx: mpsc::Sender<Dense>) -> Pending {
+        Pending { nodes, epoch, tx, enqueued: Instant::now() }
+    }
 
     #[test]
     fn union_sorts_and_dedups() {
@@ -151,8 +184,9 @@ mod tests {
     fn queue_batches_everything_waiting() {
         let q = BatchQueue::new();
         let (tx, _rx) = mpsc::channel();
+        let ep = epoch();
         for n in 0..3usize {
-            assert!(q.push(Pending { nodes: vec![n], tx: tx.clone(), enqueued: Instant::now() }));
+            assert!(q.push(pending(vec![n], Arc::clone(&ep), tx.clone())));
         }
         let batch = q.next_batch(Duration::ZERO, 1024).expect("work available");
         assert_eq!(batch.len(), 3);
@@ -162,9 +196,10 @@ mod tests {
     fn queue_respects_row_cap_but_always_progresses() {
         let q = BatchQueue::new();
         let (tx, _rx) = mpsc::channel();
+        let ep = epoch();
         // One oversized request plus a small one.
-        q.push(Pending { nodes: vec![0; 100], tx: tx.clone(), enqueued: Instant::now() });
-        q.push(Pending { nodes: vec![1], tx: tx.clone(), enqueued: Instant::now() });
+        q.push(pending(vec![0; 100], Arc::clone(&ep), tx.clone()));
+        q.push(pending(vec![1], Arc::clone(&ep), tx.clone()));
         let first = q.next_batch(Duration::ZERO, 10).unwrap();
         assert_eq!(first.len(), 1, "oversized request still dispatched alone");
         let second = q.next_batch(Duration::ZERO, 10).unwrap();
@@ -175,11 +210,45 @@ mod tests {
     fn shutdown_drains_then_ends() {
         let q = BatchQueue::new();
         let (tx, _rx) = mpsc::channel();
-        q.push(Pending { nodes: vec![3], tx, enqueued: Instant::now() });
+        q.push(pending(vec![3], epoch(), tx));
         q.shutdown();
         assert!(q.next_batch(Duration::ZERO, 8).is_some(), "queued work still served");
         assert!(q.next_batch(Duration::ZERO, 8).is_none(), "then the queue reports closed");
         let (tx2, _rx2) = mpsc::channel();
-        assert!(!q.push(Pending { nodes: vec![1], tx: tx2, enqueued: Instant::now() }));
+        assert!(!q.push(pending(vec![1], epoch(), tx2)));
+    }
+
+    #[test]
+    fn epoch_groups_split_by_identity_and_preserve_order() {
+        let (tx, _rx) = mpsc::channel();
+        let store = FeatureStore::new(Dense::zeros(1, 1), Dense::zeros(1, 1));
+        let old = store.snapshot();
+        store.publish(Dense::zeros(1, 1), Dense::zeros(1, 1));
+        let new = store.snapshot();
+        // Interleaved epochs: old, new, old, new, new.
+        let batch = vec![
+            pending(vec![0], Arc::clone(&old), tx.clone()),
+            pending(vec![1], Arc::clone(&new), tx.clone()),
+            pending(vec![2], Arc::clone(&old), tx.clone()),
+            pending(vec![3], Arc::clone(&new), tx.clone()),
+            pending(vec![4], Arc::clone(&new), tx.clone()),
+        ];
+        let groups = group_by_epoch(batch);
+        assert_eq!(groups.len(), 2, "one kernel-launch group per pinned epoch");
+        assert_eq!(groups[0].iter().map(|p| p.nodes[0]).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(groups[1].iter().map(|p| p.nodes[0]).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(groups[0][0].epoch.epoch(), 0);
+        assert_eq!(groups[1][0].epoch.epoch(), 1);
+    }
+
+    #[test]
+    fn single_epoch_batch_is_one_group() {
+        let (tx, _rx) = mpsc::channel();
+        let ep = epoch();
+        let batch =
+            (0..4).map(|n| pending(vec![n], Arc::clone(&ep), tx.clone())).collect::<Vec<_>>();
+        let groups = group_by_epoch(batch);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
     }
 }

@@ -1,5 +1,14 @@
-//! The serving engine: graph + features loaded once, plan prepared
-//! once, three request kinds served concurrently.
+//! The serving engine: graph loaded once, plan prepared once, features
+//! borrowed per-batch from an epoch-versioned [`FeatureStore`], three
+//! request kinds served concurrently.
+//!
+//! An engine may own a whole graph ([`Engine::new`] /
+//! [`Engine::with_store`]) or one PART1D row band of it (constructed by
+//! [`ShardedEngine`](crate::ShardedEngine)): `band_start` maps the
+//! band's local CSR rows back to global vertex ids, while `Y` — the
+//! column space — and the store stay global. Every batch pins exactly
+//! one feature epoch end-to-end, so a response is never torn across a
+//! concurrent [`FeatureStore::publish`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -12,8 +21,9 @@ use fusedmm_perf::hist::{HistogramSnapshot, LatencyHistogram};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
-use crate::batcher::{dedup_union, scatter_rows, BatchQueue, Pending};
-use crate::score::score_edges;
+use crate::batcher::{dedup_union, group_by_epoch, scatter_rows, BatchQueue, Pending};
+use crate::score::score_edges_banded;
+use crate::store::{FeatureEpoch, FeatureStore};
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -43,11 +53,12 @@ impl Default for EngineConfig {
 /// Why a request could not be served.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// A requested node id is outside the loaded graph.
+    /// A requested node id is outside the loaded graph (or, for a
+    /// shard engine, outside the row band it owns).
     NodeOutOfRange {
         /// The offending node id.
         node: usize,
-        /// Number of vertices in the loaded graph.
+        /// One past the largest vertex id this engine can address.
         nvertices: usize,
     },
     /// The engine has been shut down.
@@ -68,9 +79,14 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 struct EngineShared {
+    /// The adjacency rows this engine owns — the whole matrix, or one
+    /// PART1D row band of it under local row indexing.
     a: Csr,
-    x: Dense,
-    y: Dense,
+    /// Global vertex id of local CSR row 0 (0 for a whole-graph
+    /// engine).
+    band_start: usize,
+    /// Feature source, shared with writers (and sibling shards).
+    store: Arc<FeatureStore>,
     ops: OpSet,
     plan: Plan,
     queue: BatchQueue,
@@ -82,6 +98,13 @@ struct EngineShared {
     rows_computed: AtomicU64,
     started: Instant,
     stopped: AtomicBool,
+}
+
+impl EngineShared {
+    /// One past the last global vertex id this engine's band owns.
+    fn band_end(&self) -> usize {
+        self.band_start + self.a.nrows()
+    }
 }
 
 /// A loaded, ready-to-serve graph model. Share it across request
@@ -97,7 +120,9 @@ impl Engine {
     /// Load `a` (adjacency), `x` (target-side features), `y`
     /// (neighbor-side features) and prepare the kernel plan for `ops`.
     /// For plain embedding refresh pass the same features as `x` and
-    /// `y`. Spawns the micro-batch dispatcher thread.
+    /// `y`. The features become epoch 0 of a fresh [`FeatureStore`]
+    /// (reachable via [`Engine::store`] for live updates). Spawns the
+    /// micro-batch dispatcher thread.
     ///
     /// # Panics
     /// Panics when shapes are inconsistent (same contract as
@@ -106,17 +131,57 @@ impl Engine {
         assert_eq!(x.nrows(), a.nrows(), "X must have one row per vertex");
         assert_eq!(y.nrows(), a.ncols(), "Y must have one row per vertex");
         assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
-        let d = x.ncols();
+        Engine::with_store(a, Arc::new(FeatureStore::new(x, y)), ops, config)
+    }
+
+    /// Like [`Engine::new`], but borrowing features through an existing
+    /// [`FeatureStore`] — the shape a training loop publishing live
+    /// updates (or several engines sharing one model) uses.
+    ///
+    /// # Panics
+    /// Panics when the store's shapes are inconsistent with `a`.
+    pub fn with_store(
+        a: Csr,
+        store: Arc<FeatureStore>,
+        ops: OpSet,
+        config: EngineConfig,
+    ) -> Engine {
+        assert_eq!(store.x_rows(), a.nrows(), "store X must have one row per vertex");
+        let d = store.d();
         let plan = match config.blocking {
             Some(b) => {
                 Plan::with_blocking(&ops, d, b, fusedmm_core::PartitionStrategy::NnzBalanced)
             }
             None => Plan::prepare(&ops, d),
         };
+        Engine::for_band(a, 0, store, ops, plan, config)
+    }
+
+    /// Construct an engine over one PART1D row band: `a` holds global
+    /// rows `band_start..band_start + a.nrows()` under local indices,
+    /// the store stays global. Used by
+    /// [`ShardedEngine`](crate::ShardedEngine); the plan is supplied by
+    /// the caller (shards share a tagged
+    /// [`PlanCache`](fusedmm_core::PlanCache)).
+    pub(crate) fn for_band(
+        a: Csr,
+        band_start: usize,
+        store: Arc<FeatureStore>,
+        ops: OpSet,
+        plan: Plan,
+        config: EngineConfig,
+    ) -> Engine {
+        assert!(
+            store.x_rows() >= band_start + a.nrows(),
+            "store X ({} rows) must cover the band ending at {}",
+            store.x_rows(),
+            band_start + a.nrows()
+        );
+        assert_eq!(store.y_rows(), a.ncols(), "store Y must span the band's (global) columns");
         let shared = Arc::new(EngineShared {
             a,
-            x,
-            y,
+            band_start,
+            store,
             ops,
             plan,
             queue: BatchQueue::new(),
@@ -145,14 +210,28 @@ impl Engine {
         &self.config
     }
 
-    /// Number of vertices in the loaded graph.
+    /// Number of vertices (adjacency rows) this engine owns — the whole
+    /// graph, or the height of its row band.
     pub fn nvertices(&self) -> usize {
         self.shared.a.nrows()
     }
 
+    /// Global vertex id of the first row this engine owns (0 unless it
+    /// serves a shard band).
+    pub fn band_start(&self) -> usize {
+        self.shared.band_start
+    }
+
     /// The embedding dimension served.
     pub fn dimension(&self) -> usize {
-        self.shared.x.ncols()
+        self.shared.store.d()
+    }
+
+    /// The feature store this engine reads through — hand it to a
+    /// training loop to [`publish`](FeatureStore::publish) refreshed
+    /// embeddings without stopping traffic.
+    pub fn store(&self) -> &Arc<FeatureStore> {
+        &self.shared.store
     }
 
     /// The frozen kernel plan this engine executes under.
@@ -169,37 +248,70 @@ impl Engine {
 
     /// Refresh embeddings for `nodes` (any order, duplicates allowed):
     /// returns one output row per requested node, equal to the matching
-    /// rows of the full-graph kernel. Blocks until the micro-batcher
+    /// rows of the full-graph kernel, all computed from the feature
+    /// epoch current at enqueue time. Blocks until the micro-batcher
     /// completes the containing batch.
     pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        if nodes.is_empty() {
+            if self.shared.stopped.load(Ordering::Acquire) {
+                return Err(ServeError::EngineShutdown);
+            }
+            return Ok(Dense::zeros(0, self.dimension()));
+        }
+        let rx = self.enqueue_pinned(nodes, self.shared.store.snapshot())?;
+        rx.recv().map_err(|_| ServeError::EngineShutdown)
+    }
+
+    /// Enqueue an embedding request pinned to `epoch`; the receiver
+    /// completes with the rows once the dispatcher serves the batch.
+    /// [`ShardedEngine`](crate::ShardedEngine) uses this to fan one
+    /// request (and one pinned epoch) out across every involved shard
+    /// before collecting any result.
+    pub(crate) fn enqueue_pinned(
+        &self,
+        nodes: &[usize],
+        epoch: Arc<FeatureEpoch>,
+    ) -> Result<mpsc::Receiver<Dense>, ServeError> {
         self.check_nodes(nodes.iter().copied())?;
         if self.shared.stopped.load(Ordering::Acquire) {
             return Err(ServeError::EngineShutdown);
         }
-        if nodes.is_empty() {
-            return Ok(Dense::zeros(0, self.dimension()));
-        }
         let (tx, rx) = mpsc::channel();
-        let accepted =
-            self.shared.queue.push(Pending { nodes: nodes.to_vec(), tx, enqueued: Instant::now() });
+        let accepted = self.shared.queue.push(Pending {
+            nodes: nodes.to_vec(),
+            epoch,
+            tx,
+            enqueued: Instant::now(),
+        });
         if !accepted {
             return Err(ServeError::EngineShutdown);
         }
-        rx.recv().map_err(|_| ServeError::EngineShutdown)
+        Ok(rx)
     }
 
     /// Score candidate `(u, v)` edges with the SDDMM-only path (see
-    /// [`crate::score::score_edges`]). Runs on the calling thread —
-    /// scoring is O(d) per pair and needs no batching to be cheap.
+    /// [`crate::score::score_edges`]), all against the current feature
+    /// epoch. Runs on the calling thread — scoring is O(d) per pair and
+    /// needs no batching to be cheap.
     pub fn score_edges(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError> {
+        let epoch = self.shared.store.snapshot();
+        self.score_edges_pinned(pairs, &epoch)
+    }
+
+    /// [`Engine::score_edges`] against an explicitly pinned epoch.
+    pub(crate) fn score_edges_pinned(
+        &self,
+        pairs: &[(usize, usize)],
+        epoch: &FeatureEpoch,
+    ) -> Result<Vec<f32>, ServeError> {
         // Sources index the target-side rows (A/X), targets the
         // neighbor-side rows (Y = A's column space) — these differ on
-        // rectangular (minibatch-sliced) graphs.
-        let m = self.shared.a.nrows();
-        let n = self.shared.y.nrows();
+        // rectangular (minibatch-sliced or band-sharded) graphs.
+        let (lo, hi) = (self.shared.band_start, self.shared.band_end());
+        let n = self.shared.store.y_rows();
         for &(u, v) in pairs {
-            if u >= m {
-                return Err(ServeError::NodeOutOfRange { node: u, nvertices: m });
+            if u < lo || u >= hi {
+                return Err(ServeError::NodeOutOfRange { node: u, nvertices: hi });
             }
             if v >= n {
                 return Err(ServeError::NodeOutOfRange { node: v, nvertices: n });
@@ -207,22 +319,36 @@ impl Engine {
         }
         let t0 = Instant::now();
         let scores =
-            score_edges(&self.shared.a, pairs, &self.shared.x, &self.shared.y, &self.shared.ops);
+            score_edges_banded(&self.shared.a, lo, pairs, epoch.x(), epoch.y(), &self.shared.ops);
         self.shared.score_latency.record(t0.elapsed());
         Ok(scores)
     }
 
-    /// Full-graph inference under the cached plan: the classic
-    /// `Z = FusedMM(A, X, Y)` batch call.
+    /// Inference over every row this engine owns, under the cached plan
+    /// and the current feature epoch: the classic `Z = FusedMM(A, X, Y)`
+    /// batch call (one band of it, for a shard engine).
     pub fn infer_full(&self) -> Dense {
+        let epoch = self.shared.store.snapshot();
+        self.infer_pinned(&epoch)
+    }
+
+    /// [`Engine::infer_full`] against an explicitly pinned epoch.
+    pub(crate) fn infer_pinned(&self, epoch: &FeatureEpoch) -> Dense {
         let t0 = Instant::now();
-        let z = self.shared.plan.execute(
-            &self.shared.a,
-            &self.shared.x,
-            &self.shared.y,
-            &self.shared.ops,
-        );
-        self.shared.infer_latency.record(t0.elapsed());
+        let shared = &self.shared;
+        let z = if shared.band_start == 0 && epoch.x().nrows() == shared.a.nrows() {
+            shared.plan.execute(&shared.a, epoch.x(), epoch.y(), &shared.ops)
+        } else {
+            // Band engine: the band's X rows are a contiguous slice of
+            // the row-major global matrix — one copy, no index vector.
+            let d = epoch.x().ncols();
+            let lo = shared.band_start * d;
+            let hi = shared.band_end() * d;
+            let xb = Dense::from_rows(shared.a.nrows(), d, &epoch.x().as_slice()[lo..hi])
+                .expect("contiguous band slice has band_len * d entries");
+            shared.plan.execute(&shared.a, &xb, epoch.y(), &shared.ops)
+        };
+        shared.infer_latency.record(t0.elapsed());
         z
     }
 
@@ -239,7 +365,14 @@ impl Engine {
             batches_dispatched: self.shared.batches_dispatched.load(Ordering::Relaxed),
             rows_requested: self.shared.rows_requested.load(Ordering::Relaxed),
             rows_computed: self.shared.rows_computed.load(Ordering::Relaxed),
+            feature_epoch: self.shared.store.current_epoch(),
+            epoch_swaps: self.shared.store.swap_count(),
         }
+    }
+
+    /// The embed-latency histogram (for cross-shard merging).
+    pub(crate) fn embed_latency(&self) -> &LatencyHistogram {
+        &self.shared.embed_latency
     }
 
     /// Stop accepting requests, finish queued work, and join the
@@ -253,10 +386,10 @@ impl Engine {
     }
 
     fn check_nodes(&self, nodes: impl IntoIterator<Item = usize>) -> Result<(), ServeError> {
-        let n = self.nvertices();
+        let (lo, hi) = (self.shared.band_start, self.shared.band_end());
         for node in nodes {
-            if node >= n {
-                return Err(ServeError::NodeOutOfRange { node, nvertices: n });
+            if node < lo || node >= hi {
+                return Err(ServeError::NodeOutOfRange { node, nvertices: hi });
             }
         }
         Ok(())
@@ -271,20 +404,33 @@ impl Drop for Engine {
 
 fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
     while let Some(batch) = shared.queue.next_batch(config.coalesce_window, config.max_batch_rows) {
-        let union = dedup_union(batch.iter().map(|p| p.nodes.as_slice()));
-        let rows_requested: usize = batch.iter().map(|p| p.nodes.len()).sum();
-        let union_rows =
-            shared.plan.execute_rows(&shared.a, &union, &shared.x, &shared.y, &shared.ops);
-        // Account before completing requests so a caller that observes
-        // its own completion also observes the batch in the metrics.
-        shared.batches_dispatched.fetch_add(1, Ordering::Relaxed);
-        shared.rows_requested.fetch_add(rows_requested as u64, Ordering::Relaxed);
-        shared.rows_computed.fetch_add(union.len() as u64, Ordering::Relaxed);
-        for request in &batch {
-            let out = scatter_rows(&union, &union_rows, &request.nodes);
-            shared.embed_latency.record(request.enqueued.elapsed());
-            // A disconnected receiver just means the caller gave up.
-            let _ = request.tx.send(out);
+        // Requests pinned to different feature epochs must not share a
+        // kernel launch; in the common (no mid-batch publish) case this
+        // is one group and coalescing is unchanged.
+        for group in group_by_epoch(batch) {
+            let epoch = Arc::clone(&group[0].epoch);
+            let union = dedup_union(group.iter().map(|p| p.nodes.as_slice()));
+            let rows_requested: usize = group.iter().map(|p| p.nodes.len()).sum();
+            let union_rows = shared.plan.execute_rows_banded(
+                &shared.a,
+                shared.band_start,
+                &union,
+                epoch.x(),
+                epoch.y(),
+                &shared.ops,
+            );
+            // Account before completing requests so a caller that
+            // observes its own completion also observes the batch in
+            // the metrics.
+            shared.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+            shared.rows_requested.fetch_add(rows_requested as u64, Ordering::Relaxed);
+            shared.rows_computed.fetch_add(union.len() as u64, Ordering::Relaxed);
+            for request in &group {
+                let out = scatter_rows(&union, &union_rows, &request.nodes);
+                shared.embed_latency.record(request.enqueued.elapsed());
+                // A disconnected receiver just means the caller gave up.
+                let _ = request.tx.send(out);
+            }
         }
     }
 }
@@ -309,6 +455,10 @@ pub struct EngineMetrics {
     /// Total rows actually computed after deduplication (≤ requested
     /// when concurrent requests overlap).
     pub rows_computed: u64,
+    /// The feature epoch currently served (new snapshots pin this one).
+    pub feature_epoch: u64,
+    /// Completed feature-store swaps (publishes + delta updates).
+    pub epoch_swaps: u64,
 }
 
 impl std::fmt::Display for EngineMetrics {
@@ -318,8 +468,12 @@ impl std::fmt::Display for EngineMetrics {
         writeln!(f, "infer: {}", self.infer)?;
         write!(
             f,
-            "batches: {}  rows requested: {}  rows computed: {}",
-            self.batches_dispatched, self.rows_requested, self.rows_computed
+            "batches: {}  rows requested: {}  rows computed: {}  epoch: {} ({} swaps)",
+            self.batches_dispatched,
+            self.rows_requested,
+            self.rows_computed,
+            self.feature_epoch,
+            self.epoch_swaps
         )
     }
 }
@@ -427,6 +581,8 @@ mod tests {
         assert!(m.rows_computed <= m.rows_requested);
         assert!(m.batches_dispatched >= 1);
         assert!(m.embed.p99 >= m.embed.p50);
+        assert_eq!(m.feature_epoch, 0);
+        assert_eq!(m.epoch_swaps, 0);
     }
 
     #[test]
@@ -435,6 +591,62 @@ mod tests {
         eng.embed(&[1]).unwrap();
         eng.shutdown();
         assert_eq!(eng.embed(&[1]), Err(ServeError::EngineShutdown));
+    }
+
+    #[test]
+    fn publish_changes_served_rows_and_metrics_report_the_epoch() {
+        let (eng, reference) = engine(24, 8, OpSet::gcn());
+        let before = eng.embed(&[3, 9]).unwrap();
+        for k in 0..8 {
+            assert!((before.get(0, k) - reference.get(3, k)).abs() < 1e-5);
+        }
+        // Publish doubled features: GCN output is linear in Y, so the
+        // served rows double too.
+        let ep0 = eng.store().snapshot();
+        let x2 = Dense::from_fn(24, 8, |r, k| ep0.x().get(r, k) * 2.0);
+        let y2 = Dense::from_fn(24, 8, |r, k| ep0.y().get(r, k) * 2.0);
+        assert_eq!(eng.store().publish(x2, y2), 1);
+        let after = eng.embed(&[3, 9]).unwrap();
+        for (i, &u) in [3usize, 9].iter().enumerate() {
+            for k in 0..8 {
+                assert!(
+                    (after.get(i, k) - 2.0 * reference.get(u, k)).abs() < 1e-4,
+                    "row {u} lane {k} not doubled after publish"
+                );
+            }
+        }
+        let m = eng.metrics();
+        assert_eq!(m.feature_epoch, 1);
+        assert_eq!(m.epoch_swaps, 1);
+    }
+
+    #[test]
+    fn delta_update_refreshes_neighbor_contributions() {
+        // Ring graph: z_u = y_{u+1} under GCN with unit weights.
+        let n = 10;
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let feats = Dense::from_fn(n, 4, |r, k| (r * 4 + k) as f32);
+        let eng = Engine::new(
+            a,
+            feats.clone(),
+            feats,
+            OpSet::gcn(),
+            EngineConfig {
+                coalesce_window: Duration::ZERO,
+                blocking: Some(Blocking::Auto),
+                ..EngineConfig::default()
+            },
+        );
+        let patch = Dense::filled(1, 4, -1.0);
+        eng.store().delta_update(&[5], &patch, &patch);
+        // Node 4 aggregates neighbor 5: sees the patch.
+        assert_eq!(eng.embed(&[4]).unwrap().row(0), &[-1.0; 4]);
+        // Node 0 aggregates neighbor 1: untouched.
+        assert_eq!(eng.embed(&[0]).unwrap().row(0), &[4.0, 5.0, 6.0, 7.0]);
     }
 
     #[test]

@@ -22,9 +22,21 @@
 //!   subsets; a dispatcher thread coalesces them into one deduplicated
 //!   row batch per tick, runs it on the rayon pool, and scatters the
 //!   rows back to each caller;
+//! * live feature updates ([`store`]) — engines borrow `X`/`Y` through
+//!   an epoch-versioned [`FeatureStore`]: readers pin RCU-style
+//!   snapshots, writers [`publish`](FeatureStore::publish) or
+//!   [`delta_update`](FeatureStore::delta_update) refreshed embeddings
+//!   without stopping traffic, and every batch is computed from exactly
+//!   one epoch (responses are never torn across a swap);
+//! * sharding ([`shard`]) — [`ShardedEngine`] cuts the graph into
+//!   PART1D nnz-balanced row bands, runs one band engine (worker +
+//!   plan) per shard against the shared store, and scatters/gathers
+//!   requests in request order — bit-identical to a single engine, and
+//!   the step toward multi-machine serving;
 //! * latency accounting — every request records into
 //!   [`LatencyHistogram`](fusedmm_perf::LatencyHistogram)s, surfaced
-//!   as p50/p90/p99 and throughput by [`Engine::metrics`].
+//!   as p50/p90/p99 and throughput by [`Engine::metrics`] (per-shard
+//!   and merged via [`ShardedEngine::metrics`]).
 //!
 //! # Quickstart
 //!
@@ -56,6 +68,10 @@
 pub mod batcher;
 pub mod engine;
 pub mod score;
+pub mod shard;
+pub mod store;
 
 pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
-pub use score::score_edges;
+pub use score::{score_edges, score_edges_banded};
+pub use shard::{ShardedEngine, ShardedMetrics};
+pub use store::{FeatureEpoch, FeatureStore};

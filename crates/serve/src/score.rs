@@ -29,14 +29,37 @@ pub fn score_edges(
     y: &Dense,
     ops: &OpSet,
 ) -> Vec<f32> {
+    score_edges_banded(a, 0, pairs, x, y, ops)
+}
+
+/// [`score_edges`] against a PART1D row band: `a_band` holds global
+/// rows `band_start..` under local indices (edge-weight lookups shift
+/// by `band_start`), while `x`/`y` stay global — source `u` and target
+/// `v` are global vertex ids.
+///
+/// # Panics
+/// Panics when shapes are inconsistent or a pair index is out of range.
+pub fn score_edges_banded(
+    a_band: &Csr,
+    band_start: usize,
+    pairs: &[(usize, usize)],
+    x: &Dense,
+    y: &Dense,
+    ops: &OpSet,
+) -> Vec<f32> {
     assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
     let d = x.ncols();
+    let band_end = band_start + a_band.nrows();
     let mut scratch = vec![0f32; d];
     let mut out = Vec::with_capacity(pairs.len());
     for &(u, v) in pairs {
         assert!(u < x.nrows(), "source vertex {u} out of range for {} rows", x.nrows());
         assert!(v < y.nrows(), "target vertex {v} out of range for {} rows", y.nrows());
-        let auv = if u < a.nrows() { a.get(u, v).unwrap_or(1.0) } else { 1.0 };
+        let auv = if (band_start..band_end).contains(&u) {
+            a_band.get(u - band_start, v).unwrap_or(1.0)
+        } else {
+            1.0
+        };
         ops.vop.apply(x.row(u), y.row(v), auv, &mut scratch);
         let score = match ops.rop.apply(&scratch) {
             Some(s) => ops.sop.apply_scalar(s, auv),
@@ -96,6 +119,18 @@ mod tests {
         let dy = 1.0 - 0.8;
         let norm = ((dx * dx + dy * dy) as f32).sqrt();
         assert!((scores[0] - 2.0 * norm).abs() < 1e-5, "got {}, want {}", scores[0], 2.0 * norm);
+    }
+
+    #[test]
+    fn banded_scores_shift_the_weight_lookup_only() {
+        let (a, x, y) = setup();
+        let ops = OpSet::sigmoid_embedding(None);
+        // Band holding global rows 1..3; edge (1, 2) has stored weight
+        // 1.0, pair (2, 0) is a candidate (weight defaults to 1.0).
+        let band = a.row_band(1..3);
+        let whole = score_edges(&a, &[(1, 2), (2, 0)], &x, &y, &ops);
+        let banded = score_edges_banded(&band, 1, &[(1, 2), (2, 0)], &x, &y, &ops);
+        assert_eq!(whole, banded, "band offset must not change any score");
     }
 
     #[test]

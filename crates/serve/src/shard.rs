@@ -1,0 +1,464 @@
+//! Engine-level PART1D sharding: one graph, several band engines.
+//!
+//! The paper's PART1D scheme cuts the rows of `A` into nnz-balanced
+//! contiguous bands that threads process with zero synchronization —
+//! threads share read access to `Y` but write disjoint row bands of
+//! `Z`. The same property makes a band the right unit of *engine*
+//! sharding, the step toward multi-machine serving: each shard owns a
+//! [`Csr::row_band`](fusedmm_sparse::csr::Csr::row_band) (local rows,
+//! global columns), runs its own worker + plan, and needs nothing from
+//! its siblings beyond the shared (global) [`FeatureStore`].
+//!
+//! [`ShardedEngine`] is the front end: it validates requests globally,
+//! pins **one** feature epoch per request, scatters the per-shard
+//! pieces to the owning band engines, and gathers results back in
+//! request order with the same `dedup_union`/`scatter_rows` machinery
+//! the micro-batcher uses. Because bands are contiguous and ordered,
+//! the concatenation of per-shard sorted unions is globally sorted —
+//! the gather is a binary search away. Results are bit-identical to a
+//! single unsharded [`Engine`] on the same graph: every output row is
+//! computed independently, from the same row slice, in the same
+//! column order, under the same blocking.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fusedmm_core::{Partition, PartitionStrategy, Plan, PlanCache, PlanTag};
+use fusedmm_ops::OpSet;
+use fusedmm_perf::hist::{HistogramSnapshot, HistogramVec, LatencyHistogram};
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::batcher::{dedup_union, scatter_rows};
+use crate::engine::{Engine, EngineConfig, EngineMetrics, ServeError};
+use crate::store::FeatureStore;
+
+/// A graph served by several PART1D band engines behind one front end.
+/// Shares the request API with [`Engine`] (`embed` / `score_edges` /
+/// `infer_full`), adding per-shard observability.
+pub struct ShardedEngine {
+    store: Arc<FeatureStore>,
+    shards: Vec<Engine>,
+    /// `boundaries[s]..boundaries[s + 1]` is shard `s`'s global row
+    /// band (the PART1D cut).
+    boundaries: Vec<usize>,
+    /// Cumulative gather progress per shard: time from fan-out start
+    /// until shard `s`'s rows were merged. The gather collects in shard
+    /// order, so entry `s` includes waiting on shards before it — it
+    /// traces response assembly, not per-shard compute (use
+    /// [`ShardedMetrics::per_shard`]'s own embed histograms for
+    /// straggler isolation).
+    fanout: HistogramVec,
+    /// Plans keyed by [`PlanTag`] `{ shard, epoch }`. Lives as long as
+    /// the engine so epoch-keyed entries (result caching, per-epoch
+    /// specializations — see ROADMAP) have a durable home; with today's
+    /// (pattern, d)-keyed autotuner every shard resolves to the same
+    /// blocking.
+    plans: PlanCache,
+    started: Instant,
+}
+
+impl ShardedEngine {
+    /// Cut `a` into at most `nshards` nnz-balanced row bands and spawn
+    /// one band engine per (possibly empty) band, all sharing a fresh
+    /// [`FeatureStore`] seeded with `x`/`y` as epoch 0.
+    ///
+    /// # Panics
+    /// Panics when shapes are inconsistent or `nshards == 0`.
+    pub fn new(
+        a: Csr,
+        x: Dense,
+        y: Dense,
+        ops: OpSet,
+        nshards: usize,
+        config: EngineConfig,
+    ) -> ShardedEngine {
+        assert_eq!(x.nrows(), a.nrows(), "X must have one row per vertex");
+        assert_eq!(y.nrows(), a.ncols(), "Y must have one row per vertex");
+        assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
+        ShardedEngine::with_store(a, Arc::new(FeatureStore::new(x, y)), ops, nshards, config)
+    }
+
+    /// Like [`ShardedEngine::new`] but borrowing features through an
+    /// existing store — e.g. one already being published to by a
+    /// training loop, or shared with other engines.
+    pub fn with_store(
+        a: Csr,
+        store: Arc<FeatureStore>,
+        ops: OpSet,
+        nshards: usize,
+        config: EngineConfig,
+    ) -> ShardedEngine {
+        assert_eq!(store.x_rows(), a.nrows(), "store X must have one row per vertex");
+        assert_eq!(store.y_rows(), a.ncols(), "store Y must have one row per vertex");
+        let part = Partition::part1d(&a, nshards, PartitionStrategy::NnzBalanced);
+        let d = store.d();
+        let plans = PlanCache::new();
+        let shards: Vec<Engine> = (0..part.len())
+            .map(|s| {
+                let rows = part.rows(s);
+                let plan = match config.blocking {
+                    Some(b) => Plan::with_blocking(&ops, d, b, PartitionStrategy::NnzBalanced),
+                    None => plans.plan_tagged(&ops, d, PlanTag::for_shard(s as u64)),
+                };
+                Engine::for_band(
+                    a.row_band(rows.clone()),
+                    rows.start,
+                    Arc::clone(&store),
+                    ops.clone(),
+                    plan,
+                    config.clone(),
+                )
+            })
+            .collect();
+        let fanout = HistogramVec::new(shards.len());
+        ShardedEngine {
+            store,
+            shards,
+            boundaries: part.boundaries().to_vec(),
+            fanout,
+            plans,
+            started: Instant::now(),
+        }
+    }
+
+    /// The shard-tagged plan cache (see the field docs); exposed so
+    /// callers can pair a publish with
+    /// [`PlanCache::evict_epoch`](fusedmm_core::PlanCache::evict_epoch)
+    /// once epoch-keyed entries exist.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Number of shards (band engines), including empty bands.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices in the full graph.
+    pub fn nvertices(&self) -> usize {
+        *self.boundaries.last().expect("partition has boundaries")
+    }
+
+    /// The embedding dimension served.
+    pub fn dimension(&self) -> usize {
+        self.store.d()
+    }
+
+    /// The shared feature store — publish refreshed embeddings here;
+    /// every shard sees the new epoch atomically.
+    pub fn store(&self) -> &Arc<FeatureStore> {
+        &self.store
+    }
+
+    /// The PART1D cut: `boundaries()[s]..boundaries()[s + 1]` is shard
+    /// `s`'s global row band.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// The shard owning global vertex `u` (which must be in range).
+    pub fn owner(&self, u: usize) -> usize {
+        debug_assert!(u < self.nvertices());
+        // Last boundary ≤ u; empty bands (repeated boundaries) are
+        // skipped because their start equals their end.
+        self.boundaries.partition_point(|&b| b <= u) - 1
+    }
+
+    /// Refresh embeddings for `nodes` (any order, duplicates allowed,
+    /// global ids): one output row per requested node, in request
+    /// order, every row computed from the **same** feature epoch —
+    /// pinned once here, before the fan-out, so a concurrent publish
+    /// can never tear a response across shards.
+    pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        self.check_nodes(nodes)?;
+        if nodes.is_empty() {
+            return Ok(Dense::zeros(0, self.dimension()));
+        }
+        let epoch = self.store.snapshot();
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for &u in nodes {
+            per_shard[self.owner(u)].push(u);
+        }
+        // Enqueue on every involved shard first — their dispatchers
+        // work concurrently — then collect.
+        let t0 = Instant::now();
+        let mut inflight = Vec::new();
+        for (s, list) in per_shard.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let union = dedup_union([list.as_slice()]);
+            let rx = self.shards[s].enqueue_pinned(&union, Arc::clone(&epoch))?;
+            inflight.push((s, union, rx));
+        }
+        // Bands are contiguous and ascending, so concatenating the
+        // per-shard sorted unions yields a globally sorted union.
+        let d = self.dimension();
+        let mut union_nodes = Vec::new();
+        let mut parts = Vec::new();
+        for (s, union, rx) in inflight {
+            let rows = rx.recv().map_err(|_| ServeError::EngineShutdown)?;
+            self.fanout.record(s, t0.elapsed());
+            union_nodes.extend(union);
+            parts.push(rows);
+        }
+        let mut union_rows = Dense::zeros(union_nodes.len(), d);
+        let mut at = 0;
+        for part in parts {
+            for i in 0..part.nrows() {
+                union_rows.row_mut(at).copy_from_slice(part.row(i));
+                at += 1;
+            }
+        }
+        Ok(scatter_rows(&union_nodes, &union_rows, nodes))
+    }
+
+    /// Score candidate `(u, v)` edges (global ids), scattering each
+    /// pair to the shard owning its source vertex and gathering scores
+    /// back in request order, all under one pinned epoch.
+    pub fn score_edges(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError> {
+        let m = self.nvertices();
+        let n = self.store.y_rows();
+        for &(u, v) in pairs {
+            if u >= m {
+                return Err(ServeError::NodeOutOfRange { node: u, nvertices: m });
+            }
+            if v >= n {
+                return Err(ServeError::NodeOutOfRange { node: v, nvertices: n });
+            }
+        }
+        let epoch = self.store.snapshot();
+        // Per shard: the original pair indices and the pairs themselves.
+        type ShardPairs = (Vec<usize>, Vec<(usize, usize)>);
+        let mut per_shard: Vec<ShardPairs> = vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (i, &pair) in pairs.iter().enumerate() {
+            let (idx, sub) = &mut per_shard[self.owner(pair.0)];
+            idx.push(i);
+            sub.push(pair);
+        }
+        let mut out = vec![0f32; pairs.len()];
+        for (s, (idx, sub)) in per_shard.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let scores = self.shards[s].score_edges_pinned(sub, &epoch)?;
+            for (&i, score) in idx.iter().zip(scores) {
+                out[i] = score;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full-graph inference: every shard computes its band under one
+    /// pinned epoch; the bands are stacked back into the full `m × d`
+    /// output (bit-identical to the unsharded call).
+    pub fn infer_full(&self) -> Dense {
+        let epoch = self.store.snapshot();
+        let d = self.dimension();
+        let mut out = Dense::zeros(self.nvertices(), d);
+        for (s, shard) in self.shards.iter().enumerate() {
+            let z = shard.infer_pinned(&epoch);
+            let lo = self.boundaries[s];
+            for i in 0..z.nrows() {
+                out.row_mut(lo + i).copy_from_slice(z.row(i));
+            }
+        }
+        out
+    }
+
+    /// Point-in-time metrics: per-shard engine metrics plus the merged
+    /// embed-latency distribution and the store's epoch counters.
+    pub fn metrics(&self) -> ShardedMetrics {
+        let merged = LatencyHistogram::new();
+        for shard in &self.shards {
+            merged.absorb(shard.embed_latency());
+        }
+        ShardedMetrics {
+            uptime: self.started.elapsed(),
+            embed: merged.snapshot(),
+            fanout: (0..self.shards.len()).map(|s| self.fanout.snapshot(s)).collect(),
+            per_shard: self.shards.iter().map(|e| e.metrics()).collect(),
+            feature_epoch: self.store.current_epoch(),
+            epoch_swaps: self.store.swap_count(),
+        }
+    }
+
+    /// Stop every shard: reject new requests, drain queues, join the
+    /// dispatchers. Called automatically on drop (each band engine
+    /// shuts down when dropped).
+    pub fn shutdown(&mut self) {
+        for shard in &mut self.shards {
+            shard.shutdown();
+        }
+    }
+
+    fn check_nodes(&self, nodes: &[usize]) -> Result<(), ServeError> {
+        let m = self.nvertices();
+        for &node in nodes {
+            if node >= m {
+                return Err(ServeError::NodeOutOfRange { node, nvertices: m });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serving statistics reported by [`ShardedEngine::metrics`].
+#[derive(Debug, Clone)]
+pub struct ShardedMetrics {
+    /// Time since the sharded engine was constructed.
+    pub uptime: std::time::Duration,
+    /// Embed-request latency merged across every shard.
+    pub embed: HistogramSnapshot,
+    /// Cumulative gather progress per shard, front-end view: time from
+    /// fan-out start until shard `s`'s rows were merged (includes
+    /// waiting on shards before `s` — response-assembly timeline, not
+    /// per-shard compute; see [`ShardedMetrics::per_shard`] for that).
+    pub fanout: Vec<HistogramSnapshot>,
+    /// Each shard engine's own metrics, in band order.
+    pub per_shard: Vec<EngineMetrics>,
+    /// The feature epoch currently served.
+    pub feature_epoch: u64,
+    /// Completed feature-store swaps.
+    pub epoch_swaps: u64,
+}
+
+impl std::fmt::Display for ShardedMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} shards, epoch {} ({} swaps), merged embed: {}",
+            self.per_shard.len(),
+            self.feature_epoch,
+            self.epoch_swaps,
+            self.embed
+        )?;
+        for (s, m) in self.per_shard.iter().enumerate() {
+            writeln!(
+                f,
+                "  shard {s}: batches={} rows computed={} embed p99={:.3?}",
+                m.batches_dispatched, m.rows_computed, m.embed.p99
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_core::{fusedmm_reference, Blocking};
+    use fusedmm_sparse::coo::{Coo, Dedup};
+    use std::time::Duration;
+
+    fn graph(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            // Skewed degrees so the nnz-balanced cut is non-trivial.
+            let deg = if u % 7 == 0 { 9 } else { 2 };
+            for k in 1..=deg {
+                c.push(u, (u * 3 + k * 5 + 1) % n, 0.3 + k as f32 * 0.2);
+            }
+        }
+        c.to_csr(Dedup::Sum)
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig {
+            coalesce_window: Duration::ZERO,
+            blocking: Some(Blocking::Auto),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn bands_tile_and_owner_is_consistent() {
+        let a = graph(90);
+        let eng = ShardedEngine::new(
+            a,
+            Dense::zeros(90, 4),
+            Dense::zeros(90, 4),
+            OpSet::gcn(),
+            4,
+            config(),
+        );
+        assert_eq!(eng.nvertices(), 90);
+        assert!(eng.nshards() >= 1 && eng.nshards() <= 4);
+        for u in 0..90 {
+            let s = eng.owner(u);
+            assert!(
+                (eng.boundaries()[s]..eng.boundaries()[s + 1]).contains(&u),
+                "owner({u}) = {s} does not contain it"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_embed_matches_reference_in_request_order() {
+        let n = 80;
+        let d = 12;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, k| ((r * 3 + k) as f32 * 0.05).sin());
+        let y = Dense::from_fn(n, d, |r, k| ((r + k * 2) as f32 * 0.04).cos());
+        let ops = OpSet::sigmoid_embedding(None);
+        let reference = fusedmm_reference(&a, &x, &y, &ops);
+        let eng = ShardedEngine::new(a, x, y, ops, 3, config());
+        // Out of order, duplicated, crossing every band.
+        let nodes = [79usize, 0, 40, 79, 13, 41, 7];
+        let z = eng.embed(&nodes).unwrap();
+        assert_eq!(z.nrows(), nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            for k in 0..d {
+                assert!((z.get(i, k) - reference.get(u, k)).abs() < 1e-5, "node {u} lane {k}");
+            }
+        }
+        let m = eng.metrics();
+        assert!(m.per_shard.iter().map(|s| s.rows_computed).sum::<u64>() >= 6);
+        assert_eq!(m.feature_epoch, 0);
+    }
+
+    #[test]
+    fn more_shards_than_rows_still_serves() {
+        let n = 5;
+        let a = graph(n);
+        let feats = Dense::filled(n, 4, 0.5);
+        let eng =
+            ShardedEngine::new(a.clone(), feats.clone(), feats.clone(), OpSet::gcn(), 64, config());
+        assert_eq!(eng.nshards(), n);
+        let single = Engine::new(a, feats.clone(), feats, OpSet::gcn(), config());
+        let nodes = [4usize, 0, 2];
+        assert_eq!(eng.embed(&nodes).unwrap(), single.embed(&nodes).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected_globally() {
+        let a = graph(10);
+        let eng = ShardedEngine::new(
+            a,
+            Dense::zeros(10, 4),
+            Dense::zeros(10, 4),
+            OpSet::gcn(),
+            2,
+            config(),
+        );
+        assert_eq!(
+            eng.embed(&[3, 10]),
+            Err(ServeError::NodeOutOfRange { node: 10, nvertices: 10 })
+        );
+        assert_eq!(
+            eng.score_edges(&[(0, 12)]),
+            Err(ServeError::NodeOutOfRange { node: 12, nvertices: 10 })
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_every_shard() {
+        let a = graph(12);
+        let feats = Dense::filled(12, 4, 0.1);
+        let mut eng = ShardedEngine::new(a, feats.clone(), feats, OpSet::gcn(), 3, config());
+        eng.embed(&[1, 11]).unwrap();
+        eng.shutdown();
+        assert_eq!(eng.embed(&[1]), Err(ServeError::EngineShutdown));
+    }
+}

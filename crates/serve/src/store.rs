@@ -1,0 +1,270 @@
+//! Epoch-versioned feature storage: the serving engine's write path.
+//!
+//! The engine used to own `X`/`Y` frozen forever — a training loop had
+//! no way to publish refreshed embeddings without restarting traffic.
+//! [`FeatureStore`] fixes that with RCU-style versioning:
+//!
+//! * readers call [`FeatureStore::snapshot`] and get an
+//!   `Arc<FeatureEpoch>` — an immutable `(epoch, X, Y)` triple. The
+//!   read path is a brief shared-lock Arc clone (no allocation, no
+//!   copies, never blocked by an in-progress feature build);
+//! * writers call [`FeatureStore::publish`] (whole matrices) or
+//!   [`FeatureStore::delta_update`] (a row patch) to mint the next
+//!   epoch and swap the pointer. Old epochs stay alive exactly as long
+//!   as some in-flight batch still pins them, then drop.
+//!
+//! The epoch-pinning contract: every serving batch resolves one
+//! snapshot up front and computes every output row from it, so a
+//! response is never torn across a swap — it reflects exactly one
+//! epoch, even while publishes race the request.
+//!
+//! Feature *shapes* are frozen at store construction (publishing a
+//! different `nrows`/`d` panics): engines key their kernel plans on the
+//! dimension and validate node ids against the row counts once, at
+//! load time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use fusedmm_sparse::dense::Dense;
+
+/// One immutable published generation of the feature matrices.
+#[derive(Debug)]
+pub struct FeatureEpoch {
+    epoch: u64,
+    x: Dense,
+    y: Dense,
+}
+
+impl FeatureEpoch {
+    /// The generation number (0 for the load-time features, +1 per
+    /// publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Target-side features (one row per vertex of `A`'s row space).
+    pub fn x(&self) -> &Dense {
+        &self.x
+    }
+
+    /// Neighbor-side features (one row per vertex of `A`'s column
+    /// space).
+    pub fn y(&self) -> &Dense {
+        &self.y
+    }
+}
+
+/// Epoch-versioned `(X, Y)` holder shared by every engine (and every
+/// shard) serving the same model. See the module docs for the
+/// reader/writer contract.
+#[derive(Debug)]
+pub struct FeatureStore {
+    current: RwLock<Arc<FeatureEpoch>>,
+    /// Serializes writers so a `delta_update`'s read-modify-publish is
+    /// atomic; readers never touch this.
+    writer: Mutex<()>,
+    swaps: AtomicU64,
+    x_rows: usize,
+    y_rows: usize,
+    d: usize,
+}
+
+impl FeatureStore {
+    /// Wrap the load-time features as epoch 0.
+    ///
+    /// # Panics
+    /// Panics when `x` and `y` disagree on the embedding dimension.
+    pub fn new(x: Dense, y: Dense) -> FeatureStore {
+        assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
+        let (x_rows, y_rows, d) = (x.nrows(), y.nrows(), x.ncols());
+        FeatureStore {
+            current: RwLock::new(Arc::new(FeatureEpoch { epoch: 0, x, y })),
+            writer: Mutex::new(()),
+            swaps: AtomicU64::new(0),
+            x_rows,
+            y_rows,
+            d,
+        }
+    }
+
+    /// Rows of `X` (fixed across epochs).
+    pub fn x_rows(&self) -> usize {
+        self.x_rows
+    }
+
+    /// Rows of `Y` (fixed across epochs).
+    pub fn y_rows(&self) -> usize {
+        self.y_rows
+    }
+
+    /// The embedding dimension (fixed across epochs).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Pin the current epoch. The returned snapshot stays valid (and
+    /// immutable) for as long as the caller holds it, regardless of
+    /// how many publishes happen meanwhile.
+    pub fn snapshot(&self) -> Arc<FeatureEpoch> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The current epoch number, without pinning it.
+    pub fn current_epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// How many epoch swaps ([`publish`](Self::publish) +
+    /// [`delta_update`](Self::delta_update)) have completed.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Publish whole replacement matrices as the next epoch; returns
+    /// the new epoch number. In-flight batches keep serving the epoch
+    /// they pinned; new snapshots see the published features.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ from the load-time shapes.
+    pub fn publish(&self, x: Dense, y: Dense) -> u64 {
+        self.check_shapes(&x, &y);
+        let _w = self.writer.lock();
+        self.install(x, y)
+    }
+
+    /// Patch `rows` of both matrices — `x_rows_new`/`y_rows_new` hold
+    /// one replacement row per entry of `rows` — and publish the result
+    /// as the next epoch; returns the new epoch number. The
+    /// copy-on-write clone happens outside the reader lock, so readers
+    /// are only blocked for the pointer swap.
+    ///
+    /// # Panics
+    /// Panics when a row id is out of range or the patch dimensions
+    /// disagree with the store's.
+    pub fn delta_update(&self, rows: &[usize], x_rows_new: &Dense, y_rows_new: &Dense) -> u64 {
+        assert_eq!(x_rows_new.nrows(), rows.len(), "one X patch row per updated row id");
+        assert_eq!(y_rows_new.nrows(), rows.len(), "one Y patch row per updated row id");
+        assert_eq!(x_rows_new.ncols(), self.d, "X patch dimension mismatch");
+        assert_eq!(y_rows_new.ncols(), self.d, "Y patch dimension mismatch");
+        for &u in rows {
+            assert!(u < self.x_rows, "patched X row {u} out of range for {} rows", self.x_rows);
+            assert!(u < self.y_rows, "patched Y row {u} out of range for {} rows", self.y_rows);
+        }
+        let _w = self.writer.lock();
+        let base = self.snapshot();
+        let mut x = base.x.clone();
+        let mut y = base.y.clone();
+        for (i, &u) in rows.iter().enumerate() {
+            x.row_mut(u).copy_from_slice(x_rows_new.row(i));
+            y.row_mut(u).copy_from_slice(y_rows_new.row(i));
+        }
+        self.install(x, y)
+    }
+
+    /// Swap in the next epoch (writer lock held by the caller).
+    fn install(&self, x: Dense, y: Dense) -> u64 {
+        let mut current = self.current.write();
+        let epoch = current.epoch + 1;
+        *current = Arc::new(FeatureEpoch { epoch, x, y });
+        drop(current);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    fn check_shapes(&self, x: &Dense, y: &Dense) {
+        assert_eq!(x.nrows(), self.x_rows, "published X row count changed");
+        assert_eq!(y.nrows(), self.y_rows, "published Y row count changed");
+        assert_eq!(x.ncols(), self.d, "published X dimension changed");
+        assert_eq!(y.ncols(), self.d, "published Y dimension changed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: usize, d: usize) -> FeatureStore {
+        FeatureStore::new(Dense::filled(n, d, 0.0), Dense::filled(n, d, 0.0))
+    }
+
+    #[test]
+    fn epoch_zero_holds_the_load_time_features() {
+        let s = FeatureStore::new(Dense::filled(3, 2, 1.5), Dense::filled(4, 2, 2.5));
+        assert_eq!((s.x_rows(), s.y_rows(), s.d()), (3, 4, 2));
+        let ep = s.snapshot();
+        assert_eq!(ep.epoch(), 0);
+        assert_eq!(ep.x().get(2, 1), 1.5);
+        assert_eq!(ep.y().get(3, 0), 2.5);
+        assert_eq!(s.swap_count(), 0);
+    }
+
+    #[test]
+    fn publish_mints_epochs_and_old_snapshots_stay_pinned() {
+        let s = store(4, 2);
+        let pinned = s.snapshot();
+        assert_eq!(s.publish(Dense::filled(4, 2, 1.0), Dense::filled(4, 2, 1.0)), 1);
+        assert_eq!(s.publish(Dense::filled(4, 2, 2.0), Dense::filled(4, 2, 2.0)), 2);
+        assert_eq!(s.current_epoch(), 2);
+        assert_eq!(s.swap_count(), 2);
+        // The old pin still reads epoch-0 values.
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.x().get(0, 0), 0.0);
+        assert_eq!(s.snapshot().x().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn delta_update_patches_only_the_named_rows() {
+        let s = store(5, 3);
+        let patch_x = Dense::filled(2, 3, 7.0);
+        let patch_y = Dense::filled(2, 3, 9.0);
+        assert_eq!(s.delta_update(&[1, 4], &patch_x, &patch_y), 1);
+        let ep = s.snapshot();
+        assert_eq!(ep.epoch(), 1);
+        assert_eq!(ep.x().row(1), &[7.0; 3]);
+        assert_eq!(ep.x().row(4), &[7.0; 3]);
+        assert_eq!(ep.x().row(0), &[0.0; 3]);
+        assert_eq!(ep.y().row(4), &[9.0; 3]);
+        assert_eq!(ep.y().row(2), &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count changed")]
+    fn publish_rejects_resizes() {
+        let s = store(4, 2);
+        s.publish(Dense::filled(5, 2, 0.0), Dense::filled(4, 2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_update_rejects_bad_rows() {
+        let s = store(4, 2);
+        s.delta_update(&[4], &Dense::filled(1, 2, 0.0), &Dense::filled(1, 2, 0.0));
+    }
+
+    #[test]
+    fn concurrent_publishes_and_deltas_never_lose_an_epoch() {
+        let s = Arc::new(store(8, 2));
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for i in 0..25 {
+                        if t % 2 == 0 {
+                            let v = (t * 100 + i) as f32;
+                            s.publish(Dense::filled(8, 2, v), Dense::filled(8, 2, v));
+                        } else {
+                            let p = Dense::filled(1, 2, i as f32);
+                            s.delta_update(&[(i as usize) % 8], &p, &p);
+                        }
+                    }
+                });
+            }
+        });
+        // 4 writers x 25 swaps, each minting a distinct epoch.
+        assert_eq!(s.current_epoch(), 100);
+        assert_eq!(s.swap_count(), 100);
+    }
+}

@@ -237,6 +237,36 @@ impl Csr {
         self.values.fill(v);
     }
 
+    /// Extract the contiguous row band `rows` as its own CSR matrix.
+    ///
+    /// The band uses **local row indexing** (band row `i` is global row
+    /// `rows.start + i`) but keeps **global column indexing** (`ncols`
+    /// unchanged) — the PART1D shard shape: a shard owns a row band of
+    /// `A` while `Y` (the column space) stays global. Contiguity makes
+    /// this a pair of slice copies, O(band nnz).
+    ///
+    /// # Panics
+    /// Panics when `rows.end > nrows` or the range is inverted.
+    pub fn row_band(&self, rows: std::ops::Range<usize>) -> Csr {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.nrows,
+            "row band {}..{} out of range for {} rows",
+            rows.start,
+            rows.end,
+            self.nrows
+        );
+        let lo = self.rowptr[rows.start];
+        let hi = self.rowptr[rows.end];
+        let rowptr = self.rowptr[rows.start..=rows.end].iter().map(|&p| p - lo).collect();
+        Csr {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            rowptr,
+            colidx: self.colidx[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
     /// Scale row `u`'s values by `s` — used to build the symmetric-
     /// normalized adjacency `D^{-1/2} A D^{-1/2}` for GCN.
     pub fn scale_row(&mut self, u: usize, s: f32) {
@@ -377,6 +407,54 @@ mod tests {
         let mut m = small();
         m.fill_values(1.0);
         assert!(m.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn row_band_keeps_local_rows_and_global_columns() {
+        let m = small();
+        let band = m.row_band(1..3);
+        assert_eq!((band.nrows(), band.ncols()), (2, 3));
+        assert_eq!(band.nnz(), 2);
+        // Local row 0 is global row 1 (empty); local row 1 is global
+        // row 2 with its global column ids intact.
+        assert_eq!(band.row_nnz(0), 0);
+        assert_eq!(band.row(1).0, &[0, 1]);
+        assert_eq!(band.row(1).1, &[3.0, 4.0]);
+        assert_eq!(band.rowptr(), &[0, 0, 2]);
+    }
+
+    #[test]
+    fn row_band_of_everything_is_the_matrix() {
+        let m = small();
+        assert_eq!(m.row_band(0..3), m);
+    }
+
+    #[test]
+    fn row_band_may_be_empty() {
+        let m = small();
+        let band = m.row_band(1..1);
+        assert_eq!((band.nrows(), band.ncols(), band.nnz()), (0, 3, 0));
+        assert_eq!(band.rowptr(), &[0]);
+    }
+
+    #[test]
+    fn row_bands_tile_the_matrix() {
+        let m = small();
+        let cuts = [0usize, 1, 3];
+        let mut entries = Vec::new();
+        for w in cuts.windows(2) {
+            let band = m.row_band(w[0]..w[1]);
+            for (r, c, v) in band.iter() {
+                entries.push((w[0] + r, c, v));
+            }
+        }
+        assert_eq!(entries, m.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_band_rejects_overrun() {
+        let _ = small().row_band(2..4);
     }
 
     #[test]

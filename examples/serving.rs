@@ -1,16 +1,25 @@
-//! Online serving: load a graph once, answer per-node traffic.
+//! Online serving: load a graph once, answer per-node traffic, publish
+//! live feature updates, and shard the engine PART1D-style.
 //!
 //! Spins up the [`Engine`] on an RMAT graph and issues a mixed workload
 //! from several client threads — per-node embedding refreshes (through
 //! the micro-batcher and the row-subset kernel) interleaved with
-//! candidate-edge scoring (the SDDMM-only path) — then prints the
-//! latency percentiles and throughput the engine recorded.
+//! candidate-edge scoring (the SDDMM-only path) — while a trainer
+//! thread publishes refreshed embeddings through the epoch-versioned
+//! [`FeatureStore`]. Then cuts the same graph into nnz-balanced row
+//! bands with [`ShardedEngine`] and verifies the sharded results match
+//! the single engine bit for bit.
 //!
 //! Run: `cargo run --release --example serving`
+//! Scale down (e.g. CI smoke runs): `FUSEDMM_SERVE_N=2000`.
 
 use std::time::Duration;
 
 use fusedmm::prelude::*;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn main() {
     // Record the hardware path before anything else, so pasted output
@@ -18,8 +27,10 @@ fn main() {
     println!("{}", fusedmm::kernel::cpu_features());
 
     // The "model": a scale-free graph and trained-looking features.
-    let n = 20_000;
-    let d = 64;
+    let n = env_usize("FUSEDMM_SERVE_N", 20_000);
+    let d = env_usize("FUSEDMM_SERVE_D", 64);
+    let clients = env_usize("FUSEDMM_SERVE_CLIENTS", 8);
+    let rounds = env_usize("FUSEDMM_SERVE_ROUNDS", 50);
     let a = rmat(&RmatConfig::new(n, 8 * n));
     println!(
         "loading graph: {} vertices, {} edges, avg degree {:.1}, d={d}",
@@ -30,10 +41,11 @@ fn main() {
     let feats = random_features(n, d, 0.5, 42);
 
     // One engine, loaded once: plan prepared, partitions precomputed.
+    // The features become epoch 0 of the engine's FeatureStore.
     let engine = Engine::new(
-        a,
+        a.clone(),
         feats.clone(),
-        feats,
+        feats.clone(),
         OpSet::sigmoid_embedding(None),
         EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() },
     );
@@ -49,12 +61,25 @@ fn main() {
         t0.elapsed().as_secs_f64() * 1e3
     );
 
-    // Mixed serving traffic: 8 clients, each alternating embedding
-    // refreshes (64-node subsets) with candidate-edge scoring.
-    let clients = 8;
-    let rounds = 50;
-    println!("serving {clients} concurrent clients x {rounds} rounds of mixed traffic...");
+    // Mixed serving traffic with live feature updates: clients
+    // alternate embedding refreshes (64-node subsets) with
+    // candidate-edge scoring, while a "trainer" publishes refreshed
+    // embeddings every few rounds. Each response pins one feature
+    // epoch end-to-end, so traffic never observes a torn swap.
+    println!("serving {clients} concurrent clients x {rounds} rounds while a trainer publishes...");
     std::thread::scope(|s| {
+        // The trainer: epoch k scales the features by a tiny factor —
+        // stand-in for a training loop pushing fresh embeddings.
+        let store = engine.store().clone();
+        let trainer_feats = feats.clone();
+        s.spawn(move || {
+            for k in 0..10u32 {
+                std::thread::sleep(Duration::from_millis(20));
+                let scale = 1.0 + k as f32 * 0.01;
+                let fresh = Dense::from_fn(n, d, |r, c| trainer_feats.get(r, c) * scale);
+                store.publish(fresh.clone(), fresh);
+            }
+        });
         for c in 0..clients {
             let engine = &engine;
             s.spawn(move || {
@@ -84,4 +109,42 @@ fn main() {
         m.rows_requested,
         m.rows_computed
     );
+
+    // Sharded serving: cut the graph into nnz-balanced PART1D bands,
+    // one band engine per shard behind a scatter/gather front end —
+    // bit-identical to the single engine on the same epoch.
+    let shards = env_usize("FUSEDMM_SERVE_SHARDS", 4);
+    println!("\nsharding the graph into {shards} nnz-balanced bands...");
+    let cfg =
+        EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() };
+    let sharded = ShardedEngine::new(
+        a.clone(),
+        feats.clone(),
+        feats,
+        OpSet::sigmoid_embedding(None),
+        shards,
+        cfg.clone(),
+    );
+    println!("band boundaries: {:?}", sharded.boundaries());
+    // A baseline single engine borrowing the *same* store, so both
+    // read the same feature epoch — their results must be bit-identical.
+    let baseline =
+        Engine::with_store(a, sharded.store().clone(), OpSet::sigmoid_embedding(None), cfg);
+    let nodes: Vec<usize> = (0..256).map(|i| (i * 131) % n).collect();
+    let pairs: Vec<(usize, usize)> = nodes.iter().map(|&u| (u, (u * 7 + 3) % n)).collect();
+    let z = sharded.embed(&nodes).expect("sharded embed");
+    let scores = sharded.score_edges(&pairs).expect("sharded score");
+    assert_eq!(
+        z,
+        baseline.embed(&nodes).expect("baseline embed"),
+        "sharded embed must be bit-identical"
+    );
+    assert_eq!(
+        scores,
+        baseline.score_edges(&pairs).expect("baseline score"),
+        "sharded scores must be bit-identical"
+    );
+    println!("sharded results verified bit-identical to a single engine on the same store");
+    let sm = sharded.metrics();
+    println!("{sm}");
 }

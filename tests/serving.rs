@@ -1,10 +1,14 @@
 //! Serving-path correctness: the row-subset kernel must agree with the
 //! full-graph reference on exactly the requested rows — for random
 //! graphs, operator sets, and subsets (empty, duplicated, out of
-//! order) — and the engine must preserve that agreement under
-//! concurrent, overlapping request traffic.
+//! order) — the engine must preserve that agreement under concurrent,
+//! overlapping request traffic, responses must pin exactly one feature
+//! epoch while publishes race them, and a PART1D-sharded engine must be
+//! bit-identical to the single engine on the same graph.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use fusedmm::prelude::*;
@@ -147,6 +151,210 @@ fn engine_serves_concurrent_overlapping_batches() {
     assert!(m.rows_computed <= m.rows_requested, "dedup never computes more than asked");
     assert!(m.embed.p50 <= m.embed.p99);
     assert!(m.embed_requests_per_sec > 0.0);
+}
+
+/// Build the snapshot-isolation fixture: a ring graph (every row has
+/// exactly one unit-weight edge) under GCN ops, so with features filled
+/// with the constant `c`, every lane of every embed row equals `c`
+/// exactly (z_u = 1.0 * y_{u+1}). Publishing `c = epoch + 1.0` makes
+/// any served row reveal which epoch produced it — and any torn
+/// response reveal itself as a mix of constants.
+fn ring_fixture(n: usize, d: usize) -> (Csr, Dense, EngineConfig) {
+    let mut c = Coo::new(n, n);
+    for u in 0..n {
+        c.push(u, (u + 1) % n, 1.0);
+    }
+    let cfg = EngineConfig {
+        coalesce_window: Duration::from_micros(20),
+        blocking: Some(Blocking::Auto),
+        ..EngineConfig::default()
+    };
+    (c.to_csr(Dedup::Sum), Dense::filled(n, d, 1.0), cfg)
+}
+
+/// Assert every lane of every row of `z` equals one single epoch
+/// constant from `1.0..=max`, and return it.
+fn assert_single_epoch(z: &Dense, max: f32, label: &str) -> f32 {
+    let first = z.get(0, 0);
+    assert!(
+        first >= 1.0 && first <= max && first.fract() == 0.0,
+        "{label}: value {first} is not a published epoch constant"
+    );
+    for i in 0..z.nrows() {
+        for k in 0..z.ncols() {
+            assert_eq!(
+                z.get(i, k),
+                first,
+                "{label}: row {i} lane {k} mixes epochs ({} vs {first})",
+                z.get(i, k)
+            );
+        }
+    }
+    first
+}
+
+/// The acceptance-criteria concurrency test: readers hammer `embed`
+/// while a writer repeatedly publishes; every response must be
+/// consistent with exactly one epoch (never a mix), and epochs must be
+/// observed monotonically per reader (a later request never sees an
+/// older epoch than an earlier one did).
+#[test]
+fn readers_never_observe_a_torn_epoch_during_publishes() {
+    let n = 96;
+    let d = 16;
+    let publishes = 60usize;
+    let (a, feats, cfg) = ring_fixture(n, d);
+    let eng = Engine::new(a, feats.clone(), feats, OpSet::gcn(), cfg);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let eng = &eng;
+        let done = &done;
+        // The writer: publish epoch constants 2.0, 3.0, ...
+        s.spawn(move || {
+            for e in 0..publishes {
+                let c = (e + 2) as f32;
+                eng.store().publish(Dense::filled(n, d, c), Dense::filled(n, d, c));
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            done.store(true, Ordering::Release);
+        });
+        // The readers: overlapping subsets, full speed.
+        for t in 0..6usize {
+            s.spawn(move || {
+                let mut last = 0.0f32;
+                let mut round = 0usize;
+                while !done.load(Ordering::Acquire) || round == 0 {
+                    let nodes: Vec<usize> = (0..12).map(|i| (t * 5 + i * 7 + round) % n).collect();
+                    let z = eng.embed(&nodes).expect("embed during publishes");
+                    let epoch = assert_single_epoch(
+                        &z,
+                        (publishes + 1) as f32,
+                        &format!("reader {t} round {round}"),
+                    );
+                    assert!(
+                        epoch >= last,
+                        "reader {t} went back in time: epoch {epoch} after {last}"
+                    );
+                    last = epoch;
+                    round += 1;
+                }
+            });
+        }
+    });
+    let m = eng.metrics();
+    assert_eq!(m.epoch_swaps, publishes as u64);
+    assert_eq!(m.feature_epoch, publishes as u64);
+}
+
+/// Same isolation property through the sharded front end: one pinned
+/// epoch per request even when the rows span several band engines.
+#[test]
+fn sharded_responses_never_tear_across_shards_or_epochs() {
+    let n = 90;
+    let d = 8;
+    let publishes = 40usize;
+    let (a, feats, cfg) = ring_fixture(n, d);
+    let eng = ShardedEngine::new(a, feats.clone(), feats, OpSet::gcn(), 3, cfg);
+    assert!(eng.nshards() > 1, "fixture must actually shard");
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let eng = &eng;
+        let done = &done;
+        s.spawn(move || {
+            for e in 0..publishes {
+                let c = (e + 2) as f32;
+                eng.store().publish(Dense::filled(n, d, c), Dense::filled(n, d, c));
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            done.store(true, Ordering::Release);
+        });
+        for t in 0..4usize {
+            s.spawn(move || {
+                let mut round = 0usize;
+                while !done.load(Ordering::Acquire) || round == 0 {
+                    // Deliberately span every band: stride across 0..n.
+                    let nodes: Vec<usize> = (0..9).map(|i| (i * 11 + t + round) % n).collect();
+                    let z = eng.embed(&nodes).expect("sharded embed during publishes");
+                    assert_single_epoch(
+                        &z,
+                        (publishes + 1) as f32,
+                        &format!("sharded reader {t} round {round}"),
+                    );
+                    round += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(eng.metrics().epoch_swaps, publishes as u64);
+}
+
+/// The acceptance-criteria equivalence test: a ShardedEngine with 1, 2,
+/// and 4 shards returns **bit-identical** results to the single Engine
+/// on the same graph, for embed (request order, duplicates), edge
+/// scoring, and full inference.
+#[test]
+fn sharded_engines_are_bit_identical_to_the_single_engine() {
+    let n = 150;
+    let d = 24;
+    let a = rmat(&RmatConfig::new(n, 6 * n).with_seed(21));
+    let x = random_features(n, d, 0.5, 11);
+    let y = random_features(n, d, 0.5, 12);
+    let ops = OpSet::sigmoid_embedding(None);
+    let cfg = EngineConfig {
+        coalesce_window: Duration::ZERO,
+        blocking: Some(Blocking::Auto),
+        ..EngineConfig::default()
+    };
+    let single = Engine::new(a.clone(), x.clone(), y.clone(), ops.clone(), cfg.clone());
+
+    let nodes: Vec<usize> = (0..40).map(|i| (i * 13 + 5) % n).chain([7, 7, 149, 0]).collect();
+    let pairs: Vec<(usize, usize)> = (0..n).map(|u| (u, (u * 17 + 3) % n)).collect();
+    let z1 = single.embed(&nodes).unwrap();
+    let s1 = single.score_edges(&pairs).unwrap();
+    let f1 = single.infer_full();
+
+    for shards in [1usize, 2, 4] {
+        let sharded =
+            ShardedEngine::new(a.clone(), x.clone(), y.clone(), ops.clone(), shards, cfg.clone());
+        let z = sharded.embed(&nodes).unwrap();
+        assert_eq!(z, z1, "{shards}-shard embed differs from single engine");
+        let sc = sharded.score_edges(&pairs).unwrap();
+        assert_eq!(sc, s1, "{shards}-shard scores differ from single engine");
+        let f = sharded.infer_full();
+        assert_eq!(f, f1, "{shards}-shard inference differs from single engine");
+        let m = sharded.metrics();
+        assert_eq!(m.per_shard.len(), sharded.nshards());
+        // One front-end embed call fans out to at most one request per
+        // shard; the merged histogram counts the per-shard requests.
+        assert!(m.embed.count >= 1 && m.embed.count <= sharded.nshards() as u64);
+        assert_eq!(m.fanout.len(), sharded.nshards());
+    }
+}
+
+/// Engines sharing one store see a publish atomically: both a plain
+/// engine and a sharded one serve the new epoch after one publish call.
+#[test]
+fn shared_store_updates_every_engine_at_once() {
+    let n = 48;
+    let d = 8;
+    let mut c = Coo::new(n, n);
+    for u in 0..n {
+        c.push(u, (u + 1) % n, 1.0);
+    }
+    let a = c.to_csr(Dedup::Sum);
+    let store = Arc::new(FeatureStore::new(Dense::filled(n, d, 1.0), Dense::filled(n, d, 1.0)));
+    let cfg = EngineConfig {
+        coalesce_window: Duration::ZERO,
+        blocking: Some(Blocking::Auto),
+        ..EngineConfig::default()
+    };
+    let plain = Engine::with_store(a.clone(), Arc::clone(&store), OpSet::gcn(), cfg.clone());
+    let sharded = ShardedEngine::with_store(a, Arc::clone(&store), OpSet::gcn(), 2, cfg);
+    store.publish(Dense::filled(n, d, 5.0), Dense::filled(n, d, 5.0));
+    assert_eq!(plain.embed(&[3]).unwrap().row(0), &[5.0; 8]);
+    assert_eq!(sharded.embed(&[3, 40]).unwrap().row(1), &[5.0; 8]);
+    assert_eq!(plain.metrics().feature_epoch, 1);
+    assert_eq!(sharded.metrics().feature_epoch, 1);
 }
 
 #[test]
