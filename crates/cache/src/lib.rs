@@ -1,0 +1,45 @@
+//! `fusedmm-cache` — an epoch-aware embedding result cache.
+//!
+//! FusedMM makes each embedding computation fast; a serving engine
+//! under real traffic still recomputes the same hot rows thousands of
+//! times per second. [`ResultCache`] closes that gap: it memoizes
+//! computed output rows (`z_u`) keyed by vertex id, behind lock-striped
+//! segments with CLOCK (second-chance) eviction under a byte budget —
+//! and it understands the serving stack's epoch-versioned write path:
+//!
+//! * **Publish** (whole-matrix swap) invalidates *everything*, lazily:
+//!   the cache records the new epoch as its flush floor and every older
+//!   entry fails its stamp comparison at lookup time. No O(entries)
+//!   sweep on the write path.
+//! * **Delta update** (a row patch) invalidates *precisely*: only the
+//!   patched vertices and the rows whose aggregation reads a patched
+//!   `Y` row (their in-neighbors — see
+//!   [`Csr::touch_set`](../fusedmm_sparse/csr/struct.Csr.html)) are
+//!   retired, so a training-style row patch does not flush the hot set.
+//!
+//! # Validity contract
+//!
+//! Every cached row carries the feature epoch it was computed at. A
+//! lookup pinned to epoch `E` is a hit only when the entry's stamp `e`
+//! satisfies all of:
+//!
+//! 1. `e <= E` — never serve a row newer than the reader's pinned
+//!    snapshot (bit-identity with an uncached engine requires serving
+//!    exactly the pinned epoch);
+//! 2. `e >= flush_epoch` — no publish landed after the row was
+//!    computed;
+//! 3. `e >= last_touch[node]` — no delta update touched this row's
+//!    dependency set after it was computed.
+//!
+//! All three are conservative: a stale-looking entry is recomputed, a
+//! valid-looking entry is provably identical to a fresh computation.
+//! The writer-side ordering that makes (2) and (3) race-free is owned
+//! by the feature store: it announces an epoch to invalidation
+//! listeners **before** any reader can pin it, so there is no window in
+//! which a reader at the new epoch can hit a not-yet-retired entry.
+
+pub mod cache;
+pub mod stats;
+
+pub use cache::{CacheConfig, ResultCache};
+pub use stats::{CacheMetrics, CacheStats};

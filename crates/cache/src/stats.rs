@@ -1,0 +1,132 @@
+//! Cache observability: lock-free counters plus the per-request
+//! hit-ratio distribution.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use fusedmm_perf::hist::{RatioHistogram, RatioSnapshot};
+
+/// Live counters a [`ResultCache`](crate::ResultCache) maintains on its
+/// hot paths (all relaxed atomics — recording never contends).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: AtomicU64,
+    /// Lookups that missed (absent or stale entry).
+    pub misses: AtomicU64,
+    /// Rows written into the cache.
+    pub inserts: AtomicU64,
+    /// Rows retired by CLOCK eviction under budget pressure.
+    pub evictions: AtomicU64,
+    /// Rows retired precisely by delta-update touch sets (only counts
+    /// entries actually present).
+    pub invalidated_rows: AtomicU64,
+    /// Whole-cache (publish) invalidations recorded.
+    pub flushes: AtomicU64,
+    /// Approximate bytes currently held across all segments.
+    pub bytes: AtomicUsize,
+    /// Entries currently resident across all segments.
+    pub entries: AtomicUsize,
+    /// Per-request hit-ratio distribution (one observation per embed
+    /// request that consulted the cache).
+    pub hit_ratio: RatioHistogram,
+}
+
+impl CacheStats {
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated_rows: self.invalidated_rows.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            hit_ratio: self.hit_ratio.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time cache statistics, surfaced next to the serving
+/// engine's latency metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheMetrics {
+    /// Row lookups served from the cache.
+    pub hits: u64,
+    /// Row lookups that had to be computed.
+    pub misses: u64,
+    /// Rows written into the cache.
+    pub inserts: u64,
+    /// Rows retired by CLOCK eviction.
+    pub evictions: u64,
+    /// Rows retired precisely by delta-update touch sets.
+    pub invalidated_rows: u64,
+    /// Publish (whole-cache) invalidations.
+    pub flushes: u64,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+    /// Resident entries.
+    pub entries: usize,
+    /// Per-request hit-ratio distribution.
+    pub hit_ratio: RatioSnapshot,
+}
+
+impl CacheMetrics {
+    /// Overall row-level hit ratio (`hits / (hits + misses)`), 0 when
+    /// nothing was looked up.
+    pub fn overall_hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} ({:.1}% hit) inserts={} evict={} delta-inval={} flushes={} \
+             resident={} rows / {} KiB, per-request hit ratio: {}",
+            self.hits,
+            self.misses,
+            self.overall_hit_ratio() * 100.0,
+            self.inserts,
+            self.evictions,
+            self.invalidated_rows,
+            self.flushes,
+            self.entries,
+            self.bytes >> 10,
+            self.hit_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = CacheStats::default();
+        s.hits.fetch_add(3, Ordering::Relaxed);
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        s.hit_ratio.record_fraction(3, 4);
+        let m = s.snapshot();
+        assert_eq!((m.hits, m.misses), (3, 1));
+        assert!((m.overall_hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(m.hit_ratio.count, 1);
+        let line = m.to_string();
+        assert!(line.contains("75.0% hit"), "{line}");
+    }
+
+    #[test]
+    fn empty_metrics_report_zero_ratio() {
+        let m = CacheStats::default().snapshot();
+        assert_eq!(m.overall_hit_ratio(), 0.0);
+        assert_eq!(m.hit_ratio.count, 0);
+    }
+}

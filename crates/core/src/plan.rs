@@ -166,17 +166,57 @@ impl PlanTag {
     }
 }
 
-/// A concurrent memo of [`Plan`]s keyed by (pattern, dimension,
-/// [`PlanTag`]).
-#[derive(Debug, Default)]
+/// Default resident-entry cap for a [`PlanCache`] — generous for any
+/// realistic (pattern × dimension × shard) working set, small enough
+/// that per-epoch tagged entries cannot accumulate forever across a
+/// long-lived serving process's publishes.
+pub const PLAN_CACHE_DEFAULT_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct PlanCacheInner {
+    /// Value carries an insertion sequence number for eviction
+    /// tie-breaks among same-epoch entries.
+    plans: HashMap<(Pattern, usize, PlanTag), (Plan, u64)>,
+    seq: u64,
+}
+
+/// A concurrent, capacity-bounded memo of [`Plan`]s keyed by (pattern,
+/// dimension, [`PlanTag`]). When the cap is exceeded, entries retire
+/// **oldest-epoch-first**: the stalest epoch-tagged plans go before
+/// fresher ones, and the epoch-*agnostic* sentinel entries (`epoch ==
+/// 0` — the always-hot per-shard plans) are evicted last, by insertion
+/// order.
+#[derive(Debug)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<(Pattern, usize, PlanTag), Plan>>,
+    inner: RwLock<PlanCacheInner>,
+    capacity: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity
+    /// ([`PLAN_CACHE_DEFAULT_CAPACITY`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(PLAN_CACHE_DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a plan cache needs room for at least one plan");
+        PlanCache { inner: RwLock::new(PlanCacheInner { plans: HashMap::new(), seq: 0 }), capacity }
+    }
+
+    /// The resident-entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The cached plan for `ops` at dimension `d` under the default
@@ -187,14 +227,37 @@ impl PlanCache {
     }
 
     /// The cached plan for `ops` at dimension `d` under `tag`,
-    /// preparing (and memoizing) it on first use.
+    /// preparing (and memoizing) it on first use. May evict the
+    /// oldest-epoch entry when the cache is at capacity.
     pub fn plan_tagged(&self, ops: &OpSet, d: usize, tag: PlanTag) -> Plan {
         let key = (ops.pattern, d, tag);
-        if let Some(&plan) = self.plans.read().get(&key) {
+        if let Some(&(plan, _)) = self.inner.read().plans.get(&key) {
             return plan;
         }
         let plan = Plan::prepare(ops, d);
-        self.plans.write().insert(key, plan);
+        let mut inner = self.inner.write();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.plans.insert(key, (plan, seq));
+        while inner.plans.len() > self.capacity {
+            // Oldest-epoch-first: the epoch-0 sentinel sorts last (it
+            // is "no epoch", not "the oldest"), so always-hot agnostic
+            // plans outlive per-epoch ones; insertion order breaks
+            // ties.
+            // The entry just inserted is never the victim — a reader
+            // pinned to an old epoch must not thrash its own slot on
+            // every request.
+            let victim = inner
+                .plans
+                .iter()
+                .filter(|(&k, _)| k != key)
+                .min_by_key(|(&(_, _, t), &(_, s))| {
+                    (if t.epoch == 0 { u64::MAX } else { t.epoch }, s)
+                })
+                .map(|(&k, _)| k)
+                .expect("cache over capacity holds more than the fresh entry");
+            inner.plans.remove(&victim);
+        }
         plan
     }
 
@@ -207,12 +270,12 @@ impl PlanCache {
         if epoch == 0 {
             return;
         }
-        self.plans.write().retain(|&(_, _, tag), _| tag.epoch != epoch);
+        self.inner.write().plans.retain(|&(_, _, tag), _| tag.epoch != epoch);
     }
 
     /// Number of memoized plans.
     pub fn len(&self) -> usize {
-        self.plans.read().len()
+        self.inner.read().plans.len()
     }
 
     /// True when no plan has been prepared yet.
@@ -222,7 +285,7 @@ impl PlanCache {
 
     /// Drop all memoized plans.
     pub fn clear(&self) {
-        self.plans.write().clear();
+        self.inner.write().plans.clear();
     }
 }
 
@@ -313,6 +376,66 @@ mod tests {
         assert_eq!(cache.len(), 2, "only the epoch-7 entry is retired");
         cache.evict_epoch(0);
         assert_eq!(cache.len(), 2, "epoch 0 is the agnostic sentinel, never evicted");
+    }
+
+    #[test]
+    fn capacity_cap_evicts_oldest_epoch_first() {
+        let cache = PlanCache::with_capacity(3);
+        assert_eq!(cache.capacity(), 3);
+        let ops = OpSet::gcn();
+        // One epoch-agnostic sentinel plus epoch-tagged entries well
+        // past the cap — the regression this guards: one entry per
+        // (pattern, d, tag) accumulating forever across epochs.
+        let _ = cache.plan_for(&ops, 32);
+        for epoch in 1..=6u64 {
+            let _ = cache.plan_tagged(&ops, 32, PlanTag { shard: 0, epoch });
+            assert!(cache.len() <= 3, "cap violated at epoch {epoch}");
+        }
+        // Newest epochs and the agnostic sentinel survive; the stalest
+        // epochs were retired first.
+        let survives = |tag| cache.inner.read().plans.contains_key(&(ops.pattern, 32, tag));
+        assert!(survives(PlanTag::default()), "epoch-agnostic sentinel outlives epoch entries");
+        assert!(survives(PlanTag { shard: 0, epoch: 6 }));
+        assert!(survives(PlanTag { shard: 0, epoch: 5 }));
+        assert!(!survives(PlanTag { shard: 0, epoch: 1 }));
+        assert!(!survives(PlanTag { shard: 0, epoch: 2 }));
+        // A re-request of an evicted epoch re-prepares without error.
+        let p = cache.plan_tagged(&ops, 32, PlanTag { shard: 0, epoch: 1 });
+        assert_eq!(p.d(), 32);
+    }
+
+    #[test]
+    fn capacity_cap_never_evicts_the_entry_just_requested() {
+        let cache = PlanCache::with_capacity(2);
+        let ops = OpSet::gcn();
+        let _ = cache.plan_tagged(&ops, 8, PlanTag { shard: 0, epoch: 5 });
+        let _ = cache.plan_tagged(&ops, 8, PlanTag { shard: 0, epoch: 6 });
+        // A straggler reader pinned to epoch 1 — the oldest epoch in
+        // the cache after insertion — must land (evicting epoch 5),
+        // not be the victim of its own insert.
+        let _ = cache.plan_tagged(&ops, 8, PlanTag { shard: 0, epoch: 1 });
+        let inner = cache.inner.read();
+        assert!(inner.plans.contains_key(&(ops.pattern, 8, PlanTag { shard: 0, epoch: 1 })));
+        assert!(!inner.plans.contains_key(&(ops.pattern, 8, PlanTag { shard: 0, epoch: 5 })));
+        assert!(inner.plans.contains_key(&(ops.pattern, 8, PlanTag { shard: 0, epoch: 6 })));
+    }
+
+    #[test]
+    fn capacity_cap_falls_back_to_insertion_order_for_agnostic_entries() {
+        let cache = PlanCache::with_capacity(2);
+        let a = OpSet::gcn();
+        let b = OpSet::fr_model(0.1);
+        let c = OpSet::sigmoid_embedding(None);
+        let _ = cache.plan_for(&a, 8);
+        let _ = cache.plan_for(&b, 8);
+        let _ = cache.plan_for(&c, 8);
+        assert_eq!(cache.len(), 2);
+        let inner = cache.inner.read();
+        assert!(
+            !inner.plans.contains_key(&(a.pattern, 8, PlanTag::default())),
+            "oldest-inserted agnostic entry is the tie-break victim"
+        );
+        assert!(inner.plans.contains_key(&(c.pattern, 8, PlanTag::default())));
     }
 
     #[test]

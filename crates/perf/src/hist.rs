@@ -191,6 +191,121 @@ impl HistogramVec {
     }
 }
 
+/// A concurrent histogram of ratios in `[0, 1]`, quantized to whole
+/// percentage points — the shape a per-request cache hit ratio has.
+/// Same relaxed-atomic hot path as [`LatencyHistogram`], but with 101
+/// uniform buckets (one per percent) instead of log-spaced nanosecond
+/// buckets, so the interesting endpoints (all-miss at 0%, all-hit at
+/// 100%) are exact.
+#[derive(Debug)]
+pub struct RatioHistogram {
+    /// `buckets[p]` counts observations that rounded to `p` percent.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed ratios in basis points (1/10,000), for the mean.
+    total_bp: AtomicU64,
+}
+
+impl Default for RatioHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RatioHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        RatioHistogram {
+            buckets: (0..101).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            total_bp: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one ratio observation (clamped to `[0, 1]`; NaN counts
+    /// as 0).
+    pub fn record(&self, ratio: f64) {
+        let r = if ratio.is_finite() { ratio.clamp(0.0, 1.0) } else { 0.0 };
+        let pct = (r * 100.0).round() as usize;
+        self.buckets[pct.min(100)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_bp.fetch_add((r * 10_000.0).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Record `part` out of `whole` (e.g. hits out of requested rows).
+    /// `whole == 0` records nothing.
+    pub fn record_fraction(&self, part: u64, whole: u64) {
+        if whole > 0 {
+            self.record(part as f64 / whole as f64);
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile of recorded ratios, resolved to its percent
+    /// bucket. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (p, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(p as f64 / 100.0);
+            }
+        }
+        Some(1.0)
+    }
+
+    /// Consistent point-in-time summary.
+    pub fn snapshot(&self) -> RatioSnapshot {
+        let count = self.count();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            self.total_bp.load(Ordering::Relaxed) as f64 / 10_000.0 / count as f64
+        };
+        RatioSnapshot {
+            count,
+            mean,
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Point-in-time ratio summary produced by [`RatioHistogram::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Arithmetic mean ratio.
+    pub mean: f64,
+    /// Median ratio.
+    pub p50: f64,
+    /// 99th-percentile ratio.
+    pub p99: f64,
+}
+
+impl std::fmt::Display for RatioSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}% p50={:.0}% p99={:.0}%",
+            self.count,
+            self.mean * 100.0,
+            self.p50 * 100.0,
+            self.p99 * 100.0
+        )
+    }
+}
+
 /// Point-in-time latency summary produced by
 /// [`LatencyHistogram::snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,6 +452,35 @@ mod tests {
         let merged = v.merged();
         assert_eq!(merged.count, 3);
         assert!(merged.max >= Duration::from_millis(2), "straggler member dominates max");
+    }
+
+    #[test]
+    fn ratio_histogram_tracks_endpoints_exactly() {
+        let h = RatioHistogram::new();
+        assert!(h.quantile(0.5).is_none());
+        for _ in 0..9 {
+            h.record(1.0);
+        }
+        h.record(0.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 0.9).abs() < 1e-9);
+        assert_eq!(s.p50, 1.0, "9 of 10 observations are all-hit");
+        assert_eq!(s.p99, 1.0);
+        assert_eq!(h.quantile(0.05), Some(0.0), "the all-miss request is exact");
+    }
+
+    #[test]
+    fn ratio_fraction_and_clamping() {
+        let h = RatioHistogram::new();
+        h.record_fraction(3, 4);
+        h.record_fraction(0, 0); // no-op
+        h.record(7.5); // clamped to 1.0
+        h.record(f64::NAN); // counts as 0
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(h.quantile(0.4), Some(0.75));
+        assert_eq!(s.p99, 1.0);
     }
 
     #[test]

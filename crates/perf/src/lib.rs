@@ -22,7 +22,7 @@ pub mod roofline;
 pub mod stream;
 pub mod timer;
 
-pub use hist::{HistogramSnapshot, HistogramVec, LatencyHistogram};
+pub use hist::{HistogramSnapshot, HistogramVec, LatencyHistogram, RatioHistogram, RatioSnapshot};
 pub use memtrack::CountingAllocator;
 pub use roofline::{arithmetic_intensity, attainable_gflops};
 pub use timer::{time_iterations, TimingStats};

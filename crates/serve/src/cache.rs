@@ -1,0 +1,202 @@
+//! The serving stack's result-cache layer: a
+//! [`ResultCache`](fusedmm_cache::ResultCache) bound to one graph's
+//! reverse adjacency and subscribed to the engine's
+//! [`FeatureStore`](crate::FeatureStore).
+//!
+//! [`EmbedCache`] is the piece the engines talk to: it splits a request
+//! into cache hits and misses (hits filled directly into the response),
+//! back-fills computed miss rows, and — as an
+//! [`EpochListener`](crate::store::EpochListener) — translates epoch
+//! transitions into invalidations. A publish invalidates everything
+//! (lazily, by epoch stamp); a delta update invalidates only the
+//! patched rows *and their in-neighbors*, the exact dependency set of
+//! the kernel's per-row aggregation, computed from the transposed
+//! adjacency by [`Csr::touch_set`](fusedmm_sparse::csr::Csr::touch_set).
+
+use std::time::Instant;
+
+use fusedmm_cache::{CacheConfig, CacheMetrics, ResultCache};
+use fusedmm_perf::hist::LatencyHistogram;
+use fusedmm_sparse::csr::Csr;
+use fusedmm_sparse::dense::Dense;
+
+use crate::engine::ServeError;
+use crate::store::EpochListener;
+
+/// An embedding result cache for one graph, shared by every engine
+/// (or every shard) serving it. Constructed by
+/// [`Engine`](crate::Engine) / [`ShardedEngine`](crate::ShardedEngine)
+/// when [`EngineConfig::cache`](crate::EngineConfig) is set; callers
+/// only observe it through [`CacheMetrics`].
+pub struct EmbedCache {
+    cache: ResultCache,
+    /// `A^T`: row `v` lists the in-neighbors of vertex `v` — the
+    /// output rows whose aggregation reads `y_v`.
+    rev: Csr,
+}
+
+impl std::fmt::Debug for EmbedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbedCache").field("cache", &self.cache).finish_non_exhaustive()
+    }
+}
+
+impl EmbedCache {
+    /// A cache over the output rows of `a` at embedding dimension `d`.
+    /// Pays one O(nnz) transpose to own the reverse adjacency the
+    /// delta-precise touch sets need.
+    pub(crate) fn new(a: &Csr, d: usize, config: CacheConfig) -> EmbedCache {
+        EmbedCache { cache: ResultCache::new(a.nrows(), d, config), rev: a.transpose() }
+    }
+
+    /// Probe every requested node at the pinned epoch. Hit rows are
+    /// copied straight into the matching rows of `out` (one row per
+    /// entry of `nodes`, caller-allocated); returns the sorted,
+    /// deduplicated missing nodes plus the positions in `nodes` still
+    /// to be filled. Records the per-request hit ratio.
+    pub(crate) fn split(
+        &self,
+        nodes: &[usize],
+        epoch: u64,
+        out: &mut Dense,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut misses = Vec::new();
+        let mut positions = Vec::new();
+        for (i, &u) in nodes.iter().enumerate() {
+            if self.cache.lookup(u, epoch, out.row_mut(i)) {
+                continue;
+            }
+            misses.push(u);
+            positions.push(i);
+        }
+        self.cache.record_request((nodes.len() - positions.len()) as u64, nodes.len() as u64);
+        misses.sort_unstable();
+        misses.dedup();
+        (misses, positions)
+    }
+
+    /// Store freshly computed rows: `rows.row(i)` is the output for
+    /// `union[i]`, all computed at `epoch`.
+    pub(crate) fn backfill(&self, epoch: u64, union: &[usize], rows: &Dense) {
+        for (i, &u) in union.iter().enumerate() {
+            self.cache.insert(u, epoch, rows.row(i));
+        }
+    }
+
+    /// The whole cache-aware request flow, shared by
+    /// [`Engine::embed`](crate::Engine::embed) and
+    /// [`ShardedEngine::embed`](crate::ShardedEngine::embed): probe
+    /// every node at the pinned epoch, run `compute` on the sorted
+    /// deduplicated misses (it must return one row per miss, in that
+    /// order), back-fill the cache, and reassemble the response in
+    /// request order. Fully cache-served requests never reach a
+    /// dispatcher, so their end-to-end latency is recorded into
+    /// `hit_latency` here.
+    pub(crate) fn serve(
+        &self,
+        nodes: &[usize],
+        epoch: u64,
+        hit_latency: &LatencyHistogram,
+        compute: impl FnOnce(&[usize]) -> Result<Dense, ServeError>,
+    ) -> Result<Dense, ServeError> {
+        let t0 = Instant::now();
+        let mut out = Dense::zeros(nodes.len(), self.cache.d());
+        let (misses, positions) = self.split(nodes, epoch, &mut out);
+        if misses.is_empty() {
+            hit_latency.record(t0.elapsed());
+            return Ok(out);
+        }
+        let rows = compute(&misses)?;
+        self.backfill(epoch, &misses, &rows);
+        for &i in &positions {
+            let j = misses
+                .binary_search(&nodes[i])
+                .expect("every miss position's node is in the computed union");
+            out.row_mut(i).copy_from_slice(rows.row(j));
+        }
+        Ok(out)
+    }
+
+    /// Point-in-time cache statistics.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.cache.metrics()
+    }
+}
+
+impl EpochListener for EmbedCache {
+    fn on_publish(&self, epoch: u64) {
+        self.cache.invalidate_all(epoch);
+    }
+
+    fn on_delta(&self, epoch: u64, rows: &[usize]) {
+        // The touch set may include patched Y-row ids beyond the
+        // output row space on rectangular graphs; the cache ignores
+        // out-of-range ids.
+        self.cache.invalidate_rows(epoch, &self.rev.touch_set(rows));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_sparse::coo::{Coo, Dedup};
+
+    fn ring(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        c.to_csr(Dedup::Sum)
+    }
+
+    #[test]
+    fn split_fills_hits_and_returns_miss_positions() {
+        let a = ring(6);
+        let cache = EmbedCache::new(&a, 2, CacheConfig::default());
+        let mut out = Dense::zeros(4, 2);
+        // Nothing cached yet: everything misses, duplicates dedup.
+        let (misses, positions) = cache.split(&[3, 1, 3, 5], 0, &mut out);
+        assert_eq!(misses, vec![1, 3, 5]);
+        assert_eq!(positions, vec![0, 1, 2, 3]);
+        // Back-fill and re-probe: all hits, rows land in place.
+        let rows = Dense::from_rows(3, 2, &[1.0, 1.0, 3.0, 3.0, 5.0, 5.0]).unwrap();
+        cache.backfill(0, &misses, &rows);
+        let mut out2 = Dense::zeros(4, 2);
+        let (misses2, positions2) = cache.split(&[3, 1, 3, 5], 0, &mut out2);
+        assert!(misses2.is_empty() && positions2.is_empty());
+        assert_eq!(out2.row(0), &[3.0, 3.0]);
+        assert_eq!(out2.row(1), &[1.0, 1.0]);
+        assert_eq!(out2.row(2), &[3.0, 3.0]);
+        assert_eq!(out2.row(3), &[5.0, 5.0]);
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses), (4, 4));
+        assert_eq!(m.hit_ratio.count, 2, "one ratio observation per request");
+    }
+
+    #[test]
+    fn delta_listener_invalidates_patched_rows_and_in_neighbors_only() {
+        // Ring u→u+1: patching v invalidates v (its X row) and v-1
+        // (aggregates y_v). Everything else survives.
+        let n = 8;
+        let cache = EmbedCache::new(&ring(n), 2, CacheConfig::default());
+        let all: Vec<usize> = (0..n).collect();
+        let rows = Dense::from_fn(n, 2, |r, _| r as f32);
+        cache.backfill(0, &all, &rows);
+        cache.on_delta(1, &[4]);
+        let mut out = Dense::zeros(n, 2);
+        let (misses, _) = cache.split(&all, 1, &mut out);
+        assert_eq!(misses, vec![3, 4], "only vertex 4 and its in-neighbor 3 were retired");
+        assert_eq!(cache.metrics().invalidated_rows, 2);
+    }
+
+    #[test]
+    fn publish_listener_flushes_lazily() {
+        let cache = EmbedCache::new(&ring(4), 2, CacheConfig::default());
+        cache.backfill(0, &[0, 1, 2, 3], &Dense::zeros(4, 2));
+        cache.on_publish(1);
+        let mut out = Dense::zeros(4, 2);
+        let (misses, _) = cache.split(&[0, 1, 2, 3], 1, &mut out);
+        assert_eq!(misses, vec![0, 1, 2, 3]);
+        assert_eq!(cache.metrics().flushes, 1);
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fusedmm_cache::{CacheConfig, CacheMetrics};
 use fusedmm_core::{Blocking, Plan};
 use fusedmm_ops::OpSet;
 use fusedmm_perf::hist::{HistogramSnapshot, LatencyHistogram};
@@ -22,6 +23,7 @@ use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
 use crate::batcher::{dedup_union, group_by_epoch, scatter_rows, BatchQueue, Pending};
+use crate::cache::EmbedCache;
 use crate::score::score_edges_banded;
 use crate::store::{FeatureEpoch, FeatureStore};
 
@@ -38,6 +40,12 @@ pub struct EngineConfig {
     /// Pin the kernel blocking level instead of measuring it with the
     /// autotuner at engine construction (`None` = autotune).
     pub blocking: Option<Blocking>,
+    /// Enable the epoch-aware embedding result cache (`None` =
+    /// compute every request). Hot repeated rows are then served from
+    /// memory; publishes invalidate everything lazily, delta updates
+    /// only their dependency touch set. See the README's "Result
+    /// caching" section for the semantics.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +54,7 @@ impl Default for EngineConfig {
             max_batch_rows: 4096,
             coalesce_window: Duration::from_micros(50),
             blocking: None,
+            cache: None,
         }
     }
 }
@@ -87,6 +96,10 @@ struct EngineShared {
     band_start: usize,
     /// Feature source, shared with writers (and sibling shards).
     store: Arc<FeatureStore>,
+    /// Result cache for this engine's output rows (whole-graph engines
+    /// only; a sharded front end owns one shared cache instead and its
+    /// band engines run uncached).
+    cache: Option<Arc<EmbedCache>>,
     ops: OpSet,
     plan: Plan,
     queue: BatchQueue,
@@ -154,7 +167,12 @@ impl Engine {
             }
             None => Plan::prepare(&ops, d),
         };
-        Engine::for_band(a, 0, store, ops, plan, config)
+        let cache = config.cache.map(|cache_cfg| {
+            let cache = Arc::new(EmbedCache::new(&a, d, cache_cfg));
+            store.subscribe(Arc::clone(&cache) as _);
+            cache
+        });
+        Engine::for_band(a, 0, store, cache, ops, plan, config)
     }
 
     /// Construct an engine over one PART1D row band: `a` holds global
@@ -167,6 +185,7 @@ impl Engine {
         a: Csr,
         band_start: usize,
         store: Arc<FeatureStore>,
+        cache: Option<Arc<EmbedCache>>,
         ops: OpSet,
         plan: Plan,
         config: EngineConfig,
@@ -178,10 +197,15 @@ impl Engine {
             band_start + a.nrows()
         );
         assert_eq!(store.y_rows(), a.ncols(), "store Y must span the band's (global) columns");
+        assert!(
+            cache.is_none() || band_start == 0,
+            "band engines are uncached; the sharded front end owns the shared cache"
+        );
         let shared = Arc::new(EngineShared {
             a,
             band_start,
             store,
+            cache,
             ops,
             plan,
             queue: BatchQueue::new(),
@@ -251,15 +275,33 @@ impl Engine {
     /// rows of the full-graph kernel, all computed from the feature
     /// epoch current at enqueue time. Blocks until the micro-batcher
     /// completes the containing batch.
+    ///
+    /// With the result cache enabled
+    /// ([`EngineConfig::cache`]), rows still valid at the pinned epoch
+    /// are served from memory and only the misses go through the
+    /// micro-batcher — bit-identical either way, because a hit is only
+    /// admitted when no invalidating write landed since the row was
+    /// computed.
     pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        if self.shared.stopped.load(Ordering::Acquire) {
+            return Err(ServeError::EngineShutdown);
+        }
         if nodes.is_empty() {
-            if self.shared.stopped.load(Ordering::Acquire) {
-                return Err(ServeError::EngineShutdown);
-            }
             return Ok(Dense::zeros(0, self.dimension()));
         }
-        let rx = self.enqueue_pinned(nodes, self.shared.store.snapshot())?;
-        rx.recv().map_err(|_| ServeError::EngineShutdown)
+        let epoch = self.shared.store.snapshot();
+        let Some(cache) = &self.shared.cache else {
+            let rx = self.enqueue_pinned(nodes, epoch)?;
+            return rx.recv().map_err(|_| ServeError::EngineShutdown);
+        };
+        // Cache path: validate before probing (lookups assert range),
+        // then serve hits from memory and only the misses through the
+        // micro-batcher.
+        self.check_nodes(nodes.iter().copied())?;
+        cache.serve(nodes, epoch.epoch(), &self.shared.embed_latency, |misses| {
+            let rx = self.enqueue_pinned(misses, Arc::clone(&epoch))?;
+            rx.recv().map_err(|_| ServeError::EngineShutdown)
+        })
     }
 
     /// Enqueue an embedding request pinned to `epoch`; the receiver
@@ -367,7 +409,13 @@ impl Engine {
             rows_computed: self.shared.rows_computed.load(Ordering::Relaxed),
             feature_epoch: self.shared.store.current_epoch(),
             epoch_swaps: self.shared.store.swap_count(),
+            cache: self.shared.cache.as_ref().map(|c| c.metrics()),
         }
+    }
+
+    /// The result cache's statistics, when one is enabled.
+    pub fn cache_metrics(&self) -> Option<CacheMetrics> {
+        self.shared.cache.as_ref().map(|c| c.metrics())
     }
 
     /// The embed-latency histogram (for cross-shard merging).
@@ -459,6 +507,10 @@ pub struct EngineMetrics {
     pub feature_epoch: u64,
     /// Completed feature-store swaps (publishes + delta updates).
     pub epoch_swaps: u64,
+    /// Result-cache statistics, when the cache is enabled. With a
+    /// cache, `rows_requested`/`rows_computed` count only what reached
+    /// the dispatcher (the cache misses).
+    pub cache: Option<CacheMetrics>,
 }
 
 impl std::fmt::Display for EngineMetrics {
@@ -474,7 +526,11 @@ impl std::fmt::Display for EngineMetrics {
             self.rows_computed,
             self.feature_epoch,
             self.epoch_swaps
-        )
+        )?;
+        if let Some(cache) = &self.cache {
+            write!(f, "\ncache: {cache}")?;
+        }
+        Ok(())
     }
 }
 
@@ -647,6 +703,125 @@ mod tests {
         assert_eq!(eng.embed(&[4]).unwrap().row(0), &[-1.0; 4]);
         // Node 0 aggregates neighbor 1: untouched.
         assert_eq!(eng.embed(&[0]).unwrap().row(0), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn cached_embed_is_identical_and_hits_on_repeats() {
+        let (plain, reference) = engine(40, 16, OpSet::sigmoid_embedding(None));
+        let cfg = EngineConfig { cache: Some(CacheConfig::default()), ..plain.config().clone() };
+        let ep = plain.store().snapshot();
+        let cached = Engine::new(
+            plain.shared.a.clone(),
+            ep.x().clone(),
+            ep.y().clone(),
+            OpSet::sigmoid_embedding(None),
+            cfg,
+        );
+        let nodes = [7usize, 0, 39, 7, 12];
+        let first = cached.embed(&nodes).unwrap();
+        assert_eq!(first, plain.embed(&nodes).unwrap(), "cold cache is bit-identical");
+        for (i, &u) in nodes.iter().enumerate() {
+            for k in 0..16 {
+                assert!((first.get(i, k) - reference.get(u, k)).abs() < 1e-5);
+            }
+        }
+        let second = cached.embed(&nodes).unwrap();
+        assert_eq!(second, first, "warm cache is bit-identical");
+        let m = cached.cache_metrics().expect("cache enabled");
+        assert_eq!(m.misses, 5, "cold pass misses every requested row");
+        assert_eq!(m.hits, 5, "warm pass hits every requested row");
+        assert_eq!(m.inserts, 4, "the deduped union is inserted once per node");
+        assert_eq!(m.hit_ratio.count, 2);
+        // The dispatcher only ever saw the cold misses.
+        assert_eq!(cached.metrics().rows_requested, 4);
+    }
+
+    #[test]
+    fn publish_flushes_the_cache_and_deltas_keep_untouched_rows_hot() {
+        // Ring graph: z_u = y_{u+1} under GCN — served values expose
+        // exactly which epoch (and which rows) produced them.
+        let n = 10;
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let feats = Dense::from_fn(n, 4, |r, k| (r * 4 + k) as f32);
+        let eng = Engine::new(
+            a,
+            feats.clone(),
+            feats.clone(),
+            OpSet::gcn(),
+            EngineConfig {
+                coalesce_window: Duration::ZERO,
+                blocking: Some(Blocking::Auto),
+                cache: Some(CacheConfig::default()),
+                ..EngineConfig::default()
+            },
+        );
+        // Warm every row.
+        let all: Vec<usize> = (0..n).collect();
+        let warm = eng.embed(&all).unwrap();
+        assert_eq!(eng.embed(&all).unwrap(), warm);
+        let m0 = eng.cache_metrics().unwrap();
+        assert_eq!((m0.hits, m0.misses), (n as u64, n as u64));
+
+        // Delta-patch node 5: rows 4 (aggregates y_5) and 5 retire,
+        // everything else keeps hitting.
+        let patch = Dense::filled(1, 4, -1.0);
+        eng.store().delta_update(&[5], &patch, &patch);
+        assert_eq!(eng.embed(&[4]).unwrap().row(0), &[-1.0; 4], "patched value served");
+        let after_delta = eng.embed(&all).unwrap();
+        for u in 0..n {
+            if u == 4 {
+                assert_eq!(after_delta.row(u), &[-1.0; 4]);
+            } else {
+                assert_eq!(after_delta.row(u), warm.row(u), "row {u} unaffected by the delta");
+            }
+        }
+        let m1 = eng.cache_metrics().unwrap();
+        assert_eq!(m1.invalidated_rows, 2, "only node 5 and in-neighbor 4 retired");
+        // Of the full sweep after the delta, all but rows 4 and 5 hit
+        // (row 4 was just recomputed by the single-node request).
+        assert!(m1.hits >= m0.hits + (n as u64 - 2));
+
+        // A publish invalidates everything: the next sweep misses all.
+        let x2 = Dense::filled(n, 4, 2.0);
+        eng.store().publish(x2.clone(), x2);
+        let misses_before = eng.cache_metrics().unwrap().misses;
+        let after_publish = eng.embed(&all).unwrap();
+        for u in 0..n {
+            assert_eq!(after_publish.row(u), &[2.0; 4], "published epoch served everywhere");
+        }
+        let m2 = eng.cache_metrics().unwrap();
+        assert_eq!(m2.misses, misses_before + n as u64, "publish flushed the whole hot set");
+        assert_eq!(m2.flushes, 1);
+    }
+
+    #[test]
+    fn cached_engine_shutdown_still_rejects_requests() {
+        let n = 12;
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        let feats = Dense::filled(n, 4, 1.0);
+        let mut eng = Engine::new(
+            c.to_csr(Dedup::Sum),
+            feats.clone(),
+            feats,
+            OpSet::gcn(),
+            EngineConfig {
+                coalesce_window: Duration::ZERO,
+                blocking: Some(Blocking::Auto),
+                cache: Some(CacheConfig::default()),
+                ..EngineConfig::default()
+            },
+        );
+        eng.embed(&[1]).unwrap();
+        eng.shutdown();
+        // Even a would-be full cache hit is refused after shutdown.
+        assert_eq!(eng.embed(&[1]), Err(ServeError::EngineShutdown));
     }
 
     #[test]

@@ -33,6 +33,15 @@
 //!   plan) per shard against the shared store, and scatters/gathers
 //!   requests in request order — bit-identical to a single engine, and
 //!   the step toward multi-machine serving;
+//! * result caching ([`cache`]) — with [`EngineConfig::cache`] set,
+//!   hot rows are served from an epoch-aware
+//!   [`ResultCache`](fusedmm_cache::ResultCache): a
+//!   [`publish`](FeatureStore::publish) invalidates everything lazily
+//!   by epoch stamp, while a
+//!   [`delta_update`](FeatureStore::delta_update) retires only the
+//!   patched rows and their in-neighbors (the kernel's exact per-row
+//!   dependency set), so training-style patches keep the hot set warm
+//!   — responses stay bit-identical to an uncached engine;
 //! * latency accounting — every request records into
 //!   [`LatencyHistogram`](fusedmm_perf::LatencyHistogram)s, surfaced
 //!   as p50/p90/p99 and throughput by [`Engine::metrics`] (per-shard
@@ -66,12 +75,18 @@
 //! ```
 
 pub mod batcher;
+pub mod cache;
 pub mod engine;
 pub mod score;
 pub mod shard;
 pub mod store;
 
+pub use cache::EmbedCache;
+// The cache crate's config/metrics are part of this crate's public
+// surface (EngineConfig::cache, EngineMetrics::cache).
+pub use fusedmm_cache::{CacheConfig, CacheMetrics};
+
 pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
 pub use score::{score_edges, score_edges_banded};
 pub use shard::{ShardedEngine, ShardedMetrics};
-pub use store::{FeatureEpoch, FeatureStore};
+pub use store::{EpochListener, FeatureEpoch, FeatureStore};

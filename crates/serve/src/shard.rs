@@ -20,9 +20,11 @@
 //! computed independently, from the same row slice, in the same
 //! column order, under the same blocking.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use fusedmm_cache::CacheMetrics;
 use fusedmm_core::{Partition, PartitionStrategy, Plan, PlanCache, PlanTag};
 use fusedmm_ops::OpSet;
 use fusedmm_perf::hist::{HistogramSnapshot, HistogramVec, LatencyHistogram};
@@ -30,8 +32,9 @@ use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
 use crate::batcher::{dedup_union, scatter_rows};
+use crate::cache::EmbedCache;
 use crate::engine::{Engine, EngineConfig, EngineMetrics, ServeError};
-use crate::store::FeatureStore;
+use crate::store::{FeatureEpoch, FeatureStore};
 
 /// A graph served by several PART1D band engines behind one front end.
 /// Shares the request API with [`Engine`] (`embed` / `score_edges` /
@@ -39,6 +42,18 @@ use crate::store::FeatureStore;
 pub struct ShardedEngine {
     store: Arc<FeatureStore>,
     shards: Vec<Engine>,
+    /// One result cache for the whole graph, keyed by global node id
+    /// and shared across every shard — a row computed for one caller
+    /// serves repeats no matter which band owns it. Band engines run
+    /// uncached; the front end probes before fanning out.
+    cache: Option<Arc<EmbedCache>>,
+    /// Latency of requests served entirely from the cache (they never
+    /// reach a shard dispatcher, so no per-shard histogram sees them);
+    /// merged into [`ShardedMetrics::embed`].
+    hit_latency: LatencyHistogram,
+    /// Set by [`ShardedEngine::shutdown`] so the front end rejects new
+    /// requests even when the shared cache could satisfy them.
+    stopped: AtomicBool,
     /// `boundaries[s]..boundaries[s + 1]` is shard `s`'s global row
     /// band (the PART1D cut).
     boundaries: Vec<usize>,
@@ -94,6 +109,14 @@ impl ShardedEngine {
         let part = Partition::part1d(&a, nshards, PartitionStrategy::NnzBalanced);
         let d = store.d();
         let plans = PlanCache::new();
+        // The front end owns the (global-id) result cache; bands run
+        // uncached beneath it.
+        let cache = config.cache.map(|cache_cfg| {
+            let cache = Arc::new(EmbedCache::new(&a, d, cache_cfg));
+            store.subscribe(Arc::clone(&cache) as _);
+            cache
+        });
+        let band_config = EngineConfig { cache: None, ..config.clone() };
         let shards: Vec<Engine> = (0..part.len())
             .map(|s| {
                 let rows = part.rows(s);
@@ -105,9 +128,10 @@ impl ShardedEngine {
                     a.row_band(rows.clone()),
                     rows.start,
                     Arc::clone(&store),
+                    None,
                     ops.clone(),
                     plan,
-                    config.clone(),
+                    band_config.clone(),
                 )
             })
             .collect();
@@ -115,6 +139,9 @@ impl ShardedEngine {
         ShardedEngine {
             store,
             shards,
+            cache,
+            hit_latency: LatencyHistogram::new(),
+            stopped: AtomicBool::new(false),
             boundaries: part.boundaries().to_vec(),
             fanout,
             plans,
@@ -170,14 +197,46 @@ impl ShardedEngine {
     /// order, every row computed from the **same** feature epoch —
     /// pinned once here, before the fan-out, so a concurrent publish
     /// can never tear a response across shards.
+    ///
+    /// With the shared result cache enabled ([`EngineConfig::cache`]),
+    /// valid rows are served from memory first and only the misses fan
+    /// out to their owning band engines — bit-identical either way.
     pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        // Match the single engine's post-shutdown contract: even a
+        // would-be full cache hit is refused once shut down.
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(ServeError::EngineShutdown);
+        }
         self.check_nodes(nodes)?;
         if nodes.is_empty() {
             return Ok(Dense::zeros(0, self.dimension()));
         }
         let epoch = self.store.snapshot();
+        let Some(cache) = &self.cache else {
+            let (union_nodes, union_rows) = self.gather_union(nodes, &epoch)?;
+            return Ok(scatter_rows(&union_nodes, &union_rows, nodes));
+        };
+        cache.serve(nodes, epoch.epoch(), &self.hit_latency, |misses| {
+            let (union_nodes, union_rows) = self.gather_union(misses, &epoch)?;
+            debug_assert_eq!(
+                union_nodes, misses,
+                "bands tile the id space, so the gathered union is the sorted miss list"
+            );
+            Ok(union_rows)
+        })
+    }
+
+    /// Scatter `targets` to their owning band engines under one pinned
+    /// epoch and gather the computed rows: returns the globally sorted,
+    /// deduplicated union of `targets` and one output row per union
+    /// entry.
+    fn gather_union(
+        &self,
+        targets: &[usize],
+        epoch: &Arc<FeatureEpoch>,
+    ) -> Result<(Vec<usize>, Dense), ServeError> {
         let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for &u in nodes {
+        for &u in targets {
             per_shard[self.owner(u)].push(u);
         }
         // Enqueue on every involved shard first — their dispatchers
@@ -189,7 +248,7 @@ impl ShardedEngine {
                 continue;
             }
             let union = dedup_union([list.as_slice()]);
-            let rx = self.shards[s].enqueue_pinned(&union, Arc::clone(&epoch))?;
+            let rx = self.shards[s].enqueue_pinned(&union, Arc::clone(epoch))?;
             inflight.push((s, union, rx));
         }
         // Bands are contiguous and ascending, so concatenating the
@@ -211,7 +270,7 @@ impl ShardedEngine {
                 at += 1;
             }
         }
-        Ok(scatter_rows(&union_nodes, &union_rows, nodes))
+        Ok((union_nodes, union_rows))
     }
 
     /// Score candidate `(u, v)` edges (global ids), scattering each
@@ -251,19 +310,35 @@ impl ShardedEngine {
     }
 
     /// Full-graph inference: every shard computes its band under one
-    /// pinned epoch; the bands are stacked back into the full `m × d`
-    /// output (bit-identical to the unsharded call).
+    /// pinned epoch, **bands overlapping** on a rayon scope (each band
+    /// already fans out internally, but overlapping them hides
+    /// per-shard plan launch overhead and stragglers on many-shard
+    /// configs). The bands are stacked back into the full `m × d`
+    /// output — bit-identical to the unsharded call *and* to running
+    /// the bands sequentially, because each output row is written by
+    /// exactly one shard from the same pinned epoch.
     pub fn infer_full(&self) -> Dense {
         let epoch = self.store.snapshot();
         let d = self.dimension();
         let mut out = Dense::zeros(self.nvertices(), d);
-        for (s, shard) in self.shards.iter().enumerate() {
-            let z = shard.infer_pinned(&epoch);
-            let lo = self.boundaries[s];
-            for i in 0..z.nrows() {
-                out.row_mut(lo + i).copy_from_slice(z.row(i));
-            }
+        // Carve the output into disjoint mutable row-band slices
+        // (bands are contiguous), one per shard.
+        let mut bands: Vec<&mut [f32]> = Vec::with_capacity(self.shards.len());
+        let mut rest = out.as_mut_slice();
+        for w in self.boundaries.windows(2) {
+            let (band, tail) = rest.split_at_mut((w[1] - w[0]) * d);
+            bands.push(band);
+            rest = tail;
         }
+        rayon::scope(|sc| {
+            for (shard, band) in self.shards.iter().zip(bands) {
+                let epoch = &epoch;
+                sc.spawn(move |_| {
+                    let z = shard.infer_pinned(epoch);
+                    band.copy_from_slice(z.as_slice());
+                });
+            }
+        });
         out
     }
 
@@ -274,6 +349,7 @@ impl ShardedEngine {
         for shard in &self.shards {
             merged.absorb(shard.embed_latency());
         }
+        merged.absorb(&self.hit_latency);
         ShardedMetrics {
             uptime: self.started.elapsed(),
             embed: merged.snapshot(),
@@ -281,13 +357,20 @@ impl ShardedEngine {
             per_shard: self.shards.iter().map(|e| e.metrics()).collect(),
             feature_epoch: self.store.current_epoch(),
             epoch_swaps: self.store.swap_count(),
+            cache: self.cache.as_ref().map(|c| c.metrics()),
         }
+    }
+
+    /// The shared result cache's statistics, when one is enabled.
+    pub fn cache_metrics(&self) -> Option<CacheMetrics> {
+        self.cache.as_ref().map(|c| c.metrics())
     }
 
     /// Stop every shard: reject new requests, drain queues, join the
     /// dispatchers. Called automatically on drop (each band engine
     /// shuts down when dropped).
     pub fn shutdown(&mut self) {
+        self.stopped.store(true, Ordering::Release);
         for shard in &mut self.shards {
             shard.shutdown();
         }
@@ -309,7 +392,9 @@ impl ShardedEngine {
 pub struct ShardedMetrics {
     /// Time since the sharded engine was constructed.
     pub uptime: std::time::Duration,
-    /// Embed-request latency merged across every shard.
+    /// Embed-request latency merged across every shard, plus requests
+    /// served entirely from the shared cache (which never reach a
+    /// shard dispatcher).
     pub embed: HistogramSnapshot,
     /// Cumulative gather progress per shard, front-end view: time from
     /// fan-out start until shard `s`'s rows were merged (includes
@@ -322,6 +407,8 @@ pub struct ShardedMetrics {
     pub feature_epoch: u64,
     /// Completed feature-store swaps.
     pub epoch_swaps: u64,
+    /// Shared result-cache statistics, when the cache is enabled.
+    pub cache: Option<CacheMetrics>,
 }
 
 impl std::fmt::Display for ShardedMetrics {
@@ -334,6 +421,9 @@ impl std::fmt::Display for ShardedMetrics {
             self.epoch_swaps,
             self.embed
         )?;
+        if let Some(cache) = &self.cache {
+            writeln!(f, "cache: {cache}")?;
+        }
         for (s, m) in self.per_shard.iter().enumerate() {
             writeln!(
                 f,
@@ -453,6 +543,71 @@ mod tests {
     }
 
     #[test]
+    fn parallel_infer_full_is_bit_identical_to_sequential_bands() {
+        let n = 120;
+        let d = 16;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, k| ((r * 2 + k) as f32 * 0.03).sin());
+        let y = Dense::from_fn(n, d, |r, k| ((r + k * 3) as f32 * 0.05).cos());
+        let eng = ShardedEngine::new(a, x, y, OpSet::sigmoid_embedding(None), 4, config());
+        assert!(eng.nshards() > 1);
+        let parallel = eng.infer_full();
+        // The sequential reference: stack each band's pinned-epoch
+        // result in band order (what infer_full did before the rayon
+        // scope).
+        let epoch = eng.store().snapshot();
+        let mut sequential = Dense::zeros(n, d);
+        for (s, shard) in eng.shards.iter().enumerate() {
+            let z = shard.infer_pinned(&epoch);
+            let lo = eng.boundaries()[s];
+            for i in 0..z.nrows() {
+                sequential.row_mut(lo + i).copy_from_slice(z.row(i));
+            }
+        }
+        assert_eq!(parallel, sequential, "overlapped bands must not change a single bit");
+    }
+
+    #[test]
+    fn shared_cache_serves_cross_shard_repeats_and_stays_bit_identical() {
+        use fusedmm_cache::CacheConfig;
+        let n = 80;
+        let d = 8;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, k| ((r + k) as f32 * 0.04).sin());
+        let y = Dense::from_fn(n, d, |r, k| ((r * 2 + k) as f32 * 0.03).cos());
+        let ops = OpSet::sigmoid_embedding(None);
+        let plain = ShardedEngine::new(a.clone(), x.clone(), y.clone(), ops.clone(), 3, config());
+        let cached = ShardedEngine::new(
+            a,
+            x,
+            y,
+            ops,
+            3,
+            EngineConfig { cache: Some(CacheConfig::default()), ..config() },
+        );
+        // Nodes spanning every band, with duplicates.
+        let nodes = [79usize, 0, 40, 79, 13, 41, 7];
+        let cold = cached.embed(&nodes).unwrap();
+        assert_eq!(cold, plain.embed(&nodes).unwrap(), "cold shared cache is bit-identical");
+        let count_cold = cached.metrics().embed.count;
+        let warm = cached.embed(&nodes).unwrap();
+        assert_eq!(warm, cold, "warm shared cache is bit-identical");
+        assert_eq!(
+            cached.metrics().embed.count,
+            count_cold + 1,
+            "a fully cache-served request still lands in the merged latency histogram"
+        );
+        let m = cached.cache_metrics().expect("cache enabled");
+        assert_eq!(m.misses, nodes.len() as u64);
+        assert_eq!(m.hits, nodes.len() as u64, "second pass hits across every shard");
+        // Band engines are uncached — only the front end caches.
+        for shard_metrics in cached.metrics().per_shard {
+            assert!(shard_metrics.cache.is_none());
+        }
+        assert!(cached.metrics().cache.is_some());
+    }
+
+    #[test]
     fn shutdown_stops_every_shard() {
         let a = graph(12);
         let feats = Dense::filled(12, 4, 0.1);
@@ -460,5 +615,25 @@ mod tests {
         eng.embed(&[1, 11]).unwrap();
         eng.shutdown();
         assert_eq!(eng.embed(&[1]), Err(ServeError::EngineShutdown));
+    }
+
+    #[test]
+    fn shutdown_rejects_even_full_cache_hits() {
+        use fusedmm_cache::CacheConfig;
+        let a = graph(12);
+        let feats = Dense::filled(12, 4, 0.1);
+        let mut eng = ShardedEngine::new(
+            a,
+            feats.clone(),
+            feats,
+            OpSet::gcn(),
+            3,
+            EngineConfig { cache: Some(CacheConfig::default()), ..config() },
+        );
+        eng.embed(&[1, 11]).unwrap();
+        eng.shutdown();
+        // Both nodes are warm in the shared cache, but the front end
+        // must refuse anyway — same contract as the single engine.
+        assert_eq!(eng.embed(&[1, 11]), Err(ServeError::EngineShutdown));
     }
 }

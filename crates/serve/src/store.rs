@@ -24,7 +24,7 @@
 //! load time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -57,19 +57,64 @@ impl FeatureEpoch {
     }
 }
 
+/// Observer of epoch transitions, registered with
+/// [`FeatureStore::subscribe`]. Invalidation-aware layers (the result
+/// cache, epoch-keyed plan entries) implement this to learn *which
+/// kind* of write minted an epoch — a publish invalidates everything, a
+/// delta update only a touch set.
+///
+/// # Ordering contract
+///
+/// The store calls a listener **before** the epoch swap becomes
+/// visible, while holding the writer lock: when `on_publish(k)` /
+/// `on_delta(k, ..)` runs, no reader can have pinned epoch `k` yet, and
+/// no other writer can race the notification. A cache that retires
+/// entries inside the callback therefore closes the window in which a
+/// reader at epoch `k` could observe a stale pre-`k` entry. Callbacks
+/// must not call back into the store's write path (deadlock) and should
+/// stay short — they run on the publisher's critical path.
+pub trait EpochListener: Send + Sync {
+    /// Epoch `epoch` is about to be minted by a whole-matrix
+    /// [`publish`](FeatureStore::publish): every derived result is
+    /// invalid.
+    fn on_publish(&self, epoch: u64);
+
+    /// Epoch `epoch` is about to be minted by a
+    /// [`delta_update`](FeatureStore::delta_update) patching exactly
+    /// `rows`: only results depending on those rows are invalid.
+    fn on_delta(&self, epoch: u64, rows: &[usize]);
+}
+
 /// Epoch-versioned `(X, Y)` holder shared by every engine (and every
 /// shard) serving the same model. See the module docs for the
 /// reader/writer contract.
-#[derive(Debug)]
 pub struct FeatureStore {
     current: RwLock<Arc<FeatureEpoch>>,
     /// Serializes writers so a `delta_update`'s read-modify-publish is
     /// atomic; readers never touch this.
     writer: Mutex<()>,
+    /// Epoch-transition observers, notified under the writer lock
+    /// before each swap (see [`EpochListener`]). Held weakly: a
+    /// dropped subscriber (e.g. a cache whose engine shut down) is
+    /// pruned at the next notification instead of being invalidated
+    /// forever.
+    listeners: RwLock<Vec<Weak<dyn EpochListener>>>,
     swaps: AtomicU64,
     x_rows: usize,
     y_rows: usize,
     d: usize,
+}
+
+impl std::fmt::Debug for FeatureStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureStore")
+            .field("x_rows", &self.x_rows)
+            .field("y_rows", &self.y_rows)
+            .field("d", &self.d)
+            .field("epoch", &self.current_epoch())
+            .field("listeners", &self.listeners.read().len())
+            .finish()
+    }
 }
 
 impl FeatureStore {
@@ -83,11 +128,42 @@ impl FeatureStore {
         FeatureStore {
             current: RwLock::new(Arc::new(FeatureEpoch { epoch: 0, x, y })),
             writer: Mutex::new(()),
+            listeners: RwLock::new(Vec::new()),
             swaps: AtomicU64::new(0),
             x_rows,
             y_rows,
             d,
         }
+    }
+
+    /// Register an epoch-transition observer (see [`EpochListener`] for
+    /// the ordering contract). The store keeps only a weak reference:
+    /// when the subscriber's last `Arc` drops (its engine shut down),
+    /// the slot is pruned at the next write instead of taxing every
+    /// future publish forever.
+    ///
+    /// Registration serializes with writers: it lands either entirely
+    /// before an in-flight write (and is notified of its epoch) or
+    /// entirely after its install (so every epoch the listener's
+    /// readers can pin post-dates registration). Without this a
+    /// listener slipping in between a write's notification and its
+    /// swap would silently miss one invalidation.
+    pub fn subscribe(&self, listener: Arc<dyn EpochListener>) {
+        let _w = self.writer.lock();
+        self.listeners.write().push(Arc::downgrade(&listener));
+    }
+
+    /// Call `notify` on every live listener, pruning dead ones.
+    /// Runs under the writer lock, before the matching swap.
+    fn for_each_listener(&self, notify: impl Fn(&dyn EpochListener)) {
+        let mut listeners = self.listeners.write();
+        listeners.retain(|weak| match weak.upgrade() {
+            Some(listener) => {
+                notify(&*listener);
+                true
+            }
+            None => false,
+        });
     }
 
     /// Rows of `X` (fixed across epochs).
@@ -132,6 +208,11 @@ impl FeatureStore {
     pub fn publish(&self, x: Dense, y: Dense) -> u64 {
         self.check_shapes(&x, &y);
         let _w = self.writer.lock();
+        // Writers are serialized, so the next epoch number is stable
+        // from here until `install`; announce it before any reader can
+        // pin it.
+        let next = self.current.read().epoch + 1;
+        self.for_each_listener(|l| l.on_publish(next));
         self.install(x, y)
     }
 
@@ -161,10 +242,13 @@ impl FeatureStore {
             x.row_mut(u).copy_from_slice(x_rows_new.row(i));
             y.row_mut(u).copy_from_slice(y_rows_new.row(i));
         }
+        let next = base.epoch + 1;
+        self.for_each_listener(|l| l.on_delta(next, rows));
         self.install(x, y)
     }
 
-    /// Swap in the next epoch (writer lock held by the caller).
+    /// Swap in the next epoch (writer lock held by the caller, the
+    /// epoch already announced to listeners).
     fn install(&self, x: Dense, y: Dense) -> u64 {
         let mut current = self.current.write();
         let epoch = current.epoch + 1;
@@ -242,6 +326,73 @@ mod tests {
     fn delta_update_rejects_bad_rows() {
         let s = store(4, 2);
         s.delta_update(&[4], &Dense::filled(1, 2, 0.0), &Dense::filled(1, 2, 0.0));
+    }
+
+    #[test]
+    fn listeners_see_each_epoch_before_it_is_pinnable() {
+        use std::sync::Mutex as StdMutex;
+
+        struct Recorder {
+            store: std::sync::Weak<FeatureStore>,
+            events: StdMutex<Vec<(u64, Option<Vec<usize>>)>>,
+        }
+        impl EpochListener for Recorder {
+            fn on_publish(&self, epoch: u64) {
+                // The announced epoch must not be current yet: the
+                // callback runs strictly before the swap.
+                let store = self.store.upgrade().expect("store alive");
+                assert!(store.current_epoch() < epoch, "listener ran after the swap");
+                self.events.lock().unwrap().push((epoch, None));
+            }
+            fn on_delta(&self, epoch: u64, rows: &[usize]) {
+                let store = self.store.upgrade().expect("store alive");
+                assert!(store.current_epoch() < epoch, "listener ran after the swap");
+                self.events.lock().unwrap().push((epoch, Some(rows.to_vec())));
+            }
+        }
+
+        let s = Arc::new(store(4, 2));
+        let rec =
+            Arc::new(Recorder { store: Arc::downgrade(&s), events: StdMutex::new(Vec::new()) });
+        s.subscribe(Arc::clone(&rec) as _);
+        assert_eq!(s.publish(Dense::filled(4, 2, 1.0), Dense::filled(4, 2, 1.0)), 1);
+        let p = Dense::filled(2, 2, 2.0);
+        assert_eq!(s.delta_update(&[0, 3], &p, &p), 2);
+        assert_eq!(s.publish(Dense::filled(4, 2, 3.0), Dense::filled(4, 2, 3.0)), 3);
+        let events = rec.events.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![(1, None), (2, Some(vec![0, 3])), (3, None)],
+            "every epoch announced exactly once, in order, with its kind"
+        );
+    }
+
+    #[test]
+    fn dropped_listeners_are_pruned_not_notified() {
+        use std::sync::atomic::AtomicU64 as Counter;
+
+        struct Counting(Arc<Counter>);
+        impl EpochListener for Counting {
+            fn on_publish(&self, _: u64) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_delta(&self, _: u64, _: &[usize]) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let s = store(4, 2);
+        let calls = Arc::new(Counter::new(0));
+        let listener = Arc::new(Counting(Arc::clone(&calls)));
+        s.subscribe(Arc::clone(&listener) as _);
+        s.publish(Dense::filled(4, 2, 1.0), Dense::filled(4, 2, 1.0));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // Drop the subscriber (an engine shutting down): the next
+        // write prunes the dead slot and never calls it again.
+        drop(listener);
+        s.publish(Dense::filled(4, 2, 2.0), Dense::filled(4, 2, 2.0));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "dead listener was notified");
+        assert_eq!(s.listeners.read().len(), 0, "dead listener slot was pruned");
     }
 
     #[test]

@@ -267,6 +267,33 @@ impl Csr {
         }
     }
 
+    /// Delta-invalidation touch set, for callers holding this matrix
+    /// as the **reverse** adjacency `A^T` (row `v` of `A^T` lists the
+    /// in-neighbors of vertex `v` — the rows of `A` whose support
+    /// contains column `v`).
+    ///
+    /// Given the vertices `patched` by a feature delta update, returns
+    /// the sorted, deduplicated set of `A`-row outputs that depend on
+    /// any of them: the patched vertices themselves (their `X` rows
+    /// changed) plus every in-neighbor (rows whose aggregation reads a
+    /// patched `Y` row). Everything outside this set is provably
+    /// unaffected by the patch — the precision that lets a result
+    /// cache survive training-style row updates. Cost is
+    /// O(Σ in-degree(patched) log), independent of the graph size.
+    ///
+    /// # Panics
+    /// Panics when a patched id is not a row of this (reverse) matrix.
+    pub fn touch_set(&self, patched: &[usize]) -> Vec<usize> {
+        let mut touched: Vec<usize> = patched.to_vec();
+        for &v in patched {
+            assert!(v < self.nrows, "patched vertex {v} out of range for {} rows", self.nrows);
+            touched.extend_from_slice(self.row(v).0);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
     /// Scale row `u`'s values by `s` — used to build the symmetric-
     /// normalized adjacency `D^{-1/2} A D^{-1/2}` for GCN.
     pub fn scale_row(&mut self, u: usize, s: f32) {
@@ -455,6 +482,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn row_band_rejects_overrun() {
         let _ = small().row_band(2..4);
+    }
+
+    #[test]
+    fn touch_set_is_patched_plus_in_neighbors() {
+        // A: 0→{0,2}, 2→{0,1}. Reverse adjacency rows list in-neighbors.
+        let rev = small().transpose();
+        // Patch vertex 2: in-neighbors(2) = {0} (only a_02 ≠ 0).
+        assert_eq!(rev.touch_set(&[2]), vec![0, 2]);
+        // Patch vertex 0: rows 0 and 2 both read y_0; plus 0 itself.
+        assert_eq!(rev.touch_set(&[0]), vec![0, 2]);
+        // Patch vertex 1: only row 2 reads y_1.
+        assert_eq!(rev.touch_set(&[1]), vec![1, 2]);
+        // Duplicates and unions dedup; empty patch is empty.
+        assert_eq!(rev.touch_set(&[1, 1, 2]), vec![0, 1, 2]);
+        assert_eq!(rev.touch_set(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn touch_set_rejects_bad_vertex() {
+        let _ = small().transpose().touch_set(&[3]);
     }
 
     #[test]

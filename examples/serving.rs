@@ -10,6 +10,11 @@
 //! bands with [`ShardedEngine`] and verifies the sharded results match
 //! the single engine bit for bit.
 //!
+//! Finally, re-serves a hot-repeat workload through the epoch-aware
+//! result cache (`FUSEDMM_CACHE_MB`, default 64; 0 disables) and
+//! verifies cached responses stay bit-identical across publishes and
+//! delta updates while the hit counters climb.
+//!
 //! Run: `cargo run --release --example serving`
 //! Scale down (e.g. CI smoke runs): `FUSEDMM_SERVE_N=2000`.
 
@@ -129,7 +134,7 @@ fn main() {
     // A baseline single engine borrowing the *same* store, so both
     // read the same feature epoch — their results must be bit-identical.
     let baseline =
-        Engine::with_store(a, sharded.store().clone(), OpSet::sigmoid_embedding(None), cfg);
+        Engine::with_store(a.clone(), sharded.store().clone(), OpSet::sigmoid_embedding(None), cfg);
     let nodes: Vec<usize> = (0..256).map(|i| (i * 131) % n).collect();
     let pairs: Vec<(usize, usize)> = nodes.iter().map(|&u| (u, (u * 7 + 3) % n)).collect();
     let z = sharded.embed(&nodes).expect("sharded embed");
@@ -147,4 +152,77 @@ fn main() {
     println!("sharded results verified bit-identical to a single engine on the same store");
     let sm = sharded.metrics();
     println!("{sm}");
+
+    // Result caching: hot repeats served from memory, publishes flush
+    // lazily, delta updates invalidate only their touch set.
+    let cache_mb = env_usize("FUSEDMM_CACHE_MB", 64);
+    if cache_mb == 0 {
+        println!("\nresult cache disabled (FUSEDMM_CACHE_MB=0)");
+        return;
+    }
+    println!("\nserving a hot-repeat workload through the result cache ({cache_mb} MiB)...");
+    let store = sharded.store().clone();
+    let epoch0 = store.snapshot();
+    let cached = Engine::new(
+        a.clone(),
+        epoch0.x().clone(),
+        epoch0.y().clone(),
+        OpSet::sigmoid_embedding(None),
+        EngineConfig {
+            coalesce_window: Duration::from_micros(100),
+            cache: Some(CacheConfig::with_mb(cache_mb)),
+            ..EngineConfig::default()
+        },
+    );
+    // A skewed hot set: 90% of requests revisit the same 256 nodes.
+    let hot: Vec<usize> = (0..256).map(|i| (i * 977) % n).collect();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let cached = &cached;
+            let hot = &hot;
+            s.spawn(move || {
+                for r in 0..rounds {
+                    let nodes: Vec<usize> = (0..64)
+                        .map(|i| {
+                            let k = c * 31 + r * 17 + i;
+                            if k % 10 != 0 {
+                                hot[k % hot.len()]
+                            } else {
+                                (k * 7919) % n
+                            }
+                        })
+                        .collect();
+                    let z = cached.embed(&nodes).expect("cached embed");
+                    assert_eq!(z.nrows(), nodes.len());
+                }
+            });
+        }
+    });
+    // Mid-stream writes: a delta patch keeps the hot set warm, a
+    // publish flushes it — served rows must track both, bit-exactly.
+    let probe: Vec<usize> = hot.iter().take(32).copied().collect();
+    let patch_rows = [probe[0]];
+    let patch = Dense::from_fn(1, d, |_, k| 0.25 + k as f32 * 0.001);
+    cached.store().delta_update(&patch_rows, &patch, &patch);
+    let after_delta = cached.embed(&probe).expect("probe after delta");
+    let uncached_after = Engine::with_store(
+        a,
+        cached.store().clone(),
+        OpSet::sigmoid_embedding(None),
+        EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() },
+    );
+    assert_eq!(
+        after_delta,
+        uncached_after.embed(&probe).expect("uncached probe"),
+        "cached responses must stay bit-identical after a delta update"
+    );
+    let m = cached.cache_metrics().expect("cache enabled");
+    println!("cache after hot-repeat traffic + a delta update:\n  {m}");
+    assert!(m.hits > 0, "cache enabled but zero hits recorded — hot repeats were not served");
+    assert!(m.inserts > 0);
+    println!(
+        "cache verified: {:.1}% of {} row lookups served from memory",
+        m.overall_hit_ratio() * 100.0,
+        m.hits + m.misses
+    );
 }

@@ -56,7 +56,8 @@ pub mod prelude {
     pub use fusedmm_graph::rmat::{rmat, RmatConfig};
     pub use fusedmm_ops::{AOp, MOp, Mlp, OpSet, Pattern, ROp, SOp, SigmoidLut, VOp};
     pub use fusedmm_serve::{
-        Engine, EngineConfig, FeatureStore, ServeError, ShardedEngine, ShardedMetrics,
+        CacheConfig, CacheMetrics, Engine, EngineConfig, FeatureStore, ServeError, ShardedEngine,
+        ShardedMetrics,
     };
     pub use fusedmm_sparse::coo::Dedup;
     pub use fusedmm_sparse::{Coo, Csc, Csr, Dense};

@@ -357,6 +357,231 @@ fn shared_store_updates_every_engine_at_once() {
     assert_eq!(sharded.metrics().feature_epoch, 1);
 }
 
+/// Either a single engine or a sharded one, behind one request surface
+/// — so the cache-equivalence property below can sweep 1/2/4-shard
+/// topologies with the same script.
+enum AnyEngine {
+    Single(Engine),
+    Sharded(ShardedEngine),
+}
+
+impl AnyEngine {
+    fn build(a: Csr, x: Dense, y: Dense, shards: usize, cache: Option<CacheConfig>) -> AnyEngine {
+        let cfg = EngineConfig {
+            coalesce_window: Duration::ZERO,
+            blocking: Some(Blocking::Auto),
+            cache,
+            ..EngineConfig::default()
+        };
+        let ops = OpSet::sigmoid_embedding(None);
+        if shards <= 1 {
+            AnyEngine::Single(Engine::new(a, x, y, ops, cfg))
+        } else {
+            AnyEngine::Sharded(ShardedEngine::new(a, x, y, ops, shards, cfg))
+        }
+    }
+
+    fn embed(&self, nodes: &[usize]) -> Dense {
+        match self {
+            AnyEngine::Single(e) => e.embed(nodes).expect("embed"),
+            AnyEngine::Sharded(e) => e.embed(nodes).expect("sharded embed"),
+        }
+    }
+
+    fn score(&self, pairs: &[(usize, usize)]) -> Vec<f32> {
+        match self {
+            AnyEngine::Single(e) => e.score_edges(pairs).expect("score"),
+            AnyEngine::Sharded(e) => e.score_edges(pairs).expect("sharded score"),
+        }
+    }
+
+    fn store(&self) -> &FeatureStore {
+        match self {
+            AnyEngine::Single(e) => e.store(),
+            AnyEngine::Sharded(e) => e.store(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The acceptance-criteria equivalence property: a cache-enabled
+    /// engine is **bit-identical** to a cache-disabled one under random
+    /// interleavings of `publish`, `delta_update`, `embed`, and
+    /// `score_edges` — for single, 2-shard, and 4-shard topologies.
+    /// Embeds deliberately revisit overlapping hot subsets so warm hits,
+    /// post-delta partial invalidation, and post-publish flushes are all
+    /// exercised, and each engine pair drives its own store through the
+    /// identical write sequence.
+    #[test]
+    fn cached_engine_is_bit_identical_under_write_interleavings(
+        seed in 0u64..400,
+        shards_pick in 0usize..3,
+        script in proptest::collection::vec((0usize..5, 0u64..10_000), 4..16),
+    ) {
+        let n = 40;
+        let d = 8;
+        let shards = [1usize, 2, 4][shards_pick];
+        let a = rmat(&RmatConfig::new(n, 4 * n).with_seed(seed));
+        let x = random_features(n, d, 0.5, seed ^ 21);
+        let y = random_features(n, d, 0.5, seed ^ 22);
+        let plain = AnyEngine::build(a.clone(), x.clone(), y.clone(), shards, None);
+        // A tight budget (a few hundred rows) so eviction runs too.
+        let cached = AnyEngine::build(a, x, y, shards, Some(CacheConfig {
+            byte_budget: 64 << 10,
+            segments: 4,
+        }));
+        for (step, &(op, op_seed)) in script.iter().enumerate() {
+            match op {
+                // Publish: identical fresh matrices to both stores.
+                0 => {
+                    let fx = random_features(n, d, 0.5, op_seed ^ 0xA5);
+                    let fy = random_features(n, d, 0.5, op_seed ^ 0x5A);
+                    plain.store().publish(fx.clone(), fy.clone());
+                    cached.store().publish(fx, fy);
+                }
+                // Delta: identical row patch to both stores.
+                1 => {
+                    let rows: Vec<usize> = (0..1 + (op_seed as usize % 4))
+                        .map(|i| (op_seed as usize + i * 7) % n)
+                        .collect();
+                    let rows = {
+                        let mut r = rows;
+                        r.sort_unstable();
+                        r.dedup();
+                        r
+                    };
+                    let px = random_features(rows.len(), d, 0.5, op_seed ^ 0x77);
+                    let py = random_features(rows.len(), d, 0.5, op_seed ^ 0x99);
+                    plain.store().delta_update(&rows, &px, &py);
+                    cached.store().delta_update(&rows, &px, &py);
+                }
+                // Score a pair sweep: must agree bit-for-bit.
+                2 => {
+                    let pairs: Vec<(usize, usize)> = (0..10)
+                        .map(|i| ((op_seed as usize + i * 3) % n, (op_seed as usize + i * 11) % n))
+                        .collect();
+                    prop_assert_eq!(plain.score(&pairs), cached.score(&pairs),
+                        "score diverged at step {} (shards={})", step, shards);
+                }
+                // Embed overlapping hot subsets (two ops map here, so
+                // reads dominate the script and revisit warm rows).
+                _ => {
+                    let nodes: Vec<usize> = (0..12)
+                        .map(|i| ((op_seed as usize % 5) * 3 + i * 2) % n)
+                        .collect();
+                    prop_assert_eq!(plain.embed(&nodes), cached.embed(&nodes),
+                        "embed diverged at step {} (shards={})", step, shards);
+                }
+            }
+        }
+        // Final full sweep: every row agrees after the whole script.
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(plain.embed(&all), cached.embed(&all),
+            "final sweep diverged (shards={})", shards);
+    }
+}
+
+/// Concurrent version of the equivalence property: readers hammer a
+/// *cached* engine while a writer interleaves publishes and delta
+/// updates. Every recorded epoch's full expected output is known (ring
+/// graph under GCN: `z_u = y_{u+1}`), so each response must match one
+/// recorded epoch exactly — a stale cache hit, torn response, or
+/// missed invalidation shows up as a row from the wrong epoch.
+#[test]
+fn cached_responses_are_epoch_consistent_under_concurrent_writes() {
+    for shards in [1usize, 4] {
+        let n = 48;
+        let d = 4;
+        let (a, feats, mut cfg) = ring_fixture(n, d);
+        cfg.cache = Some(CacheConfig::default());
+        let eng = if shards == 1 {
+            AnyEngine::Single(Engine::new(a, feats.clone(), feats, OpSet::gcn(), cfg))
+        } else {
+            AnyEngine::Sharded(ShardedEngine::new(
+                a,
+                feats.clone(),
+                feats,
+                OpSet::gcn(),
+                shards,
+                cfg,
+            ))
+        };
+        // history[e] = the Y matrix of epoch e (z_u = y_{u+1} exactly).
+        let history = std::sync::Mutex::new(vec![Dense::filled(n, d, 1.0)]);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let eng = &eng;
+            let history = &history;
+            let done = &done;
+            s.spawn(move || {
+                for e in 1..=50u64 {
+                    let prev = history.lock().unwrap().last().unwrap().clone();
+                    if e % 3 == 0 {
+                        // Whole-matrix publish.
+                        let fresh = Dense::filled(n, d, e as f32 + 1.0);
+                        history.lock().unwrap().push(fresh.clone());
+                        eng.store().publish(fresh.clone(), fresh);
+                    } else {
+                        // Delta patch of a couple of rows.
+                        let rows = [(e as usize * 5) % n, (e as usize * 5 + 13) % n];
+                        let rows = if rows[0] == rows[1] { vec![rows[0]] } else { rows.to_vec() };
+                        let patch = Dense::filled(rows.len(), d, -(e as f32));
+                        let mut next = prev;
+                        for &u in &rows {
+                            next.row_mut(u).fill(-(e as f32));
+                        }
+                        history.lock().unwrap().push(next);
+                        eng.store().delta_update(&rows, &patch, &patch);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                done.store(true, Ordering::Release);
+            });
+            for t in 0..4usize {
+                s.spawn(move || {
+                    let mut last_epoch = 0usize;
+                    let mut round = 0usize;
+                    while !done.load(Ordering::Acquire) || round == 0 {
+                        let nodes: Vec<usize> =
+                            (0..10).map(|i| (t * 3 + i * 5 + round) % n).collect();
+                        let z = eng.embed(&nodes);
+                        // The response must equal one recorded epoch's
+                        // expected rows, and epochs advance per reader.
+                        let snap = history.lock().unwrap().clone();
+                        let matched = (last_epoch..snap.len()).find(|&e| {
+                            nodes
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &u)| z.row(i) == snap[e].row((u + 1) % n))
+                        });
+                        match matched {
+                            Some(e) => last_epoch = e,
+                            None => panic!(
+                                "reader {t} round {round} (shards={shards}): response \
+                                 matches no epoch in [{last_epoch}, {})",
+                                snap.len()
+                            ),
+                        }
+                        round += 1;
+                    }
+                });
+            }
+        });
+        // The cache must have both served hits and been invalidated.
+        let m = match &eng {
+            AnyEngine::Single(e) => e.cache_metrics().unwrap(),
+            AnyEngine::Sharded(e) => e.cache_metrics().unwrap(),
+        };
+        assert!(m.hits > 0, "concurrent run never hit the cache (shards={shards})");
+        assert!(
+            m.flushes > 0 && m.invalidated_rows > 0,
+            "writer interleaved both invalidation kinds (shards={shards})"
+        );
+    }
+}
+
 #[test]
 fn engine_edge_scores_match_direct_sddmm() {
     let n = 40;
