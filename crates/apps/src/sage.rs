@@ -3,7 +3,7 @@
 //! The paper notes that "different variants of GCN use different
 //! pooling options such as maximum, minimum, mean, etc. All of these
 //! options can be captured by MOP and AOP in FusedMM" and cites
-//! GraphSAGE [30] among the GNNs its kernels serve. This module
+//! GraphSAGE \[30\] among the GNNs its kernels serve. This module
 //! implements the GraphSAGE-mean layer
 //!
 //! ```text

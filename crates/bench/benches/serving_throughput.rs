@@ -1,28 +1,33 @@
 //! Serving-throughput benchmark: concurrent clients issuing node-subset
 //! embedding requests through the engine's micro-batcher, swept over
 //! request batch sizes {1, 16, 256}, over 1/2/4-shard PART1D engines,
-//! under publish-while-serving (reader p99 across epoch swaps), and
-//! over zipf-skewed hot-repeat traffic with the result cache on/off
-//! (hit ratio and p50/p99 per cell).
+//! under publish-while-serving (reader p99 across epoch swaps), over
+//! zipf-skewed hot-repeat traffic with the result cache on/off (hit
+//! ratio and p50/p99 per cell), and — open-loop — over ticketed
+//! (`embed_begin`) in-flight windows swept across depth × shards ×
+//! cache, with coalesced-miss and peak-in-flight counters per cell.
 //!
 //! Reports requests/sec, deduplicated rows/sec, and the p50/p99
 //! end-to-end request latency recorded by the engine's histogram.
 //!
 //! Knobs: `FUSEDMM_SERVE_N` (vertices), `FUSEDMM_SERVE_D` (dimension),
 //! `FUSEDMM_SERVE_CLIENTS`, `FUSEDMM_SERVE_REQS` (requests per client),
-//! `FUSEDMM_CACHE_MB` (cache budget for the cache sweep).
+//! `FUSEDMM_CACHE_MB` (cache budget for the cache sweep),
+//! `FUSEDMM_BENCH_JSON` (write the whole report as JSON to this path —
+//! the bench-smoke CI job archives it as a workflow artifact).
 //!
 //! Run: `cargo bench --bench serving_throughput`
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use fusedmm_bench::report::Table;
+use fusedmm_bench::report::{JsonReport, Table};
 use fusedmm_bench::workloads::{env_usize, ZipfSampler};
 use fusedmm_graph::features::random_features;
 use fusedmm_graph::rmat::{rmat, RmatConfig};
 use fusedmm_ops::OpSet;
-use fusedmm_serve::{CacheConfig, Engine, EngineConfig, ShardedEngine};
+use fusedmm_serve::{CacheConfig, Engine, EngineConfig, ShardedEngine, Ticket};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
@@ -30,6 +35,8 @@ const BATCH_SIZES: [usize; 3] = [1, 16, 256];
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// Zipf exponents for the cache sweep: uniform, moderate, web-style.
 const ZIPF_SKEWS: [f64; 3] = [0.0, 0.8, 1.2];
+/// In-flight window depths for the open-loop ticket sweep.
+const INFLIGHT_DEPTHS: [usize; 3] = [1, 16, 128];
 
 fn config() -> EngineConfig {
     EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() }
@@ -58,7 +65,7 @@ fn drive_clients(
     t0.elapsed().as_secs_f64()
 }
 
-fn batch_size_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) {
+fn batch_size_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) -> Table {
     let mut table = Table::new(&[
         "Batch",
         "Requests",
@@ -98,9 +105,10 @@ fn batch_size_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: 
     table.print();
     println!("\nShape to verify: rows/s rises with batch size while the micro-batcher's");
     println!("kernel launches stay well below the request count.\n");
+    table
 }
 
-fn shard_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) {
+fn shard_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) -> Table {
     let batch = 64;
     let mut table = Table::new(&[
         "Shards",
@@ -138,9 +146,16 @@ fn shard_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize
     table.print();
     println!("\nShape to verify: the nnz-balanced cut keeps per-shard embed p99s close");
     println!("to each other (no straggler band).\n");
+    table
 }
 
-fn publish_while_serving(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) {
+fn publish_while_serving(
+    a: &Csr,
+    feats: &Dense,
+    n: usize,
+    clients: usize,
+    requests: usize,
+) -> Table {
     let d = feats.ncols();
     let batch = 64;
     let mut table =
@@ -193,9 +208,10 @@ fn publish_while_serving(a: &Csr, feats: &Dense, n: usize, clients: usize, reque
     println!("\nShape to verify: reader p99 moves little as publish frequency rises —");
     println!("the RCU swap keeps the read hot path lock-brief, and batches pin their");
     println!("epoch instead of waiting out a publish.");
+    table
 }
 
-fn cache_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) {
+fn cache_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) -> Table {
     let batch = 64;
     let cache_mb = env_usize("FUSEDMM_CACHE_MB", 256);
     let mut table = Table::new(&[
@@ -255,6 +271,137 @@ fn cache_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize
     println!("\nShape to verify: hit ratio, the cache-on p50 win, and the drop in rows");
     println!("computed all grow with skew — at s=1.2 most rows come from memory, while");
     println!("at s=0.0 (uniform) the cache only helps once the set fits its budget.");
+    table
+}
+
+/// Either front end behind the ticketed request surface, so the
+/// open-loop sweep can drive single and sharded engines with one loop.
+enum AnyServe {
+    Single(Engine),
+    Sharded(ShardedEngine),
+}
+
+impl AnyServe {
+    fn build(a: &Csr, feats: &Dense, shards: usize, cache: Option<CacheConfig>) -> AnyServe {
+        let cfg = EngineConfig { cache, ..config() };
+        let ops = OpSet::sigmoid_embedding(None);
+        if shards <= 1 {
+            AnyServe::Single(Engine::new(a.clone(), feats.clone(), feats.clone(), ops, cfg))
+        } else {
+            AnyServe::Sharded(ShardedEngine::new(
+                a.clone(),
+                feats.clone(),
+                feats.clone(),
+                ops,
+                shards,
+                cfg,
+            ))
+        }
+    }
+
+    fn embed_begin(&self, nodes: &[usize]) -> Ticket<Dense> {
+        match self {
+            AnyServe::Single(e) => e.embed_begin(nodes).expect("embed_begin"),
+            AnyServe::Sharded(e) => e.embed_begin(nodes).expect("sharded embed_begin"),
+        }
+    }
+
+    /// (merged p50 us, merged p99 us, peak in-flight, coalesced misses)
+    fn observed(&self) -> (f64, f64, u64, Option<u64>) {
+        match self {
+            AnyServe::Single(e) => {
+                let m = e.metrics();
+                (
+                    m.embed.p50.as_secs_f64() * 1e6,
+                    m.embed.p99.as_secs_f64() * 1e6,
+                    m.inflight_peak,
+                    m.cache.map(|c| c.coalesced_misses),
+                )
+            }
+            AnyServe::Sharded(e) => {
+                let m = e.metrics();
+                (
+                    m.embed.p50.as_secs_f64() * 1e6,
+                    m.embed.p99.as_secs_f64() * 1e6,
+                    m.inflight_peak,
+                    m.cache.map(|c| c.coalesced_misses),
+                )
+            }
+        }
+    }
+}
+
+/// Open-loop ticketed serving: every client keeps a window of `depth`
+/// un-harvested tickets open, harvesting the oldest only when the
+/// window fills — the non-blocking front end's intended shape. Swept
+/// over in-flight depth × shard count × cache on/off.
+fn inflight_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) -> Table {
+    let batch = 16;
+    let cache_mb = env_usize("FUSEDMM_CACHE_MB", 256);
+    let mut table = Table::new(&[
+        "Shards",
+        "Cache",
+        "Depth",
+        "req/s",
+        "p50 (us)",
+        "p99 (us)",
+        "peak in-flight",
+        "coalesced",
+    ]);
+    for shards in [1usize, 4] {
+        for cached in [false, true] {
+            for depth in INFLIGHT_DEPTHS {
+                let engine = AnyServe::build(
+                    a,
+                    feats,
+                    shards,
+                    cached.then(|| CacheConfig::with_mb(cache_mb)),
+                );
+                let t0 = Instant::now();
+                std::thread::scope(|s| {
+                    for c in 0..clients {
+                        let engine = &engine;
+                        s.spawn(move || {
+                            let mut window: VecDeque<Ticket<Dense>> = VecDeque::new();
+                            for r in 0..requests {
+                                // Overlapping hot subsets across
+                                // clients, so concurrent misses on the
+                                // same node exercise coalescing.
+                                let nodes: Vec<usize> = (0..batch)
+                                    .map(|i| ((c % 2) * 449 + r * 131 + i * 17) % n)
+                                    .collect();
+                                window.push_back(engine.embed_begin(&nodes));
+                                if window.len() >= depth {
+                                    let ticket = window.pop_front().expect("window non-empty");
+                                    std::hint::black_box(ticket.wait().expect("harvest"));
+                                }
+                            }
+                            for ticket in window {
+                                std::hint::black_box(ticket.wait().expect("drain"));
+                            }
+                        });
+                    }
+                });
+                let elapsed = t0.elapsed().as_secs_f64();
+                let (p50, p99, peak, coalesced) = engine.observed();
+                table.row(vec![
+                    shards.to_string(),
+                    if cached { "on".into() } else { "off".into() },
+                    depth.to_string(),
+                    format!("{:.0}", (clients * requests) as f64 / elapsed),
+                    format!("{p50:.0}"),
+                    format!("{p99:.0}"),
+                    peak.to_string(),
+                    coalesced.map_or("-".into(), |c| c.to_string()),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!("\nShape to verify: req/s climbs with depth (the dispatcher batches a full");
+    println!("window per launch) while blocking-equivalent depth 1 sets the floor; with");
+    println!("the cache on, deeper windows raise coalesced counts instead of recomputing.");
+    table
 }
 
 fn main() {
@@ -271,15 +418,28 @@ fn main() {
         a.nnz()
     );
 
+    let mut report = JsonReport::new();
+
     println!("== batch-size sweep (single engine) ==");
-    batch_size_sweep(&a, &feats, n, clients, requests_per_client);
+    report.section("batch_size", &batch_size_sweep(&a, &feats, n, clients, requests_per_client));
 
     println!("== PART1D shard sweep (batch 64) ==");
-    shard_sweep(&a, &feats, n, clients, requests_per_client);
+    report.section("shards", &shard_sweep(&a, &feats, n, clients, requests_per_client));
 
     println!("== publish-while-serving (batch 64) ==");
-    publish_while_serving(&a, &feats, n, clients, requests_per_client);
+    report.section(
+        "publish_while_serving",
+        &publish_while_serving(&a, &feats, n, clients, requests_per_client),
+    );
 
     println!("== zipf skew x result cache (batch 64) ==");
-    cache_sweep(&a, &feats, n, clients, requests_per_client);
+    report.section("zipf_cache", &cache_sweep(&a, &feats, n, clients, requests_per_client));
+
+    println!("\n== open-loop ticketed serving: in-flight depth x shards x cache (batch 16) ==");
+    report.section("inflight", &inflight_sweep(&a, &feats, n, clients, requests_per_client));
+
+    if let Some(path) = JsonReport::env_path() {
+        report.write(&path).expect("write FUSEDMM_BENCH_JSON report");
+        println!("\nJSON report written to {}", path.display());
+    }
 }

@@ -16,9 +16,11 @@ use fusedmm_ops::OpSet;
 
 const DIMS: [usize; 5] = [32, 64, 128, 256, 512];
 
+type NamedOpSet = (&'static str, fn() -> OpSet);
+
 fn main() {
     let graphs = [Dataset::Ogbprotein, Dataset::Youtube, Dataset::Orkut];
-    let patterns: [(&str, fn() -> OpSet); 3] = [
+    let patterns: [NamedOpSet; 3] = [
         ("Graph Embedding", || OpSet::sigmoid_embedding(None)),
         ("FR model", || OpSet::fr_model(1.0)),
         ("GCN", OpSet::gcn),

@@ -73,6 +73,91 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Render as a JSON array of row objects keyed by column header —
+    /// the machine-readable twin of [`Table::render`]. Cell values stay
+    /// strings (they are already formatted for the text table), so the
+    /// schema is stable across sweeps with heterogeneous columns.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (c, header) in self.header.iter().enumerate() {
+                if c > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(header), json_escape(&row[c])));
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A machine-readable benchmark report: named sections, each one
+/// [`Table`], serialized as a single JSON object. The bench-smoke CI
+/// job writes one per run (`FUSEDMM_BENCH_JSON=<path>`) and archives it
+/// as a workflow artifact, seeding a perf trajectory that later runs
+/// can diff against.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    sections: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// The output path from the `FUSEDMM_BENCH_JSON` environment
+    /// variable, when set.
+    pub fn env_path() -> Option<std::path::PathBuf> {
+        std::env::var("FUSEDMM_BENCH_JSON").ok().filter(|p| !p.is_empty()).map(Into::into)
+    }
+
+    /// Append `table` as section `name`.
+    pub fn section(&mut self, name: &str, table: &Table) {
+        self.sections.push((name.to_string(), table.render_json()));
+    }
+
+    /// Serialize the whole report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, json)) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), json));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Write the report to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +198,23 @@ mod tests {
         let mut tb = Table::new(&["a", "b", "c"]);
         tb.row(vec!["1".into()]);
         assert!(tb.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn json_rows_are_keyed_by_header_and_escaped() {
+        let mut tb = Table::new(&["graph", "p99 \"us\""]);
+        tb.row(vec!["Orkut\n".into(), "12.5".into()]);
+        assert_eq!(tb.render_json(), r#"[{"graph":"Orkut\n","p99 \"us\"":"12.5"}]"#);
+        assert_eq!(Table::new(&["x"]).render_json(), "[]");
+    }
+
+    #[test]
+    fn json_report_collects_named_sections() {
+        let mut t1 = Table::new(&["a"]);
+        t1.row(vec!["1".into()]);
+        let mut report = JsonReport::new();
+        report.section("first", &t1);
+        report.section("empty", &Table::new(&["b"]));
+        assert_eq!(report.render(), r#"{"first":[{"a":"1"}],"empty":[]}"#);
     }
 }

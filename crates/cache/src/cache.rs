@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -44,6 +46,37 @@ struct Entry {
     data: Box<[f32]>,
 }
 
+/// Deferred stat deltas from a lock-held insert.
+#[derive(Default)]
+struct InsertStats {
+    /// The row was admitted (fresh or refresh); stale rows are refused.
+    inserted: bool,
+    /// A new entry was created (refreshes keep the footprint).
+    grew: bool,
+    /// Entries retired by CLOCK eviction to make room.
+    evicted: u64,
+}
+
+/// Waiters removed from a resolved in-flight registration.
+#[derive(Default)]
+struct TakenWaiters {
+    senders: Vec<mpsc::Sender<Box<[f32]>>>,
+    /// False when the registration was already resolved (double
+    /// fill/abort is a no-op, and must not unbalance the gauge).
+    resolved: bool,
+}
+
+/// One in-flight row computation another request may coalesce onto.
+struct Inflight {
+    /// The owner's pinned epoch — the stamp the fill will carry.
+    epoch: u64,
+    /// Unique registration id, so an owner's completion can never
+    /// resolve a different registration for the same node.
+    token: u64,
+    /// Waiters to back-fill when the owner completes.
+    waiters: Vec<mpsc::Sender<Box<[f32]>>>,
+}
+
 #[derive(Default)]
 struct Segment {
     map: HashMap<usize, Entry>,
@@ -51,6 +84,10 @@ struct Segment {
     /// orphaned ring slots are reclaimed lazily when the hand passes.
     ring: Vec<usize>,
     hand: usize,
+    /// In-flight computations keyed by node. Usually zero or one entry
+    /// per node; a second appears only when an epoch bump invalidated
+    /// the first mid-flight (the stale one then completes waiter-less).
+    inflight: HashMap<usize, Vec<Inflight>>,
 }
 
 impl Segment {
@@ -95,6 +132,98 @@ impl Segment {
     }
 }
 
+/// How a cache miss should be computed, decided by
+/// [`ResultCache::route_miss`]: either the caller owns the computation,
+/// or it coalesces onto an in-flight one.
+#[must_use = "an Owner registration must be resolved with fill/abort or waiters hang"]
+pub enum MissRoute {
+    /// First miss in this validity window: the caller computes the row
+    /// and must resolve the registration with [`ResultCache::fill`]
+    /// (or [`ResultCache::abort`] on failure).
+    Owner(InflightOwner),
+    /// An equivalent computation is already in flight — the fill the
+    /// owner produces is bit-identical to what this caller would
+    /// compute at its own pinned epoch. Wait on the handle instead of
+    /// computing.
+    Waiter(RowWaiter),
+    /// A concurrent fill landed between the caller's lookup miss and
+    /// this routing call: the row is already resident and valid at the
+    /// caller's pinned epoch — here it is, nothing to compute or wait
+    /// for.
+    Resident(Box<[f32]>),
+}
+
+/// Owner-side handle of one in-flight row computation, returned by
+/// [`ResultCache::route_miss`]. Must be resolved with
+/// [`ResultCache::fill`] or [`ResultCache::abort`]; an unresolved
+/// registration leaves its waiters blocked until their deadline.
+#[derive(Debug)]
+pub struct InflightOwner {
+    node: usize,
+    epoch: u64,
+    token: u64,
+}
+
+impl InflightOwner {
+    /// The node whose row this registration computes.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The pinned epoch the fill will be stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// The owner of a coalesced computation gave up (engine shutdown)
+/// before producing the row; the waiter must fail or recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillAborted;
+
+impl std::fmt::Display for FillAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the in-flight computation this request coalesced onto was aborted")
+    }
+}
+
+impl std::error::Error for FillAborted {}
+
+/// Waiter-side handle of a coalesced miss: resolves with the computed
+/// row when the owning request's fill lands.
+#[derive(Debug)]
+pub struct RowWaiter {
+    rx: mpsc::Receiver<Box<[f32]>>,
+}
+
+impl RowWaiter {
+    /// Non-blocking probe: `Some(Ok(row))` once filled, `Some(Err(_))`
+    /// when the owner aborted, `None` while still in flight.
+    pub fn poll(&self) -> Option<Result<Box<[f32]>, FillAborted>> {
+        match self.rx.try_recv() {
+            Ok(row) => Some(Ok(row)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(FillAborted)),
+        }
+    }
+
+    /// Block until the fill lands (or the owner aborts).
+    pub fn wait(&self) -> Result<Box<[f32]>, FillAborted> {
+        self.rx.recv().map_err(|_| FillAborted)
+    }
+
+    /// Block until the fill lands, the owner aborts, or `deadline`
+    /// passes (`None` on timeout; the handle stays usable).
+    pub fn wait_deadline(&self, deadline: Instant) -> Option<Result<Box<[f32]>, FillAborted>> {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(timeout) {
+            Ok(row) => Some(Ok(row)),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(FillAborted)),
+        }
+    }
+}
+
 /// A sharded, lock-striped, epoch-aware cache of computed embedding
 /// rows. See the crate docs for the validity contract; see
 /// [`CacheConfig`] for sizing.
@@ -111,6 +240,8 @@ pub struct ResultCache {
     /// touched this row's dependency set. Entries stamped before it
     /// are stale.
     last_touch: Vec<AtomicU64>,
+    /// Monotonic id minting [`InflightOwner`] tokens.
+    next_token: AtomicU64,
     stats: CacheStats,
 }
 
@@ -146,6 +277,7 @@ impl ResultCache {
             row_bytes,
             flush_epoch: AtomicU64::new(0),
             last_touch: (0..nvertices).map(|_| AtomicU64::new(0)).collect(),
+            next_token: AtomicU64::new(0),
             stats: CacheStats::default(),
         }
     }
@@ -241,43 +373,182 @@ impl ResultCache {
     pub fn insert(&self, node: usize, epoch: u64, row: &[f32]) {
         assert!(node < self.nvertices, "node {node} outside cache range {}", self.nvertices);
         assert_eq!(row.len(), self.d, "row slice must hold one row");
+        let mut seg = self.segment(node).lock();
+        let outcome = self.insert_locked(&mut seg, node, epoch, row);
+        drop(seg);
+        self.apply_insert_stats(outcome);
+    }
+
+    /// The insert body, run under the caller-held segment lock, with
+    /// stat deltas deferred (atomics are not touched while locked).
+    fn insert_locked(
+        &self,
+        seg: &mut Segment,
+        node: usize,
+        epoch: u64,
+        row: &[f32],
+    ) -> InsertStats {
+        let mut outcome = InsertStats::default();
         if epoch < self.flush_epoch.load(Ordering::Acquire)
             || epoch < self.last_touch[node].load(Ordering::Acquire)
         {
-            return;
+            return outcome;
         }
-        let mut evicted = 0u64;
-        let mut seg = self.segment(node).lock();
-        if seg.map.contains_key(&node) {
-            let e = seg.map.get_mut(&node).expect("checked present under the segment lock");
+        if let Some(e) = seg.map.get_mut(&node) {
             // A straggler's older row never downgrades a newer entry —
             // and a refused refresh is not an insert.
             if epoch < e.epoch {
-                return;
+                return outcome;
             }
             e.epoch = epoch;
             e.referenced = true;
             e.data.copy_from_slice(row);
-            drop(seg);
         } else {
             while seg.map.len() >= self.seg_cap {
                 if !seg.evict_one() {
                     break;
                 }
-                evicted += 1;
+                outcome.evicted += 1;
             }
             seg.map.insert(node, Entry { epoch, referenced: false, data: row.into() });
             seg.ring.push(node);
-            drop(seg);
+            outcome.grew = true;
+        }
+        outcome.inserted = true;
+        outcome
+    }
+
+    fn apply_insert_stats(&self, outcome: InsertStats) {
+        if outcome.grew {
             self.stats.entries.fetch_add(1, Ordering::Relaxed);
             self.stats.bytes.fetch_add(self.row_bytes, Ordering::Relaxed);
         }
-        if evicted > 0 {
-            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
-            self.stats.entries.fetch_sub(evicted as usize, Ordering::Relaxed);
-            self.stats.bytes.fetch_sub(evicted as usize * self.row_bytes, Ordering::Relaxed);
+        if outcome.evicted > 0 {
+            self.stats.evictions.fetch_add(outcome.evicted, Ordering::Relaxed);
+            self.stats.entries.fetch_sub(outcome.evicted as usize, Ordering::Relaxed);
+            self.stats
+                .bytes
+                .fetch_sub(outcome.evicted as usize * self.row_bytes, Ordering::Relaxed);
         }
-        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        if outcome.inserted {
+            self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Route a cache miss: either the caller becomes the **owner** of
+    /// the row computation (first miss in this validity window — it
+    /// must resolve the registration with [`ResultCache::fill`] or
+    /// [`ResultCache::abort`]), or it **coalesces** onto an in-flight
+    /// computation whose fill is provably bit-identical to what the
+    /// caller would compute at `pinned`, or — when a concurrent fill
+    /// landed between the caller's lookup miss and this call — the row
+    /// is already **resident** and returned directly. The
+    /// resident/in-flight/owner decision is atomic under the segment
+    /// lock ([`ResultCache::fill`] resolves under the same lock), so a
+    /// row is never computed twice within one validity window.
+    ///
+    /// Coalescing applies the same validity predicate as a lookup: a
+    /// waiter pinned to `pinned` attaches to an in-flight registration
+    /// stamped `e` only when `e <= pinned` and no publish or
+    /// delta-touch of `node` landed after `e` — under exactly those
+    /// conditions the row at epoch `e` equals the row at `pinned`
+    /// bit-for-bit. An epoch bump that invalidates `node` mid-flight
+    /// therefore makes later requests *re-compute* (they register a
+    /// fresh owner) instead of consuming the stale fill.
+    ///
+    /// # Panics
+    /// Panics when `node >= nvertices`.
+    pub fn route_miss(&self, node: usize, pinned: u64) -> MissRoute {
+        assert!(node < self.nvertices, "node {node} outside cache range {}", self.nvertices);
+        let mut seg = self.segment(node).lock();
+        // A fill may have landed since the caller's lookup missed:
+        // serve it rather than re-registering an owner (counted as a
+        // late hit — the preceding lookup already counted the miss).
+        if let Some(e) = seg.map.get_mut(&node) {
+            if self.valid(node, e.epoch, pinned) {
+                e.referenced = true;
+                let row = e.data.clone();
+                drop(seg);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return MissRoute::Resident(row);
+            }
+        }
+        if let Some(entries) = seg.inflight.get_mut(&node) {
+            if let Some(e) = entries.iter_mut().find(|e| self.valid(node, e.epoch, pinned)) {
+                let (tx, rx) = mpsc::channel();
+                e.waiters.push(tx);
+                drop(seg);
+                self.stats.coalesced_misses.fetch_add(1, Ordering::Relaxed);
+                return MissRoute::Waiter(RowWaiter { rx });
+            }
+        }
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        seg.inflight.entry(node).or_default().push(Inflight {
+            epoch: pinned,
+            token,
+            waiters: Vec::new(),
+        });
+        drop(seg);
+        self.stats.inflight.inc();
+        MissRoute::Owner(InflightOwner { node, epoch: pinned, token })
+    }
+
+    /// Complete an in-flight registration: back-fill every coalesced
+    /// waiter with `row` and insert it into the cache (subject to the
+    /// usual staleness refusal — a fill raced by an invalidation still
+    /// serves its registered waiters, whose pinned epochs pre-date the
+    /// invalidation, but is not admitted as a cache entry). The
+    /// registration removal and the insert happen under one segment
+    /// lock acquisition, so a concurrent [`ResultCache::route_miss`]
+    /// observes either "in flight" or "resident" — never the gap in
+    /// between (which would make it recompute the row).
+    ///
+    /// # Panics
+    /// Panics when `row.len() != d`.
+    pub fn fill(&self, owner: InflightOwner, row: &[f32]) {
+        assert_eq!(row.len(), self.d, "row slice must hold one row");
+        let mut seg = self.segment(owner.node).lock();
+        let waiters = Self::take_inflight_locked(&mut seg, &owner);
+        for tx in &waiters.senders {
+            // Sending is non-blocking (unbounded channel) and a
+            // disconnected waiter just means its ticket was dropped.
+            let _ = tx.send(row.into());
+        }
+        let outcome = self.insert_locked(&mut seg, owner.node, owner.epoch, row);
+        drop(seg);
+        if waiters.resolved {
+            self.stats.inflight.dec();
+        }
+        self.apply_insert_stats(outcome);
+    }
+
+    /// Abandon an in-flight registration (the owning request failed,
+    /// e.g. on engine shutdown): waiters observe the abort and fail or
+    /// recompute; nothing is inserted.
+    pub fn abort(&self, owner: InflightOwner) {
+        let mut seg = self.segment(owner.node).lock();
+        // Dropping the senders disconnects every waiter's receiver.
+        let waiters = Self::take_inflight_locked(&mut seg, &owner);
+        drop(seg);
+        if waiters.resolved {
+            self.stats.inflight.dec();
+        }
+    }
+
+    /// Remove `owner`'s registration under the caller-held lock,
+    /// returning its waiters (gauge update deferred to the caller).
+    fn take_inflight_locked(seg: &mut Segment, owner: &InflightOwner) -> TakenWaiters {
+        let Some(entries) = seg.inflight.get_mut(&owner.node) else {
+            return TakenWaiters::default();
+        };
+        let Some(pos) = entries.iter().position(|e| e.token == owner.token) else {
+            return TakenWaiters::default();
+        };
+        let entry = entries.swap_remove(pos);
+        if entries.is_empty() {
+            seg.inflight.remove(&owner.node);
+        }
+        TakenWaiters { senders: entry.waiters, resolved: true }
     }
 
     /// A publish minted `epoch`: lazily invalidate every entry stamped
@@ -471,6 +742,106 @@ mod tests {
     }
 
     #[test]
+    fn second_miss_coalesces_and_is_backfilled() {
+        let c = ResultCache::new(8, 2, CacheConfig::default());
+        let MissRoute::Owner(owner) = c.route_miss(3, 0) else {
+            panic!("first miss must own the computation");
+        };
+        let MissRoute::Waiter(w1) = c.route_miss(3, 0) else {
+            panic!("second miss must coalesce");
+        };
+        let MissRoute::Waiter(w2) = c.route_miss(3, 0) else {
+            panic!("third miss must coalesce too");
+        };
+        assert!(w1.poll().is_none(), "nothing filled yet");
+        c.fill(owner, &row(2, 7.0));
+        assert_eq!(w1.wait().unwrap().as_ref(), &[7.0, 7.0]);
+        assert_eq!(w2.poll().unwrap().unwrap().as_ref(), &[7.0, 7.0]);
+        // The fill also landed as a cache entry.
+        let mut out = row(2, 0.0);
+        assert!(c.lookup(3, 0, &mut out));
+        assert_eq!(out, row(2, 7.0));
+        let m = c.metrics();
+        assert_eq!(m.coalesced_misses, 2);
+        assert_eq!(m.inflight_rows, 0, "registration resolved");
+        assert_eq!(m.inflight_peak_rows, 1);
+    }
+
+    #[test]
+    fn coalescing_spans_epochs_only_while_valid() {
+        let c = ResultCache::new(8, 2, CacheConfig::default());
+        let MissRoute::Owner(owner) = c.route_miss(5, 0) else { panic!("owner") };
+        // A reader pinned to a *newer* epoch with no invalidating write
+        // in between coalesces: the epoch-0 row equals the epoch-2 row.
+        let MissRoute::Waiter(w) = c.route_miss(5, 2) else {
+            panic!("valid newer pin must coalesce")
+        };
+        // A delta touching node 5 mints epoch 3: readers at the new
+        // epoch must re-compute, not consume the stale fill.
+        c.invalidate_rows(3, &[5]);
+        let MissRoute::Owner(owner2) = c.route_miss(5, 3) else {
+            panic!("post-invalidation miss must re-compute")
+        };
+        c.fill(owner, &row(2, 1.0));
+        assert_eq!(w.wait().unwrap().as_ref(), &[1.0, 1.0], "pre-bump waiter still served");
+        // The stale fill was refused as a cache entry...
+        let mut out = row(2, 0.0);
+        assert!(!c.lookup(5, 3, &mut out));
+        // ...while the re-computed one is admitted.
+        c.fill(owner2, &row(2, 2.0));
+        assert!(c.lookup(5, 3, &mut out));
+        assert_eq!(out, row(2, 2.0));
+        assert_eq!(c.metrics().inflight_rows, 0);
+    }
+
+    #[test]
+    fn route_after_fill_is_resident_not_a_second_owner() {
+        // The exactly-once race: a lookup misses, the in-flight fill
+        // lands, then the routing call runs. It must return the
+        // now-resident row, never register a second owner.
+        let c = ResultCache::new(8, 2, CacheConfig::default());
+        let MissRoute::Owner(owner) = c.route_miss(6, 0) else { panic!("owner") };
+        c.fill(owner, &row(2, 9.0));
+        match c.route_miss(6, 0) {
+            MissRoute::Resident(r) => assert_eq!(r.as_ref(), &[9.0, 9.0]),
+            _ => panic!("post-fill route must find the resident row"),
+        }
+        let m = c.metrics();
+        assert_eq!(m.hits, 1, "the resident route counts as a late hit");
+        assert_eq!(m.inflight_rows, 0);
+        // A stale resident row (invalidated since) is not served.
+        c.invalidate_rows(1, &[6]);
+        match c.route_miss(6, 1) {
+            MissRoute::Owner(o) => c.abort(o),
+            _ => panic!("invalidated resident row must not be served"),
+        }
+    }
+
+    #[test]
+    fn abort_disconnects_waiters() {
+        let c = ResultCache::new(4, 2, CacheConfig::default());
+        let MissRoute::Owner(owner) = c.route_miss(1, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w) = c.route_miss(1, 0) else { panic!("waiter") };
+        c.abort(owner);
+        assert_eq!(w.poll(), Some(Err(FillAborted)));
+        let mut out = row(2, 0.0);
+        assert!(!c.lookup(1, 0, &mut out), "aborted computation inserted nothing");
+        assert_eq!(c.metrics().inflight_rows, 0);
+    }
+
+    #[test]
+    fn wait_deadline_times_out_then_resolves() {
+        let c = std::sync::Arc::new(ResultCache::new(4, 2, CacheConfig::default()));
+        let MissRoute::Owner(owner) = c.route_miss(2, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w) = c.route_miss(2, 0) else { panic!("waiter") };
+        let deadline = Instant::now() + std::time::Duration::from_millis(5);
+        assert_eq!(w.wait_deadline(deadline), None, "no fill before the deadline");
+        c.fill(owner, &row(2, 4.0));
+        let far = Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(w.wait_deadline(far).unwrap().unwrap().as_ref(), &[4.0, 4.0]);
+    }
+
+    #[test]
     fn concurrent_mixed_traffic_stays_consistent() {
         let c = std::sync::Arc::new(ResultCache::new(
             64,
@@ -493,7 +864,7 @@ mod tests {
                             // whatever epoch wrote it; shape must hold).
                             assert_eq!(out.len(), 8);
                         } else {
-                            c.insert(node, epoch, &vec![epoch as f32; 8]);
+                            c.insert(node, epoch, &[epoch as f32; 8]);
                         }
                     }
                 });

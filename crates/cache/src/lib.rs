@@ -37,9 +37,23 @@
 //! by the feature store: it announces an epoch to invalidation
 //! listeners **before** any reader can pin it, so there is no window in
 //! which a reader at the new epoch can hit a not-yet-retired entry.
+//!
+//! # Miss coalescing
+//!
+//! Concurrent requests that miss on the *same* vertex used to each
+//! compute the row. [`ResultCache::route_miss`] closes that gap with
+//! in-flight entry states: the first miss in a validity window becomes
+//! the **owner** (it computes the row and resolves the registration
+//! with [`ResultCache::fill`]), later misses become **waiters**
+//! ([`cache::RowWaiter`]) back-filled when the owner's fill lands.
+//! Coalescing applies the exact lookup validity predicate to the
+//! in-flight registration's epoch stamp, so a waiter only ever receives
+//! a row bit-identical to what it would have computed itself — and an
+//! epoch bump that invalidates the vertex mid-flight makes later
+//! requests re-compute instead of consuming the stale fill.
 
 pub mod cache;
 pub mod stats;
 
-pub use cache::{CacheConfig, ResultCache};
+pub use cache::{CacheConfig, FillAborted, InflightOwner, MissRoute, ResultCache, RowWaiter};
 pub use stats::{CacheMetrics, CacheStats};

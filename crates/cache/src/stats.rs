@@ -3,6 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{RatioHistogram, RatioSnapshot};
 
 /// Live counters a [`ResultCache`](crate::ResultCache) maintains on its
@@ -22,6 +23,12 @@ pub struct CacheStats {
     pub invalidated_rows: AtomicU64,
     /// Whole-cache (publish) invalidations recorded.
     pub flushes: AtomicU64,
+    /// Misses that coalesced onto another request's in-flight
+    /// computation instead of computing their own row.
+    pub coalesced_misses: AtomicU64,
+    /// Row computations currently registered in flight (owners not yet
+    /// filled or aborted), with the deepest window ever observed.
+    pub inflight: Gauge,
     /// Approximate bytes currently held across all segments.
     pub bytes: AtomicUsize,
     /// Entries currently resident across all segments.
@@ -41,6 +48,9 @@ impl CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidated_rows: self.invalidated_rows.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            coalesced_misses: self.coalesced_misses.load(Ordering::Relaxed),
+            inflight_rows: self.inflight.value(),
+            inflight_peak_rows: self.inflight.peak(),
             bytes: self.bytes.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
             hit_ratio: self.hit_ratio.snapshot(),
@@ -64,6 +74,13 @@ pub struct CacheMetrics {
     pub invalidated_rows: u64,
     /// Publish (whole-cache) invalidations.
     pub flushes: u64,
+    /// Misses that coalesced onto an in-flight computation (each saved
+    /// one row computation).
+    pub coalesced_misses: u64,
+    /// Row computations currently registered in flight.
+    pub inflight_rows: u64,
+    /// Deepest in-flight row window ever observed.
+    pub inflight_peak_rows: u64,
     /// Approximate resident bytes.
     pub bytes: usize,
     /// Resident entries.
@@ -89,15 +106,19 @@ impl std::fmt::Display for CacheMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} ({:.1}% hit) inserts={} evict={} delta-inval={} flushes={} \
-             resident={} rows / {} KiB, per-request hit ratio: {}",
+            "hits={} misses={} ({:.1}% hit, {} coalesced) inserts={} evict={} delta-inval={} \
+             flushes={} in-flight={} (peak {}) resident={} rows / {} KiB, per-request hit \
+             ratio: {}",
             self.hits,
             self.misses,
             self.overall_hit_ratio() * 100.0,
+            self.coalesced_misses,
             self.inserts,
             self.evictions,
             self.invalidated_rows,
             self.flushes,
+            self.inflight_rows,
+            self.inflight_peak_rows,
             self.entries,
             self.bytes >> 10,
             self.hit_ratio

@@ -23,7 +23,7 @@ use crate::part::PartitionStrategy;
 use crate::simd::active_backend;
 
 /// Largest dimension at which [`Blocking::Auto`] picks the
-/// register-blocked kernel. The paper's generator likewise "limit[s]
+/// register-blocked kernel. The paper's generator likewise "limit\[s\]
 /// register blocking up to a threshold when the dimension is large":
 /// beyond ~64 f32 lanes the per-row blocks exceed the architectural
 /// register file, the fully unrolled sweeps bloat the instruction
@@ -334,7 +334,7 @@ mod tests {
             let reference = fusedmm_reference(&a, &x, &y, &ops);
             assert!(auto.max_abs_diff(&reference) < 1e-4, "d={d}");
         }
-        assert!(REGISTER_BLOCK_MAX_DIM >= 32);
+        const _: () = assert!(REGISTER_BLOCK_MAX_DIM >= 32);
     }
 
     #[test]

@@ -318,7 +318,7 @@ mod tests {
         for off in 0..8 {
             let v = F32x8::load(&src[off..]);
             assert_eq!(v.0[0], off as f32);
-            let mut dst = vec![0.0; 17];
+            let mut dst = [0.0; 17];
             v.store(&mut dst[off..]);
             assert_eq!(dst[off], off as f32);
             assert_eq!(dst[off + 7], (off + 7) as f32);

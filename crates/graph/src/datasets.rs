@@ -1,7 +1,7 @@
 //! Registry of the paper's Table V datasets and their synthetic stand-ins.
 //!
 //! The paper's graphs are downloads from networkrepository.com and
-//! https://sparse.tamu.edu; this environment is offline, so each dataset
+//! <https://sparse.tamu.edu>; this environment is offline, so each dataset
 //! maps to a generated stand-in with (a) the paper's vertex count scaled
 //! by a dataset-specific factor that keeps generation and kernels
 //! tractable on a small machine, (b) the paper's *average degree
@@ -189,7 +189,8 @@ impl Dataset {
 
     /// Labeled planted-partition stand-in for the classification
     /// experiment. Only Cora and Pubmed have labels in the paper.
-    /// `scale` applies to the vertex count as in [`standin_scaled`].
+    /// `scale` applies to the vertex count as in
+    /// [`Dataset::standin_scaled`].
     pub fn labeled_standin(&self, scale: f64) -> Option<PlantedGraph> {
         let k = self.num_classes()?;
         let spec = self.spec();

@@ -6,7 +6,7 @@
 //! graphs generated with PaRMAT for the sensitivity study (Fig. 11a).
 //! Offline we synthesize stand-ins:
 //!
-//! * [`rmat`] — a recursive-matrix (RMAT) generator, our PaRMAT
+//! * [`rmat()`](rmat::rmat) — a recursive-matrix (RMAT) generator, our PaRMAT
 //!   equivalent, producing the skewed degree distributions of the
 //!   paper's social-network graphs;
 //! * [`erdos`] — Erdős–Rényi G(n, m) uniform random graphs;

@@ -119,7 +119,7 @@ mod tests {
         let g = planted_partition(100, 4, 8.0, 1.0, 1);
         assert_eq!(g.labels.len(), 100);
         for class in 0..4 {
-            assert!(g.labels.iter().any(|&l| l == class));
+            assert!(g.labels.contains(&class));
         }
         assert!(g.labels.iter().all(|&l| l < 4));
     }

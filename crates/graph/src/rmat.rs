@@ -1,6 +1,6 @@
 //! RMAT (recursive matrix) graph generator — our PaRMAT equivalent.
 //!
-//! The paper generates RMAT graphs with PaRMAT [14] for the parameter
+//! The paper generates RMAT graphs with PaRMAT \[14\] for the parameter
 //! sensitivity study (Fig. 11a: 100K vertices, average degree swept from
 //! 10 to 150). RMAT recursively drops each edge into one of the four
 //! quadrants of the adjacency matrix with probabilities `(a, b, c, d)`;

@@ -1,0 +1,127 @@
+//! A concurrent up/down counter with a high-water mark — the shape an
+//! "in-flight requests" metric has.
+//!
+//! The serving engine's ticketed (non-blocking) request path needs to
+//! answer two questions a latency histogram cannot: *how many requests
+//! are open right now* (the saturation signal an admission controller
+//! watches) and *how deep did the in-flight window ever get* (the
+//! capacity signal). [`Gauge`] answers both with two relaxed atomics;
+//! [`GaugeGuard`] ties the decrement to scope exit so an early return,
+//! a dropped ticket, or a panic can never leak a permanently "open"
+//! request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A concurrent gauge: current value plus the peak it ever reached.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Increment and update the peak; returns the post-increment value.
+    pub fn inc(&self) -> u64 {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Decrement (saturating at zero, so a double-release cannot wrap).
+    pub fn dec(&self) {
+        let _ =
+            self.current.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The highest value ever observed by [`Gauge::inc`].
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Increment, returning a guard that decrements when dropped. The
+    /// gauge must be shared (`Arc`) so the guard can outlive the
+    /// borrow that created it — exactly the shape a completion token
+    /// handed to a caller has.
+    pub fn acquire(self: &Arc<Self>) -> GaugeGuard {
+        self.inc();
+        GaugeGuard { gauge: Arc::clone(self) }
+    }
+}
+
+/// RAII handle holding one unit of a shared [`Gauge`]; dropping it
+/// decrements. Obtained from [`Gauge::acquire`].
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Arc<Gauge>,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.dec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_dec_and_peak() {
+        let g = Gauge::new();
+        assert_eq!((g.value(), g.peak()), (0, 0));
+        g.inc();
+        g.inc();
+        assert_eq!((g.value(), g.peak()), (2, 2));
+        g.dec();
+        assert_eq!((g.value(), g.peak()), (1, 2));
+        g.inc();
+        assert_eq!((g.value(), g.peak()), (2, 2), "peak only moves on new highs");
+    }
+
+    #[test]
+    fn dec_saturates_at_zero() {
+        let g = Gauge::new();
+        g.dec();
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let g = Arc::new(Gauge::new());
+        let a = g.acquire();
+        let b = g.acquire();
+        assert_eq!((g.value(), g.peak()), (2, 2));
+        drop(a);
+        assert_eq!(g.value(), 1);
+        drop(b);
+        assert_eq!((g.value(), g.peak()), (0, 2));
+    }
+
+    #[test]
+    fn concurrent_acquires_balance() {
+        let g = Arc::new(Gauge::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let _guard = g.acquire();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 0, "every guard released its unit");
+        assert!(g.peak() >= 1 && g.peak() <= 8);
+    }
+}

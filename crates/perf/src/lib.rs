@@ -13,15 +13,19 @@
 //!   attainable-GFLOP/s bound;
 //! * [`flops`] — floating-point-operation counts per kernel pattern;
 //! * [`hist`] — a lock-free log-bucketed latency histogram (p50/p99 and
-//!   throughput for the serving engine).
+//!   throughput for the serving engine);
+//! * [`gauge`] — a concurrent up/down counter with a high-water mark
+//!   (in-flight request accounting for the non-blocking serving path).
 
 pub mod flops;
+pub mod gauge;
 pub mod hist;
 pub mod memtrack;
 pub mod roofline;
 pub mod stream;
 pub mod timer;
 
+pub use gauge::{Gauge, GaugeGuard};
 pub use hist::{HistogramSnapshot, HistogramVec, LatencyHistogram, RatioHistogram, RatioSnapshot};
 pub use memtrack::CountingAllocator;
 pub use roofline::{arithmetic_intensity, attainable_gflops};

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use fusedmm_sparse::dense::Dense;
 
+use crate::cache::FillSet;
 use crate::store::FeatureEpoch;
 
 /// One enqueued embedding request.
@@ -25,6 +26,11 @@ pub(crate) struct Pending {
     pub epoch: Arc<FeatureEpoch>,
     /// Completion channel back to the caller.
     pub tx: mpsc::Sender<Dense>,
+    /// In-flight cache registrations this request owns (`fills[i]` ↔
+    /// `nodes[i]`): the dispatcher resolves them — cache insert plus
+    /// coalesced-waiter back-fill — as soon as the rows are computed,
+    /// before completing the caller.
+    pub fills: Option<FillSet>,
     /// Enqueue time, for end-to-end latency accounting.
     pub enqueued: Instant,
 }
@@ -159,7 +165,7 @@ mod tests {
     }
 
     fn pending(nodes: Vec<usize>, epoch: Arc<FeatureEpoch>, tx: mpsc::Sender<Dense>) -> Pending {
-        Pending { nodes, epoch, tx, enqueued: Instant::now() }
+        Pending { nodes, epoch, tx, fills: None, enqueued: Instant::now() }
     }
 
     #[test]

@@ -1,26 +1,34 @@
 //! The serving stack's result-cache layer: a
-//! [`ResultCache`](fusedmm_cache::ResultCache) bound to one graph's
+//! [`ResultCache`] bound to one graph's
 //! reverse adjacency and subscribed to the engine's
 //! [`FeatureStore`](crate::FeatureStore).
 //!
 //! [`EmbedCache`] is the piece the engines talk to: it splits a request
 //! into cache hits and misses (hits filled directly into the response),
-//! back-fills computed miss rows, and — as an
-//! [`EpochListener`](crate::store::EpochListener) — translates epoch
+//! routes each miss through the cache's in-flight states — the first
+//! miss in a validity window **owns** the row computation, concurrent
+//! misses on the same vertex **coalesce** onto it and are back-filled
+//! when the owner's batch completes — and, as an
+//! [`EpochListener`], translates epoch
 //! transitions into invalidations. A publish invalidates everything
 //! (lazily, by epoch stamp); a delta update invalidates only the
 //! patched rows *and their in-neighbors*, the exact dependency set of
 //! the kernel's per-row aggregation, computed from the transposed
 //! adjacency by [`Csr::touch_set`](fusedmm_sparse::csr::Csr::touch_set).
+//!
+//! Owned rows travel to the dispatcher as a `FillSet` riding the
+//! enqueued request: when the batch's rows come back, the dispatcher
+//! resolves every registration (cache insert + waiter back-fill) before
+//! completing the caller — so coalesced waiters resolve as soon as the
+//! computation does, independent of when (or whether) the owning ticket
+//! is harvested.
 
-use std::time::Instant;
+use std::sync::Arc;
 
-use fusedmm_cache::{CacheConfig, CacheMetrics, ResultCache};
-use fusedmm_perf::hist::LatencyHistogram;
+use fusedmm_cache::{CacheConfig, CacheMetrics, InflightOwner, MissRoute, ResultCache};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
-use crate::engine::ServeError;
 use crate::store::EpochListener;
 
 /// An embedding result cache for one graph, shared by every engine
@@ -75,46 +83,21 @@ impl EmbedCache {
         (misses, positions)
     }
 
-    /// Store freshly computed rows: `rows.row(i)` is the output for
-    /// `union[i]`, all computed at `epoch`.
-    pub(crate) fn backfill(&self, epoch: u64, union: &[usize], rows: &Dense) {
-        for (i, &u) in union.iter().enumerate() {
-            self.cache.insert(u, epoch, rows.row(i));
-        }
+    /// Route one missing node at the pinned epoch: own the computation
+    /// or coalesce onto an in-flight one (see
+    /// [`ResultCache::route_miss`]).
+    pub(crate) fn route_miss(&self, node: usize, epoch: u64) -> MissRoute {
+        self.cache.route_miss(node, epoch)
     }
 
-    /// The whole cache-aware request flow, shared by
-    /// [`Engine::embed`](crate::Engine::embed) and
-    /// [`ShardedEngine::embed`](crate::ShardedEngine::embed): probe
-    /// every node at the pinned epoch, run `compute` on the sorted
-    /// deduplicated misses (it must return one row per miss, in that
-    /// order), back-fill the cache, and reassemble the response in
-    /// request order. Fully cache-served requests never reach a
-    /// dispatcher, so their end-to-end latency is recorded into
-    /// `hit_latency` here.
-    pub(crate) fn serve(
-        &self,
-        nodes: &[usize],
-        epoch: u64,
-        hit_latency: &LatencyHistogram,
-        compute: impl FnOnce(&[usize]) -> Result<Dense, ServeError>,
-    ) -> Result<Dense, ServeError> {
-        let t0 = Instant::now();
-        let mut out = Dense::zeros(nodes.len(), self.cache.d());
-        let (misses, positions) = self.split(nodes, epoch, &mut out);
-        if misses.is_empty() {
-            hit_latency.record(t0.elapsed());
-            return Ok(out);
-        }
-        let rows = compute(&misses)?;
-        self.backfill(epoch, &misses, &rows);
-        for &i in &positions {
-            let j = misses
-                .binary_search(&nodes[i])
-                .expect("every miss position's node is in the computed union");
-            out.row_mut(i).copy_from_slice(rows.row(j));
-        }
-        Ok(out)
+    /// Resolve one owned registration with its computed row.
+    pub(crate) fn fill(&self, owner: InflightOwner, row: &[f32]) {
+        self.cache.fill(owner, row);
+    }
+
+    /// Abandon one owned registration (the computation failed).
+    pub(crate) fn abort(&self, owner: InflightOwner) {
+        self.cache.abort(owner);
     }
 
     /// Point-in-time cache statistics.
@@ -136,6 +119,44 @@ impl EpochListener for EmbedCache {
     }
 }
 
+/// The in-flight registrations one enqueued request owns, riding the
+/// dispatcher queue with it: `owners[i]` is the registration for the
+/// request's `i`-th node. The dispatcher resolves the set with
+/// [`FillSet::complete`] when the rows are computed; a set dropped
+/// unresolved (the request never dispatched, e.g. enqueue raced a
+/// shutdown) aborts every registration so coalesced waiters observe
+/// the failure instead of hanging.
+pub(crate) struct FillSet {
+    cache: Arc<EmbedCache>,
+    owners: Vec<InflightOwner>,
+}
+
+impl FillSet {
+    /// `owners[i]` must correspond to the `i`-th node of the request
+    /// this set rides with.
+    pub(crate) fn new(cache: Arc<EmbedCache>, owners: Vec<InflightOwner>) -> FillSet {
+        FillSet { cache, owners }
+    }
+
+    /// Resolve every registration: `rows.row(i)` is the computed row
+    /// for `owners[i]` — inserted into the cache and sent to every
+    /// coalesced waiter.
+    pub(crate) fn complete(mut self, rows: &Dense) {
+        assert_eq!(rows.nrows(), self.owners.len(), "one computed row per owned registration");
+        for (i, owner) in self.owners.drain(..).enumerate() {
+            self.cache.fill(owner, rows.row(i));
+        }
+    }
+}
+
+impl Drop for FillSet {
+    fn drop(&mut self) {
+        for owner in self.owners.drain(..) {
+            self.cache.abort(owner);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +170,17 @@ mod tests {
         c.to_csr(Dedup::Sum)
     }
 
+    /// Route-and-fill every node as an owner — the shape the
+    /// dispatcher's [`FillSet`] path takes with no contention.
+    fn fill_all(cache: &EmbedCache, epoch: u64, nodes: &[usize], rows: &Dense) {
+        for (i, &u) in nodes.iter().enumerate() {
+            match cache.route_miss(u, epoch) {
+                MissRoute::Owner(owner) => cache.fill(owner, rows.row(i)),
+                _ => panic!("uncontended cold route must own"),
+            }
+        }
+    }
+
     #[test]
     fn split_fills_hits_and_returns_miss_positions() {
         let a = ring(6);
@@ -158,9 +190,9 @@ mod tests {
         let (misses, positions) = cache.split(&[3, 1, 3, 5], 0, &mut out);
         assert_eq!(misses, vec![1, 3, 5]);
         assert_eq!(positions, vec![0, 1, 2, 3]);
-        // Back-fill and re-probe: all hits, rows land in place.
+        // Fill and re-probe: all hits, rows land in place.
         let rows = Dense::from_rows(3, 2, &[1.0, 1.0, 3.0, 3.0, 5.0, 5.0]).unwrap();
-        cache.backfill(0, &misses, &rows);
+        fill_all(&cache, 0, &misses, &rows);
         let mut out2 = Dense::zeros(4, 2);
         let (misses2, positions2) = cache.split(&[3, 1, 3, 5], 0, &mut out2);
         assert!(misses2.is_empty() && positions2.is_empty());
@@ -181,7 +213,7 @@ mod tests {
         let cache = EmbedCache::new(&ring(n), 2, CacheConfig::default());
         let all: Vec<usize> = (0..n).collect();
         let rows = Dense::from_fn(n, 2, |r, _| r as f32);
-        cache.backfill(0, &all, &rows);
+        fill_all(&cache, 0, &all, &rows);
         cache.on_delta(1, &[4]);
         let mut out = Dense::zeros(n, 2);
         let (misses, _) = cache.split(&all, 1, &mut out);
@@ -192,11 +224,37 @@ mod tests {
     #[test]
     fn publish_listener_flushes_lazily() {
         let cache = EmbedCache::new(&ring(4), 2, CacheConfig::default());
-        cache.backfill(0, &[0, 1, 2, 3], &Dense::zeros(4, 2));
+        fill_all(&cache, 0, &[0, 1, 2, 3], &Dense::zeros(4, 2));
         cache.on_publish(1);
         let mut out = Dense::zeros(4, 2);
         let (misses, _) = cache.split(&[0, 1, 2, 3], 1, &mut out);
         assert_eq!(misses, vec![0, 1, 2, 3]);
         assert_eq!(cache.metrics().flushes, 1);
+    }
+
+    #[test]
+    fn dropped_fillset_aborts_its_registrations() {
+        let cache = Arc::new(EmbedCache::new(&ring(4), 2, CacheConfig::default()));
+        let MissRoute::Owner(owner) = cache.route_miss(2, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w) = cache.route_miss(2, 0) else { panic!("waiter") };
+        drop(FillSet::new(Arc::clone(&cache), vec![owner]));
+        assert!(w.wait().is_err(), "waiter observes the abort, not a hang");
+        assert_eq!(cache.metrics().inflight_rows, 0);
+    }
+
+    #[test]
+    fn completed_fillset_backfills_waiters_and_cache() {
+        let cache = Arc::new(EmbedCache::new(&ring(4), 2, CacheConfig::default()));
+        let MissRoute::Owner(o1) = cache.route_miss(1, 0) else { panic!("owner") };
+        let MissRoute::Owner(o2) = cache.route_miss(3, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w) = cache.route_miss(3, 0) else { panic!("waiter") };
+        let rows = Dense::from_rows(2, 2, &[1.0, 1.5, 3.0, 3.5]).unwrap();
+        FillSet::new(Arc::clone(&cache), vec![o1, o2]).complete(&rows);
+        assert_eq!(w.wait().unwrap().as_ref(), &[3.0, 3.5]);
+        let mut out = Dense::zeros(2, 2);
+        let (misses, _) = cache.split(&[1, 3], 0, &mut out);
+        assert!(misses.is_empty(), "both rows resident after the fill");
+        assert_eq!(out.row(0), &[1.0, 1.5]);
+        assert_eq!(out.row(1), &[3.0, 3.5]);
     }
 }

@@ -15,17 +15,19 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fusedmm_cache::{CacheConfig, CacheMetrics};
+use fusedmm_cache::{CacheConfig, CacheMetrics, MissRoute};
 use fusedmm_core::{Blocking, Plan};
 use fusedmm_ops::OpSet;
+use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{HistogramSnapshot, LatencyHistogram};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
 use crate::batcher::{dedup_union, group_by_epoch, scatter_rows, BatchQueue, Pending};
-use crate::cache::EmbedCache;
+use crate::cache::{EmbedCache, FillSet};
 use crate::score::score_edges_banded;
 use crate::store::{FeatureEpoch, FeatureStore};
+use crate::ticket::{EmbedAssembly, Part, Ticket, WaiterSlot};
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -103,7 +105,12 @@ struct EngineShared {
     ops: OpSet,
     plan: Plan,
     queue: BatchQueue,
-    embed_latency: LatencyHistogram,
+    /// Shared (`Arc`) so a fully coalesced ticket — which never reaches
+    /// the dispatcher — can record its completion latency here.
+    embed_latency: Arc<LatencyHistogram>,
+    /// Ticketed + blocking embed requests currently open (begin →
+    /// resolve), with the deepest window ever held.
+    inflight: Arc<Gauge>,
     score_latency: LatencyHistogram,
     infer_latency: LatencyHistogram,
     batches_dispatched: AtomicU64,
@@ -209,7 +216,8 @@ impl Engine {
             ops,
             plan,
             queue: BatchQueue::new(),
-            embed_latency: LatencyHistogram::new(),
+            embed_latency: Arc::new(LatencyHistogram::new()),
+            inflight: Arc::new(Gauge::new()),
             score_latency: LatencyHistogram::new(),
             infer_latency: LatencyHistogram::new(),
             batches_dispatched: AtomicU64::new(0),
@@ -274,7 +282,10 @@ impl Engine {
     /// returns one output row per requested node, equal to the matching
     /// rows of the full-graph kernel, all computed from the feature
     /// epoch current at enqueue time. Blocks until the micro-batcher
-    /// completes the containing batch.
+    /// completes the containing batch — implemented as
+    /// [`Engine::embed_begin`] followed by [`Ticket::wait`], so the
+    /// blocking and ticketed paths are the same code and bit-identical
+    /// by construction.
     ///
     /// With the result cache enabled
     /// ([`EngineConfig::cache`]), rows still valid at the pinned epoch
@@ -283,29 +294,88 @@ impl Engine {
     /// admitted when no invalidating write landed since the row was
     /// computed.
     pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        self.embed_begin(nodes)?.wait()
+    }
+
+    /// Begin an embedding request without blocking: the request pins
+    /// the current feature epoch and enters the micro-batcher (cache
+    /// hits are resolved immediately; misses that another in-flight
+    /// request is already computing coalesce onto it), and the
+    /// returned [`Ticket`] harvests the response on demand — `poll` it,
+    /// `wait` it, or `wait_deadline` it. One caller can hold thousands
+    /// of open tickets; [`EngineMetrics::inflight`] gauges the window.
+    ///
+    /// Errors are eager: out-of-range nodes and shutdown are reported
+    /// here, not deferred into the ticket.
+    pub fn embed_begin(&self, nodes: &[usize]) -> Result<Ticket<Dense>, ServeError> {
         if self.shared.stopped.load(Ordering::Acquire) {
             return Err(ServeError::EngineShutdown);
         }
         if nodes.is_empty() {
-            return Ok(Dense::zeros(0, self.dimension()));
+            return Ok(Ticket::ready(Ok(Dense::zeros(0, self.dimension()))));
         }
-        let epoch = self.shared.store.snapshot();
-        let Some(cache) = &self.shared.cache else {
-            let rx = self.enqueue_pinned(nodes, epoch)?;
-            return rx.recv().map_err(|_| ServeError::EngineShutdown);
-        };
-        // Cache path: validate before probing (lookups assert range),
-        // then serve hits from memory and only the misses through the
-        // micro-batcher.
         self.check_nodes(nodes.iter().copied())?;
-        cache.serve(nodes, epoch.epoch(), &self.shared.embed_latency, |misses| {
-            let rx = self.enqueue_pinned(misses, Arc::clone(&epoch))?;
-            rx.recv().map_err(|_| ServeError::EngineShutdown)
-        })
+        let t0 = Instant::now();
+        let epoch = self.shared.store.snapshot();
+        let guard = self.shared.inflight.acquire();
+        let Some(cache) = &self.shared.cache else {
+            let rx = self.enqueue_pinned(nodes, epoch, None)?;
+            return Ok(Ticket::pending(EmbedAssembly::direct(nodes.to_vec(), rx, guard)));
+        };
+        // Cache path: serve hits from memory, route each miss — the
+        // first miss in a validity window owns the computation (and
+        // goes through the micro-batcher), concurrent misses on the
+        // same vertex coalesce onto the in-flight row.
+        let mut out = Dense::zeros(nodes.len(), self.dimension());
+        let (misses, positions) = cache.split(nodes, epoch.epoch(), &mut out);
+        if misses.is_empty() {
+            self.shared.embed_latency.record(t0.elapsed());
+            return Ok(Ticket::ready(Ok(out)));
+        }
+        let mut owned = Vec::new();
+        let mut owners = Vec::new();
+        let mut waiters = Vec::new();
+        for &u in &misses {
+            match cache.route_miss(u, epoch.epoch()) {
+                MissRoute::Owner(owner) => {
+                    owned.push(u);
+                    owners.push(owner);
+                }
+                MissRoute::Waiter(waiter) => waiters.push(WaiterSlot::new(u, waiter)),
+                // A fill landed between the lookup miss and the
+                // routing call: the row is already in hand.
+                MissRoute::Resident(row) => waiters.push(WaiterSlot::resolved(u, row)),
+            }
+        }
+        let mut parts = Vec::new();
+        if !owned.is_empty() {
+            // The FillSet rides the queue; if the enqueue loses a race
+            // with shutdown its Drop aborts the registrations, so
+            // coalesced waiters fail instead of hanging.
+            let fills = FillSet::new(Arc::clone(cache), owners);
+            let rx = self.enqueue_pinned(&owned, Arc::clone(&epoch), Some(fills))?;
+            parts.push(Part::new(owned, 0, rx));
+        }
+        let positions = positions.into_iter().map(|i| (i, nodes[i])).collect();
+        // A fully coalesced request never reaches the dispatcher:
+        // record its completion here to keep one histogram observation
+        // per request.
+        let finish_hist = parts.is_empty().then(|| Arc::clone(&self.shared.embed_latency));
+        Ok(Ticket::pending(EmbedAssembly::assemble(
+            out,
+            parts,
+            waiters,
+            positions,
+            finish_hist,
+            None,
+            guard,
+        )))
     }
 
     /// Enqueue an embedding request pinned to `epoch`; the receiver
-    /// completes with the rows once the dispatcher serves the batch.
+    /// completes with the rows once the dispatcher serves the batch
+    /// (resolving `fills` — cache inserts plus coalesced-waiter
+    /// back-fills — first).
     /// [`ShardedEngine`](crate::ShardedEngine) uses this to fan one
     /// request (and one pinned epoch) out across every involved shard
     /// before collecting any result.
@@ -313,6 +383,7 @@ impl Engine {
         &self,
         nodes: &[usize],
         epoch: Arc<FeatureEpoch>,
+        fills: Option<FillSet>,
     ) -> Result<mpsc::Receiver<Dense>, ServeError> {
         self.check_nodes(nodes.iter().copied())?;
         if self.shared.stopped.load(Ordering::Acquire) {
@@ -323,6 +394,7 @@ impl Engine {
             nodes: nodes.to_vec(),
             epoch,
             tx,
+            fills,
             enqueued: Instant::now(),
         });
         if !accepted {
@@ -407,6 +479,8 @@ impl Engine {
             batches_dispatched: self.shared.batches_dispatched.load(Ordering::Relaxed),
             rows_requested: self.shared.rows_requested.load(Ordering::Relaxed),
             rows_computed: self.shared.rows_computed.load(Ordering::Relaxed),
+            inflight: self.shared.inflight.value(),
+            inflight_peak: self.shared.inflight.peak(),
             feature_epoch: self.shared.store.current_epoch(),
             epoch_swaps: self.shared.store.swap_count(),
             cache: self.shared.cache.as_ref().map(|c| c.metrics()),
@@ -473,8 +547,14 @@ fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
             shared.batches_dispatched.fetch_add(1, Ordering::Relaxed);
             shared.rows_requested.fetch_add(rows_requested as u64, Ordering::Relaxed);
             shared.rows_computed.fetch_add(union.len() as u64, Ordering::Relaxed);
-            for request in &group {
+            for request in group {
                 let out = scatter_rows(&union, &union_rows, &request.nodes);
+                // Resolve owned cache registrations first, so coalesced
+                // waiters complete as soon as the computation does —
+                // independent of when this caller harvests its ticket.
+                if let Some(fills) = request.fills {
+                    fills.complete(&out);
+                }
                 shared.embed_latency.record(request.enqueued.elapsed());
                 // A disconnected receiver just means the caller gave up.
                 let _ = request.tx.send(out);
@@ -503,6 +583,11 @@ pub struct EngineMetrics {
     /// Total rows actually computed after deduplication (≤ requested
     /// when concurrent requests overlap).
     pub rows_computed: u64,
+    /// Embed requests currently open (begin → resolve): blocking calls
+    /// plus every un-harvested [`Ticket`].
+    pub inflight: u64,
+    /// Deepest in-flight request window ever held.
+    pub inflight_peak: u64,
     /// The feature epoch currently served (new snapshots pin this one).
     pub feature_epoch: u64,
     /// Completed feature-store swaps (publishes + delta updates).
@@ -520,10 +605,13 @@ impl std::fmt::Display for EngineMetrics {
         writeln!(f, "infer: {}", self.infer)?;
         write!(
             f,
-            "batches: {}  rows requested: {}  rows computed: {}  epoch: {} ({} swaps)",
+            "batches: {}  rows requested: {}  rows computed: {}  in-flight: {} (peak {})  \
+             epoch: {} ({} swaps)",
             self.batches_dispatched,
             self.rows_requested,
             self.rows_computed,
+            self.inflight,
+            self.inflight_peak,
             self.feature_epoch,
             self.epoch_swaps
         )?;

@@ -42,6 +42,14 @@
 //!   patched rows and their in-neighbors (the kernel's exact per-row
 //!   dependency set), so training-style patches keep the hot set warm
 //!   — responses stay bit-identical to an uncached engine;
+//! * non-blocking serving ([`ticket`]) — [`Engine::embed_begin`] /
+//!   [`ShardedEngine::embed_begin`] return a [`Ticket`] instead of
+//!   blocking, so one thread can hold thousands of in-flight requests
+//!   and harvest completions with `poll`/`wait`/`wait_deadline` (shard
+//!   tickets gather lazily on first poll); concurrent requests that
+//!   miss the cache on the same vertex **coalesce** — exactly one
+//!   enqueue computes the row and every waiter is back-filled,
+//!   bit-identical to uncached serving and invalidation-safe;
 //! * latency accounting — every request records into
 //!   [`LatencyHistogram`](fusedmm_perf::LatencyHistogram)s, surfaced
 //!   as p50/p90/p99 and throughput by [`Engine::metrics`] (per-shard
@@ -80,6 +88,7 @@ pub mod engine;
 pub mod score;
 pub mod shard;
 pub mod store;
+pub mod ticket;
 
 pub use cache::EmbedCache;
 // The cache crate's config/metrics are part of this crate's public
@@ -90,3 +99,4 @@ pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
 pub use score::{score_edges, score_edges_banded};
 pub use shard::{ShardedEngine, ShardedMetrics};
 pub use store::{EpochListener, FeatureEpoch, FeatureStore};
+pub use ticket::Ticket;

@@ -94,7 +94,8 @@ mod tests {
         let (a, x, y) = setup();
         let ops = OpSet::sigmoid_embedding(None);
         let scores = score_edges(&a, &[(0, 2), (2, 0)], &x, &y, &ops);
-        let dot0 = 1.0 * 1.0 + 0.5 * -1.0;
+        // x0·y2 with x0 = (1, 0.5), y2 = (1, -1).
+        let dot0 = 1.0 * 1.0 - 0.5;
         let dot1 = 0.25 * 0.2 + 0.75 * 0.4;
         assert!((scores[0] - sigmoid(dot0)).abs() < 1e-6);
         assert!((scores[1] - sigmoid(dot1)).abs() < 1e-6);

@@ -24,17 +24,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use fusedmm_cache::CacheMetrics;
+use fusedmm_cache::{CacheMetrics, InflightOwner, MissRoute};
 use fusedmm_core::{Partition, PartitionStrategy, Plan, PlanCache, PlanTag};
 use fusedmm_ops::OpSet;
+use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{HistogramSnapshot, HistogramVec, LatencyHistogram};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
-use crate::batcher::{dedup_union, scatter_rows};
-use crate::cache::EmbedCache;
+use crate::batcher::dedup_union;
+use crate::cache::{EmbedCache, FillSet};
 use crate::engine::{Engine, EngineConfig, EngineMetrics, ServeError};
-use crate::store::{FeatureEpoch, FeatureStore};
+use crate::store::FeatureStore;
+use crate::ticket::{EmbedAssembly, Part, Ticket, WaiterSlot};
 
 /// A graph served by several PART1D band engines behind one front end.
 /// Shares the request API with [`Engine`] (`embed` / `score_edges` /
@@ -47,23 +49,28 @@ pub struct ShardedEngine {
     /// serves repeats no matter which band owns it. Band engines run
     /// uncached; the front end probes before fanning out.
     cache: Option<Arc<EmbedCache>>,
-    /// Latency of requests served entirely from the cache (they never
-    /// reach a shard dispatcher, so no per-shard histogram sees them);
-    /// merged into [`ShardedMetrics::embed`].
-    hit_latency: LatencyHistogram,
+    /// Latency of requests served entirely from the cache or from
+    /// coalesced fills (they never reach a shard dispatcher, so no
+    /// per-shard histogram sees them); merged into
+    /// [`ShardedMetrics::embed`]. Shared (`Arc`) so lazily-harvested
+    /// tickets can record into it.
+    hit_latency: Arc<LatencyHistogram>,
+    /// Front-end embed requests currently open (begin → resolve),
+    /// blocking calls and un-harvested tickets alike.
+    inflight: Arc<Gauge>,
     /// Set by [`ShardedEngine::shutdown`] so the front end rejects new
     /// requests even when the shared cache could satisfy them.
     stopped: AtomicBool,
     /// `boundaries[s]..boundaries[s + 1]` is shard `s`'s global row
     /// band (the PART1D cut).
     boundaries: Vec<usize>,
-    /// Cumulative gather progress per shard: time from fan-out start
-    /// until shard `s`'s rows were merged. The gather collects in shard
-    /// order, so entry `s` includes waiting on shards before it — it
-    /// traces response assembly, not per-shard compute (use
-    /// [`ShardedMetrics::per_shard`]'s own embed histograms for
+    /// Gather progress per shard: time from fan-out start until shard
+    /// `s`'s rows were merged into the response. Tickets gather lazily,
+    /// so this traces response assembly from the caller's perspective
+    /// (harvest order and idle time included), not per-shard compute
+    /// (use [`ShardedMetrics::per_shard`]'s own embed histograms for
     /// straggler isolation).
-    fanout: HistogramVec,
+    fanout: Arc<HistogramVec>,
     /// Plans keyed by [`PlanTag`] `{ shard, epoch }`. Lives as long as
     /// the engine so epoch-keyed entries (result caching, per-epoch
     /// specializations — see ROADMAP) have a durable home; with today's
@@ -135,12 +142,13 @@ impl ShardedEngine {
                 )
             })
             .collect();
-        let fanout = HistogramVec::new(shards.len());
+        let fanout = Arc::new(HistogramVec::new(shards.len()));
         ShardedEngine {
             store,
             shards,
             cache,
-            hit_latency: LatencyHistogram::new(),
+            hit_latency: Arc::new(LatencyHistogram::new()),
+            inflight: Arc::new(Gauge::new()),
             stopped: AtomicBool::new(false),
             boundaries: part.boundaries().to_vec(),
             fanout,
@@ -196,12 +204,28 @@ impl ShardedEngine {
     /// global ids): one output row per requested node, in request
     /// order, every row computed from the **same** feature epoch —
     /// pinned once here, before the fan-out, so a concurrent publish
-    /// can never tear a response across shards.
+    /// can never tear a response across shards. Implemented as
+    /// [`ShardedEngine::embed_begin`] followed by [`Ticket::wait`], so
+    /// blocking and ticketed serving are the same code path.
     ///
     /// With the shared result cache enabled ([`EngineConfig::cache`]),
     /// valid rows are served from memory first and only the misses fan
     /// out to their owning band engines — bit-identical either way.
     pub fn embed(&self, nodes: &[usize]) -> Result<Dense, ServeError> {
+        self.embed_begin(nodes)?.wait()
+    }
+
+    /// Begin an embedding request without blocking: one feature epoch
+    /// is pinned here, the per-shard pieces are enqueued on their
+    /// owning band engines immediately (their dispatchers work
+    /// concurrently), and the returned [`Ticket`] gathers lazily — the
+    /// first `poll`/`wait` starts collecting rows, and the completing
+    /// call assembles the response in request order.
+    ///
+    /// With the shared cache enabled, hits resolve here, and misses
+    /// another in-flight request is already computing coalesce onto it
+    /// instead of fanning out — whichever shard owns them.
+    pub fn embed_begin(&self, nodes: &[usize]) -> Result<Ticket<Dense>, ServeError> {
         // Match the single engine's post-shutdown contract: even a
         // would-be full cache hit is refused once shut down.
         if self.stopped.load(Ordering::Acquire) {
@@ -209,68 +233,93 @@ impl ShardedEngine {
         }
         self.check_nodes(nodes)?;
         if nodes.is_empty() {
-            return Ok(Dense::zeros(0, self.dimension()));
+            return Ok(Ticket::ready(Ok(Dense::zeros(0, self.dimension()))));
         }
-        let epoch = self.store.snapshot();
-        let Some(cache) = &self.cache else {
-            let (union_nodes, union_rows) = self.gather_union(nodes, &epoch)?;
-            return Ok(scatter_rows(&union_nodes, &union_rows, nodes));
-        };
-        cache.serve(nodes, epoch.epoch(), &self.hit_latency, |misses| {
-            let (union_nodes, union_rows) = self.gather_union(misses, &epoch)?;
-            debug_assert_eq!(
-                union_nodes, misses,
-                "bands tile the id space, so the gathered union is the sorted miss list"
-            );
-            Ok(union_rows)
-        })
-    }
-
-    /// Scatter `targets` to their owning band engines under one pinned
-    /// epoch and gather the computed rows: returns the globally sorted,
-    /// deduplicated union of `targets` and one output row per union
-    /// entry.
-    fn gather_union(
-        &self,
-        targets: &[usize],
-        epoch: &Arc<FeatureEpoch>,
-    ) -> Result<(Vec<usize>, Dense), ServeError> {
-        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for &u in targets {
-            per_shard[self.owner(u)].push(u);
-        }
-        // Enqueue on every involved shard first — their dispatchers
-        // work concurrently — then collect.
         let t0 = Instant::now();
-        let mut inflight = Vec::new();
-        for (s, list) in per_shard.iter().enumerate() {
-            if list.is_empty() {
-                continue;
+        let epoch = self.store.snapshot();
+        let guard = self.inflight.acquire();
+        let mut out = Dense::zeros(nodes.len(), self.dimension());
+        // Sorted, deduplicated nodes still to compute, with the output
+        // positions they owe, and any coalesced waiters.
+        let (to_compute, positions, waiters, mut owners) = match &self.cache {
+            Some(cache) => {
+                let (misses, positions) = cache.split(nodes, epoch.epoch(), &mut out);
+                if misses.is_empty() {
+                    self.hit_latency.record(t0.elapsed());
+                    return Ok(Ticket::ready(Ok(out)));
+                }
+                let mut owned = Vec::new();
+                let mut owners = Vec::new();
+                let mut waiters = Vec::new();
+                for &u in &misses {
+                    match cache.route_miss(u, epoch.epoch()) {
+                        MissRoute::Owner(owner) => {
+                            owned.push(u);
+                            owners.push(owner);
+                        }
+                        MissRoute::Waiter(waiter) => waiters.push(WaiterSlot::new(u, waiter)),
+                        // A fill landed between the lookup miss and
+                        // the routing call: the row is already in hand.
+                        MissRoute::Resident(row) => {
+                            waiters.push(WaiterSlot::resolved(u, row));
+                        }
+                    }
+                }
+                (owned, positions, waiters, owners)
             }
-            let union = dedup_union([list.as_slice()]);
-            let rx = self.shards[s].enqueue_pinned(&union, Arc::clone(epoch))?;
-            inflight.push((s, union, rx));
+            None => {
+                let union = dedup_union([nodes]);
+                (union, (0..nodes.len()).collect(), Vec::new(), Vec::<InflightOwner>::new())
+            }
+        };
+        // Scatter the compute set to its owning band engines. The
+        // input is globally sorted and bands are contiguous ascending
+        // row ranges, so each per-shard list is itself a sorted union.
+        let mut per_shard: Vec<(Vec<usize>, Vec<InflightOwner>)> =
+            (0..self.shards.len()).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut owners = owners.drain(..);
+        for &u in &to_compute {
+            let (shard_nodes, shard_owners) = &mut per_shard[self.owner(u)];
+            shard_nodes.push(u);
+            if let Some(owner) = owners.next() {
+                debug_assert_eq!(owner.node(), u, "owners align with the compute set");
+                shard_owners.push(owner);
+            }
         }
-        // Bands are contiguous and ascending, so concatenating the
-        // per-shard sorted unions yields a globally sorted union.
-        let d = self.dimension();
-        let mut union_nodes = Vec::new();
+        // Build every per-shard FillSet before enqueueing anything: if
+        // one enqueue loses a race with shutdown, dropping the
+        // remaining sets aborts their registrations (waiters fail
+        // instead of hanging), while already-enqueued sets resolve
+        // through their dispatchers.
+        let pending: Vec<(usize, Vec<usize>, Option<FillSet>)> = per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (shard_nodes, _))| !shard_nodes.is_empty())
+            .map(|(s, (shard_nodes, shard_owners))| {
+                let fills =
+                    self.cache.as_ref().map(|cache| FillSet::new(Arc::clone(cache), shard_owners));
+                (s, shard_nodes, fills)
+            })
+            .collect();
         let mut parts = Vec::new();
-        for (s, union, rx) in inflight {
-            let rows = rx.recv().map_err(|_| ServeError::EngineShutdown)?;
-            self.fanout.record(s, t0.elapsed());
-            union_nodes.extend(union);
-            parts.push(rows);
+        // An enqueue losing a race with shutdown drops the remaining
+        // FillSets (aborting their registrations); sets already
+        // enqueued resolve through their shard dispatchers.
+        for (s, shard_nodes, fills) in pending {
+            let rx = self.shards[s].enqueue_pinned(&shard_nodes, Arc::clone(&epoch), fills)?;
+            parts.push(Part::new(shard_nodes, s, rx));
         }
-        let mut union_rows = Dense::zeros(union_nodes.len(), d);
-        let mut at = 0;
-        for part in parts {
-            for i in 0..part.nrows() {
-                union_rows.row_mut(at).copy_from_slice(part.row(i));
-                at += 1;
-            }
-        }
-        Ok((union_nodes, union_rows))
+        let positions = positions.into_iter().map(|i| (i, nodes[i])).collect();
+        let finish_hist = parts.is_empty().then(|| Arc::clone(&self.hit_latency));
+        Ok(Ticket::pending(EmbedAssembly::assemble(
+            out,
+            parts,
+            waiters,
+            positions,
+            finish_hist,
+            Some(Arc::clone(&self.fanout)),
+            guard,
+        )))
     }
 
     /// Score candidate `(u, v)` edges (global ids), scattering each
@@ -355,6 +404,8 @@ impl ShardedEngine {
             embed: merged.snapshot(),
             fanout: (0..self.shards.len()).map(|s| self.fanout.snapshot(s)).collect(),
             per_shard: self.shards.iter().map(|e| e.metrics()).collect(),
+            inflight: self.inflight.value(),
+            inflight_peak: self.inflight.peak(),
             feature_epoch: self.store.current_epoch(),
             epoch_swaps: self.store.swap_count(),
             cache: self.cache.as_ref().map(|c| c.metrics()),
@@ -403,6 +454,11 @@ pub struct ShardedMetrics {
     pub fanout: Vec<HistogramSnapshot>,
     /// Each shard engine's own metrics, in band order.
     pub per_shard: Vec<EngineMetrics>,
+    /// Front-end embed requests currently open (begin → resolve):
+    /// blocking calls plus every un-harvested [`Ticket`].
+    pub inflight: u64,
+    /// Deepest front-end in-flight window ever held.
+    pub inflight_peak: u64,
     /// The feature epoch currently served.
     pub feature_epoch: u64,
     /// Completed feature-store swaps.
@@ -415,10 +471,12 @@ impl std::fmt::Display for ShardedMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} shards, epoch {} ({} swaps), merged embed: {}",
+            "{} shards, epoch {} ({} swaps), in-flight {} (peak {}), merged embed: {}",
             self.per_shard.len(),
             self.feature_epoch,
             self.epoch_swaps,
+            self.inflight,
+            self.inflight_peak,
             self.embed
         )?;
         if let Some(cache) = &self.cache {

@@ -1,0 +1,469 @@
+//! Completion tokens for the non-blocking serving API.
+//!
+//! [`Engine::embed_begin`](crate::Engine::embed_begin) and
+//! [`ShardedEngine::embed_begin`](crate::ShardedEngine::embed_begin)
+//! return a [`Ticket`] instead of blocking: the caller can launch N
+//! requests, do other work, and harvest completions with
+//! [`Ticket::poll`] (non-blocking), [`Ticket::wait`] (blocking), or
+//! [`Ticket::wait_deadline`] (bounded blocking). There is no executor
+//! and no extra thread — a ticket is the existing mpsc/condvar
+//! machinery lifted into an object: the dispatcher (or, for a
+//! coalesced miss, the owning request's dispatcher) pushes the rows
+//! into per-ticket channels, and harvesting just drains them. Shard
+//! tickets gather lazily: `embed_begin` fans the request out to every
+//! involved band engine immediately, but nothing blocks until the
+//! first `poll`/`wait`.
+//!
+//! The blocking `embed` calls are implemented as
+//! `embed_begin(..)?.wait()`, so ticketed and blocking serving are the
+//! same code path — bit-identical by construction.
+
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use fusedmm_cache::RowWaiter;
+use fusedmm_perf::gauge::GaugeGuard;
+use fusedmm_perf::hist::{HistogramVec, LatencyHistogram};
+use fusedmm_sparse::dense::Dense;
+
+use crate::engine::ServeError;
+
+/// A completion token for one in-flight serving request. Obtained from
+/// `embed_begin`; resolves exactly once (the result is moved out by
+/// the call that completes it).
+///
+/// # Panics
+/// Every harvesting method panics when called again after one of them
+/// has already returned the result — a resolved ticket is spent.
+pub struct Ticket<T> {
+    state: State<T>,
+}
+
+enum State<T> {
+    Ready(Result<T, ServeError>),
+    Pending(Box<dyn Harvest<T> + Send>),
+    Taken,
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.state {
+            State::Ready(_) => "ready",
+            State::Pending(_) => "pending",
+            State::Taken => "taken",
+        };
+        f.debug_struct("Ticket").field("state", &state).finish()
+    }
+}
+
+impl<T> Ticket<T> {
+    /// A ticket already resolved at creation (full cache hit, empty
+    /// request).
+    pub(crate) fn ready(result: Result<T, ServeError>) -> Self {
+        Ticket { state: State::Ready(result) }
+    }
+
+    /// A ticket that harvests `job` on demand.
+    pub(crate) fn pending(job: impl Harvest<T> + Send + 'static) -> Self {
+        Ticket { state: State::Pending(Box::new(job)) }
+    }
+
+    /// Non-blocking harvest: `Some(result)` once every piece of the
+    /// response has arrived (the ticket is then spent), `None` while
+    /// still in flight. Partial progress is kept across calls, so a
+    /// poll loop over many tickets does no repeated work.
+    pub fn poll(&mut self) -> Option<Result<T, ServeError>> {
+        match &mut self.state {
+            State::Ready(_) => {
+                let State::Ready(r) = std::mem::replace(&mut self.state, State::Taken) else {
+                    unreachable!()
+                };
+                Some(r)
+            }
+            State::Pending(job) => match job.try_harvest() {
+                Some(r) => {
+                    self.state = State::Taken;
+                    Some(r)
+                }
+                None => None,
+            },
+            State::Taken => panic!("ticket already harvested"),
+        }
+    }
+
+    /// Block until the response is complete and return it.
+    pub fn wait(mut self) -> Result<T, ServeError> {
+        match std::mem::replace(&mut self.state, State::Taken) {
+            State::Ready(r) => r,
+            State::Pending(mut job) => job.harvest(),
+            State::Taken => panic!("ticket already harvested"),
+        }
+    }
+
+    /// Block until the response is complete or `deadline` passes:
+    /// `Some(result)` on completion (the ticket is then spent), `None`
+    /// on timeout — the ticket stays live and keeps any partial
+    /// progress, so the caller can keep polling or extend the
+    /// deadline.
+    pub fn wait_deadline(&mut self, deadline: Instant) -> Option<Result<T, ServeError>> {
+        match &mut self.state {
+            State::Ready(_) => self.poll(),
+            State::Pending(job) => match job.harvest_deadline(deadline) {
+                Some(r) => {
+                    self.state = State::Taken;
+                    Some(r)
+                }
+                None => None,
+            },
+            State::Taken => panic!("ticket already harvested"),
+        }
+    }
+
+    /// True while the result has not been taken yet (ready or still in
+    /// flight).
+    pub fn is_live(&self) -> bool {
+        !matches!(self.state, State::Taken)
+    }
+}
+
+/// The harvesting strategy behind a pending [`Ticket`].
+pub(crate) trait Harvest<T> {
+    /// Advance without blocking; `Some` when complete.
+    fn try_harvest(&mut self) -> Option<Result<T, ServeError>>;
+    /// Block to completion.
+    fn harvest(&mut self) -> Result<T, ServeError>;
+    /// Block until complete or `deadline`; `None` on timeout.
+    fn harvest_deadline(&mut self, deadline: Instant) -> Option<Result<T, ServeError>>;
+}
+
+/// One dispatched sub-request: the dispatcher will send one row per
+/// entry of `union`, in that order.
+pub(crate) struct Part {
+    /// Sorted, deduplicated nodes this part computes.
+    union: Vec<usize>,
+    /// Member index in the fan-out histogram (the shard id).
+    tag: usize,
+    rx: mpsc::Receiver<Dense>,
+    rows: Option<Dense>,
+}
+
+impl Part {
+    pub(crate) fn new(union: Vec<usize>, tag: usize, rx: mpsc::Receiver<Dense>) -> Part {
+        Part { union, tag, rx, rows: None }
+    }
+}
+
+/// One miss served without a dispatch from this request: either a
+/// coalesced miss (another request's computation will back-fill the
+/// row for `node`) or a row that was already resolved at begin time (a
+/// concurrent fill landed between lookup and routing).
+pub(crate) struct WaiterSlot {
+    node: usize,
+    /// `None` when the slot was resolved at construction.
+    waiter: Option<RowWaiter>,
+    row: Option<Box<[f32]>>,
+}
+
+impl WaiterSlot {
+    pub(crate) fn new(node: usize, waiter: RowWaiter) -> WaiterSlot {
+        WaiterSlot { node, waiter: Some(waiter), row: None }
+    }
+
+    /// A slot whose row is already known (a `MissRoute::Resident`).
+    pub(crate) fn resolved(node: usize, row: Box<[f32]>) -> WaiterSlot {
+        WaiterSlot { node, waiter: None, row: Some(row) }
+    }
+
+    fn pending(&self) -> Option<&RowWaiter> {
+        match &self.row {
+            Some(_) => None,
+            None => Some(self.waiter.as_ref().expect("unresolved slot has a waiter")),
+        }
+    }
+}
+
+/// The embed-request harvest shared by the single and the sharded
+/// engine: hit rows are pre-filled into `out`, dispatched parts and
+/// coalesced waiters stream in, and the first call that finds
+/// everything present assembles the response in request order.
+pub(crate) struct EmbedAssembly {
+    /// Pre-filled output; taken by the completing call.
+    out: Option<Dense>,
+    /// When set, the single part's `Dense` *is* the whole response
+    /// (the dispatcher already scattered it to request order).
+    whole: bool,
+    parts: Vec<Part>,
+    waiters: Vec<WaiterSlot>,
+    /// `(output row, node)` pairs to fill from parts/waiters.
+    positions: Vec<(usize, usize)>,
+    /// Records begin→completion when no dispatcher saw this request
+    /// (fully coalesced) — keeps one histogram observation per
+    /// request.
+    finish_hist: Option<Arc<LatencyHistogram>>,
+    /// Gather-progress histogram (sharded front end): member
+    /// `parts[i].tag` records when that part's rows arrive.
+    fanout: Option<Arc<HistogramVec>>,
+    begun: Instant,
+    /// Holds one unit of the engine's in-flight gauge until the ticket
+    /// resolves or is dropped.
+    _inflight: GaugeGuard,
+}
+
+impl EmbedAssembly {
+    /// The uncached single-engine shape: the dispatcher's response is
+    /// the final one.
+    pub(crate) fn direct(nodes: Vec<usize>, rx: mpsc::Receiver<Dense>, guard: GaugeGuard) -> Self {
+        EmbedAssembly {
+            out: Some(Dense::zeros(0, 0)),
+            whole: true,
+            parts: vec![Part::new(nodes, 0, rx)],
+            waiters: Vec::new(),
+            positions: Vec::new(),
+            finish_hist: None,
+            fanout: None,
+            begun: Instant::now(),
+            _inflight: guard,
+        }
+    }
+
+    /// The assembling shape: `out` holds the hit rows, `positions`
+    /// name what parts and waiters still owe.
+    pub(crate) fn assemble(
+        out: Dense,
+        parts: Vec<Part>,
+        waiters: Vec<WaiterSlot>,
+        positions: Vec<(usize, usize)>,
+        finish_hist: Option<Arc<LatencyHistogram>>,
+        fanout: Option<Arc<HistogramVec>>,
+        guard: GaugeGuard,
+    ) -> Self {
+        EmbedAssembly {
+            out: Some(out),
+            whole: false,
+            parts,
+            waiters,
+            positions,
+            finish_hist,
+            fanout,
+            begun: Instant::now(),
+            _inflight: guard,
+        }
+    }
+
+    fn store_part(&mut self, i: usize, rows: Dense) {
+        if let Some(fanout) = &self.fanout {
+            fanout.record(self.parts[i].tag, self.begun.elapsed());
+        }
+        self.parts[i].rows = Some(rows);
+    }
+
+    /// Copy every outstanding row into `out` and finish. Only called
+    /// once all parts and waiters have resolved.
+    fn complete(&mut self) -> Result<Dense, ServeError> {
+        let mut out = self.out.take().expect("assembly completes once");
+        if self.whole {
+            out = self.parts[0].rows.take().expect("direct part resolved");
+        } else {
+            // One index over every owed row, then one pass over the
+            // positions — assembly stays linear even when a request
+            // fully coalesced into hundreds of waiter slots.
+            let mut by_node: std::collections::HashMap<usize, &[f32]> =
+                std::collections::HashMap::new();
+            for p in &self.parts {
+                let rows = p.rows.as_ref().expect("part resolved");
+                for (j, &u) in p.union.iter().enumerate() {
+                    by_node.insert(u, rows.row(j));
+                }
+            }
+            for w in &self.waiters {
+                by_node.insert(w.node, w.row.as_ref().expect("waiter resolved"));
+            }
+            for &(pos, node) in &self.positions {
+                let row =
+                    by_node.get(&node).expect("every miss position is owed by a part or a waiter");
+                out.row_mut(pos).copy_from_slice(row);
+            }
+        }
+        if let Some(hist) = &self.finish_hist {
+            hist.record(self.begun.elapsed());
+        }
+        Ok(out)
+    }
+}
+
+impl Harvest<Dense> for EmbedAssembly {
+    fn try_harvest(&mut self) -> Option<Result<Dense, ServeError>> {
+        let mut pending = false;
+        for i in 0..self.parts.len() {
+            if self.parts[i].rows.is_some() {
+                continue;
+            }
+            match self.parts[i].rx.try_recv() {
+                Ok(rows) => self.store_part(i, rows),
+                Err(mpsc::TryRecvError::Empty) => pending = true,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    return Some(Err(ServeError::EngineShutdown))
+                }
+            }
+        }
+        for w in &mut self.waiters {
+            let Some(waiter) = w.pending() else { continue };
+            match waiter.poll() {
+                Some(Ok(row)) => w.row = Some(row),
+                Some(Err(_)) => return Some(Err(ServeError::EngineShutdown)),
+                None => pending = true,
+            }
+        }
+        if pending {
+            return None;
+        }
+        Some(self.complete())
+    }
+
+    fn harvest(&mut self) -> Result<Dense, ServeError> {
+        for i in 0..self.parts.len() {
+            if self.parts[i].rows.is_some() {
+                continue;
+            }
+            match self.parts[i].rx.recv() {
+                Ok(rows) => self.store_part(i, rows),
+                Err(_) => return Err(ServeError::EngineShutdown),
+            }
+        }
+        for w in &mut self.waiters {
+            let Some(waiter) = w.pending() else { continue };
+            match waiter.wait() {
+                Ok(row) => w.row = Some(row),
+                Err(_) => return Err(ServeError::EngineShutdown),
+            }
+        }
+        self.complete()
+    }
+
+    fn harvest_deadline(&mut self, deadline: Instant) -> Option<Result<Dense, ServeError>> {
+        for i in 0..self.parts.len() {
+            if self.parts[i].rows.is_some() {
+                continue;
+            }
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match self.parts[i].rx.recv_timeout(timeout) {
+                Ok(rows) => self.store_part(i, rows),
+                Err(mpsc::RecvTimeoutError::Timeout) => return None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Some(Err(ServeError::EngineShutdown))
+                }
+            }
+        }
+        for w in &mut self.waiters {
+            let Some(waiter) = w.pending() else { continue };
+            match waiter.wait_deadline(deadline) {
+                Some(Ok(row)) => w.row = Some(row),
+                Some(Err(_)) => return Some(Err(ServeError::EngineShutdown)),
+                None => return None,
+            }
+        }
+        Some(self.complete())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedmm_perf::gauge::Gauge;
+
+    fn guard() -> (Arc<Gauge>, GaugeGuard) {
+        let g = Arc::new(Gauge::new());
+        let h = g.acquire();
+        (g, h)
+    }
+
+    #[test]
+    fn ready_ticket_resolves_immediately() {
+        let mut t = Ticket::ready(Ok(7usize));
+        assert!(t.is_live());
+        assert_eq!(t.poll(), Some(Ok(7)));
+        assert!(!t.is_live());
+    }
+
+    #[test]
+    #[should_panic(expected = "already harvested")]
+    fn double_harvest_panics() {
+        let mut t = Ticket::ready(Ok(1usize));
+        let _ = t.poll();
+        let _ = t.poll();
+    }
+
+    #[test]
+    fn direct_assembly_polls_then_completes() {
+        let (gauge, g) = guard();
+        let (tx, rx) = mpsc::channel();
+        let mut t = Ticket::pending(EmbedAssembly::direct(vec![0, 1], rx, g));
+        assert_eq!(t.poll(), None, "nothing sent yet");
+        assert_eq!(gauge.value(), 1);
+        let rows = Dense::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        tx.send(rows.clone()).unwrap();
+        assert_eq!(t.poll(), Some(Ok(rows)));
+        assert_eq!(gauge.value(), 0, "resolving releases the in-flight unit");
+    }
+
+    #[test]
+    fn dropped_ticket_releases_the_gauge() {
+        let (gauge, g) = guard();
+        let (_tx, rx) = mpsc::channel();
+        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, g));
+        assert_eq!(gauge.value(), 1);
+        drop(t);
+        assert_eq!(gauge.value(), 0);
+    }
+
+    #[test]
+    fn disconnected_dispatcher_is_a_shutdown_error() {
+        let (_gauge, g) = guard();
+        let (tx, rx) = mpsc::channel::<Dense>();
+        drop(tx);
+        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, g));
+        assert_eq!(t.wait(), Err(ServeError::EngineShutdown));
+    }
+
+    #[test]
+    fn wait_deadline_times_out_and_stays_live() {
+        let (_gauge, g) = guard();
+        let (tx, rx) = mpsc::channel();
+        let mut t = Ticket::pending(EmbedAssembly::direct(vec![3], rx, g));
+        let soon = Instant::now() + std::time::Duration::from_millis(5);
+        assert!(t.wait_deadline(soon).is_none());
+        assert!(t.is_live());
+        let rows = Dense::from_rows(1, 1, &[9.0]).unwrap();
+        tx.send(rows.clone()).unwrap();
+        let far = Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(t.wait_deadline(far), Some(Ok(rows)));
+    }
+
+    #[test]
+    fn assembly_scatters_parts_and_waiters_in_request_order() {
+        use fusedmm_cache::{CacheConfig, MissRoute, ResultCache};
+        let (_gauge, g) = guard();
+        // Request order: [8 (waiter), 2 (part), 8 (dup), 5 (hit)].
+        let mut out = Dense::zeros(4, 1);
+        out.row_mut(3).copy_from_slice(&[55.0]);
+        let cache = ResultCache::new(16, 1, CacheConfig::default());
+        let MissRoute::Owner(owner) = cache.route_miss(8, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w) = cache.route_miss(8, 0) else { panic!("waiter") };
+        let (tx, rx) = mpsc::channel();
+        let mut t = Ticket::pending(EmbedAssembly::assemble(
+            out,
+            vec![Part::new(vec![2], 0, rx)],
+            vec![WaiterSlot::new(8, w)],
+            vec![(0, 8), (1, 2), (2, 8)],
+            None,
+            None,
+            g,
+        ));
+        assert_eq!(t.poll(), None);
+        tx.send(Dense::from_rows(1, 1, &[22.0]).unwrap()).unwrap();
+        assert_eq!(t.poll(), None, "waiter still outstanding; part progress kept");
+        cache.fill(owner, &[88.0]);
+        let z = t.poll().expect("complete").expect("ok");
+        assert_eq!(z.as_slice(), &[88.0, 22.0, 88.0, 55.0]);
+    }
+}

@@ -12,7 +12,7 @@
 //! * [`Csr`] — the kernel input format, with O(1) row access;
 //! * [`Csc`] — column-compressed form, used for transpose-side access;
 //! * [`Dense`] — row-major dense matrices over 64-byte-aligned storage;
-//! * row slicing ([`slice`]) to extract the minibatch submatrices the
+//! * row slicing ([`mod@slice`]) to extract the minibatch submatrices the
 //!   paper's problem setting describes (a rectangular slice of the
 //!   adjacency matrix plus the matching rows of `X`);
 //! * Matrix Market / edge-list IO ([`io`]).

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use fusedmm_ops::{AOp, MOp, Mlp, OpSet, Pattern, ROp, SOp, SigmoidLut, VOp};
     pub use fusedmm_serve::{
         CacheConfig, CacheMetrics, Engine, EngineConfig, FeatureStore, ServeError, ShardedEngine,
-        ShardedMetrics,
+        ShardedMetrics, Ticket,
     };
     pub use fusedmm_sparse::coo::Dedup;
     pub use fusedmm_sparse::{Coo, Csc, Csr, Dense};

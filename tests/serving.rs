@@ -367,13 +367,32 @@ enum AnyEngine {
 
 impl AnyEngine {
     fn build(a: Csr, x: Dense, y: Dense, shards: usize, cache: Option<CacheConfig>) -> AnyEngine {
+        AnyEngine::build_with(
+            a,
+            x,
+            y,
+            shards,
+            cache,
+            OpSet::sigmoid_embedding(None),
+            Duration::ZERO,
+        )
+    }
+
+    fn build_with(
+        a: Csr,
+        x: Dense,
+        y: Dense,
+        shards: usize,
+        cache: Option<CacheConfig>,
+        ops: OpSet,
+        coalesce_window: Duration,
+    ) -> AnyEngine {
         let cfg = EngineConfig {
-            coalesce_window: Duration::ZERO,
+            coalesce_window,
             blocking: Some(Blocking::Auto),
             cache,
             ..EngineConfig::default()
         };
-        let ops = OpSet::sigmoid_embedding(None);
         if shards <= 1 {
             AnyEngine::Single(Engine::new(a, x, y, ops, cfg))
         } else {
@@ -388,6 +407,13 @@ impl AnyEngine {
         }
     }
 
+    fn embed_begin(&self, nodes: &[usize]) -> Ticket<Dense> {
+        match self {
+            AnyEngine::Single(e) => e.embed_begin(nodes).expect("embed_begin"),
+            AnyEngine::Sharded(e) => e.embed_begin(nodes).expect("sharded embed_begin"),
+        }
+    }
+
     fn score(&self, pairs: &[(usize, usize)]) -> Vec<f32> {
         match self {
             AnyEngine::Single(e) => e.score_edges(pairs).expect("score"),
@@ -399,6 +425,23 @@ impl AnyEngine {
         match self {
             AnyEngine::Single(e) => e.store(),
             AnyEngine::Sharded(e) => e.store(),
+        }
+    }
+
+    /// Rows the dispatcher(s) actually computed — for a sharded engine,
+    /// summed over the band engines (the front end dispatches nothing
+    /// itself).
+    fn rows_computed(&self) -> u64 {
+        match self {
+            AnyEngine::Single(e) => e.metrics().rows_computed,
+            AnyEngine::Sharded(e) => e.metrics().per_shard.iter().map(|m| m.rows_computed).sum(),
+        }
+    }
+
+    fn cache_metrics(&self) -> CacheMetrics {
+        match self {
+            AnyEngine::Single(e) => e.cache_metrics().expect("cache enabled"),
+            AnyEngine::Sharded(e) => e.cache_metrics().expect("cache enabled"),
         }
     }
 }
@@ -579,6 +622,292 @@ fn cached_responses_are_epoch_consistent_under_concurrent_writes() {
             m.flushes > 0 && m.invalidated_rows > 0,
             "writer interleaved both invalidation kinds (shards={shards})"
         );
+    }
+}
+
+/// The acceptance-criteria ticket-equivalence test: `embed_begin` +
+/// harvest (in any order, by any method) returns exactly what the
+/// blocking `embed` returns, for single and 1/2/4-shard engines, with
+/// and without the result cache.
+#[test]
+fn tickets_are_bit_identical_to_blocking_embed_across_topologies() {
+    let n = 120;
+    let d = 16;
+    let a = rmat(&RmatConfig::new(n, 5 * n).with_seed(33));
+    let x = random_features(n, d, 0.5, 31);
+    let y = random_features(n, d, 0.5, 32);
+    for shards in [1usize, 2, 4] {
+        for cache in [None, Some(CacheConfig::default())] {
+            let eng = AnyEngine::build(a.clone(), x.clone(), y.clone(), shards, cache);
+            let twin = AnyEngine::build(a.clone(), x.clone(), y.clone(), shards, None);
+            // Overlapping node sets spanning every band, duplicates
+            // included; launch the whole window before harvesting.
+            let requests: Vec<Vec<usize>> = (0..12)
+                .map(|r| (0..10).map(|i| (r * 13 + i * 7) % n).chain([0, n - 1]).collect())
+                .collect();
+            let mut tickets: Vec<Ticket<Dense>> =
+                requests.iter().map(|nodes| eng.embed_begin(nodes)).collect();
+            // Harvest out of order, alternating methods: reverse-order
+            // wait, poll loop, and deadline waits.
+            let mut results: Vec<Option<Dense>> = (0..tickets.len()).map(|_| None).collect();
+            for i in (8..12).rev() {
+                results[i] = Some(tickets.pop().unwrap().wait().expect("wait"));
+            }
+            for (i, mut t) in tickets.drain(..).enumerate() {
+                let z = if i % 2 == 0 {
+                    loop {
+                        if let Some(z) = t.poll() {
+                            break z.expect("poll");
+                        }
+                        std::thread::yield_now();
+                    }
+                } else {
+                    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                    t.wait_deadline(deadline).expect("deadline not reached").expect("harvest")
+                };
+                results[i] = Some(z);
+            }
+            for (nodes, z) in requests.iter().zip(&results) {
+                assert_eq!(
+                    z.as_ref().expect("harvested"),
+                    &twin.embed(nodes),
+                    "ticketed result diverged from blocking embed \
+                     (shards={shards}, cache={})",
+                    if cache.is_some() { "on" } else { "off" }
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance-criteria coalescing test: ≥2 concurrent misses on
+/// the same vertex register against one in-flight entry — exactly one
+/// row computation serves all three requests, bit-identically.
+#[test]
+fn coalesced_waiters_trigger_exactly_one_row_computation() {
+    let n = 30;
+    let d = 8;
+    let a = rmat(&RmatConfig::new(n, 4 * n).with_seed(17));
+    let x = random_features(n, d, 0.5, 41);
+    let y = random_features(n, d, 0.5, 42);
+    let ops = OpSet::sigmoid_embedding(None);
+    let reference = fusedmm_reference(&a, &x, &y, &ops);
+    for shards in [1usize, 3] {
+        // A long coalesce window holds the dispatcher's batch open, so
+        // the second and third tickets are guaranteed to find node 7
+        // still in flight (routing happens at begin time, before any
+        // fill can land).
+        let eng = AnyEngine::build_with(
+            a.clone(),
+            x.clone(),
+            y.clone(),
+            shards,
+            Some(CacheConfig::default()),
+            ops.clone(),
+            Duration::from_millis(150),
+        );
+        let t1 = eng.embed_begin(&[7]);
+        let t2 = eng.embed_begin(&[7]);
+        let t3 = eng.embed_begin(&[7]);
+        let (z1, z2, z3) = (t1.wait().unwrap(), t2.wait().unwrap(), t3.wait().unwrap());
+        assert_eq!(z1, z2, "coalesced fill must be bit-identical (shards={shards})");
+        assert_eq!(z1, z3);
+        for k in 0..d {
+            assert!(
+                (z1.get(0, k) - reference.get(7, k)).abs() < 1e-5,
+                "lane {k} diverges from the reference (shards={shards})"
+            );
+        }
+        assert_eq!(
+            eng.rows_computed(),
+            1,
+            "exactly one enqueue computed the row (shards={shards})"
+        );
+        let m = eng.cache_metrics();
+        assert_eq!(m.misses, 3, "all three requests missed (shards={shards})");
+        assert_eq!(m.coalesced_misses, 2, "two waiters coalesced (shards={shards})");
+        assert_eq!(m.inserts, 1, "the single fill was admitted once (shards={shards})");
+        assert_eq!(m.inflight_rows, 0, "registration resolved (shards={shards})");
+    }
+}
+
+/// Ticketed readers under hammering publishes: every harvested
+/// response reflects exactly one epoch (never torn), and the epochs a
+/// reader's tickets pin are monotone in *begin* order even when the
+/// window is harvested in reverse.
+#[test]
+fn ticket_windows_pin_monotonic_untorn_epochs_under_publishes() {
+    for shards in [1usize, 3] {
+        let n = 90;
+        let d = 8;
+        let publishes = 30usize;
+        let (a, feats, cfg) = ring_fixture(n, d);
+        let eng = AnyEngine::build_with(
+            a,
+            feats.clone(),
+            feats,
+            shards,
+            None,
+            OpSet::gcn(),
+            cfg.coalesce_window,
+        );
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let eng = &eng;
+            let done = &done;
+            s.spawn(move || {
+                for e in 0..publishes {
+                    let c = (e + 2) as f32;
+                    eng.store().publish(Dense::filled(n, d, c), Dense::filled(n, d, c));
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                done.store(true, Ordering::Release);
+            });
+            for t in 0..4usize {
+                s.spawn(move || {
+                    let mut last = 0.0f32;
+                    let mut round = 0usize;
+                    while !done.load(Ordering::Acquire) || round == 0 {
+                        // Launch a whole window before harvesting any
+                        // of it, then harvest in reverse order.
+                        let window: Vec<(usize, Ticket<Dense>)> = (0..6)
+                            .map(|w| {
+                                let nodes: Vec<usize> =
+                                    (0..8).map(|i| (t * 5 + w + i * 7 + round) % n).collect();
+                                (w, eng.embed_begin(&nodes))
+                            })
+                            .collect();
+                        let mut epochs = [0.0f32; 6];
+                        for (w, ticket) in window.into_iter().rev() {
+                            let z = ticket.wait().expect("ticket during publishes");
+                            epochs[w] = assert_single_epoch(
+                                &z,
+                                (publishes + 1) as f32,
+                                &format!("reader {t} round {round} window {w} shards {shards}"),
+                            );
+                        }
+                        // Begin order pinned the epochs, so they must
+                        // be monotone in that order — and never go
+                        // below what this reader already observed.
+                        for w in 0..6 {
+                            assert!(
+                                epochs[w] >= last,
+                                "reader {t} window {w}: epoch {} after {last} (shards={shards})",
+                                epochs[w]
+                            );
+                            last = epochs[w];
+                        }
+                        round += 1;
+                    }
+                });
+            }
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance-criteria coalescing property: under sequential
+    /// interleavings of `publish`, `delta_update`, `embed_begin` on
+    /// overlapping hot sets, and out-of-order harvests, (a) every
+    /// ticket resolves bit-identically to an uncached blocking engine
+    /// driven through the identical write sequence, and (b) each
+    /// coalesced vertex is computed **exactly once per validity
+    /// window**: the cached engine's dispatched row count equals the
+    /// model's count of (vertex, epoch-window) first-misses.
+    #[test]
+    fn coalesced_misses_compute_exactly_once_per_epoch(
+        shards_pick in 0usize..3,
+        script in proptest::collection::vec((0usize..8, 0u64..10_000), 6..24),
+    ) {
+        let n = 24;
+        let d = 4;
+        let shards = [1usize, 2, 4][shards_pick];
+        // Ring graph under GCN: z_u = y_{u+1}, and a delta patching v
+        // invalidates exactly {v, v-1} — a touch set the model below
+        // can mirror.
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let feats = Dense::from_fn(n, d, |r, k| (r * d + k) as f32);
+        let plain = AnyEngine::build_with(
+            a.clone(), feats.clone(), feats.clone(), shards, None,
+            OpSet::gcn(), Duration::ZERO,
+        );
+        // A budget far above n rows, so eviction never perturbs the
+        // exactly-once model.
+        let cached = AnyEngine::build_with(
+            a, feats.clone(), feats, shards,
+            Some(CacheConfig::default()), OpSet::gcn(), Duration::ZERO,
+        );
+        // Model: `covered[u]` is true while some computation of row u
+        // (resident or still in flight) is valid at the current epoch.
+        // A begin on an uncovered vertex is the one that computes it.
+        let mut covered = vec![false; n];
+        let mut expected_computes = 0u64;
+        let mut open: Vec<(Ticket<Dense>, Dense)> = Vec::new();
+        for &(op, s) in &script {
+            match op {
+                // Publish: everything invalid.
+                0 => {
+                    let v = (s % 97) as f32 + 1.0;
+                    plain.store().publish(Dense::filled(n, d, v), Dense::filled(n, d, v));
+                    cached.store().publish(Dense::filled(n, d, v), Dense::filled(n, d, v));
+                    covered.iter_mut().for_each(|c| *c = false);
+                }
+                // Delta: rows and their ring in-neighbors invalid.
+                1 => {
+                    let mut rows: Vec<usize> = (0..1 + (s as usize % 3))
+                        .map(|i| (s as usize + i * 5) % n)
+                        .collect();
+                    rows.sort_unstable();
+                    rows.dedup();
+                    let patch = Dense::filled(rows.len(), d, -((s % 53) as f32) - 1.0);
+                    plain.store().delta_update(&rows, &patch, &patch);
+                    cached.store().delta_update(&rows, &patch, &patch);
+                    for &r in &rows {
+                        covered[r] = false;
+                        covered[(r + n - 1) % n] = false;
+                    }
+                }
+                // Harvest one open ticket (reads below dominate).
+                2 => {
+                    if let Some((ticket, expected)) = open.pop() {
+                        prop_assert_eq!(ticket.wait().unwrap(), expected,
+                            "early harvest diverged (shards={})", shards);
+                    }
+                }
+                // Begin a ticket on an overlapping hot subset.
+                _ => {
+                    let base = (s as usize % 5) * 3;
+                    let nodes: Vec<usize> =
+                        (0..8).map(|i| (base + i * 2) % n).collect();
+                    // The uncached twin, driven through the identical
+                    // writes, fixes the expected bits at begin time.
+                    let expected = plain.embed(&nodes);
+                    let mut unique = nodes.clone();
+                    unique.sort_unstable();
+                    unique.dedup();
+                    for &u in &unique {
+                        if !covered[u] {
+                            covered[u] = true;
+                            expected_computes += 1;
+                        }
+                    }
+                    open.push((cached.embed_begin(&nodes), expected));
+                }
+            }
+        }
+        for (ticket, expected) in open {
+            prop_assert_eq!(ticket.wait().unwrap(), expected,
+                "late harvest diverged (shards={})", shards);
+        }
+        prop_assert_eq!(cached.rows_computed(), expected_computes,
+            "every coalesced vertex computed exactly once per validity window \
+             (shards={})", shards);
     }
 }
 

@@ -161,7 +161,7 @@ mod tests {
         let mut rng = TestRng::for_case(0);
         for _ in 0..50 {
             let v = s.sample(&mut rng);
-            assert!(v >= 10 && v < 50 && v % 10 == 0);
+            assert!((10..50).contains(&v) && v % 10 == 0);
         }
     }
 

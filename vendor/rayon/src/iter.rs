@@ -2,7 +2,7 @@
 //! `par_chunks(_mut)` on slices, `zip`, and `for_each`.
 //!
 //! Items are materialized into a `Vec`, split into
-//! [`current_num_threads`](crate::current_num_threads) contiguous
+//! [`current_num_threads`](crate::current_num_threads()) contiguous
 //! groups, and each group is processed by one scoped thread — the same
 //! static 1D decomposition the FusedMM drivers use, which is exactly
 //! what the STREAM bandwidth probe needs.

@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn mutable_borrows_can_be_split_across_tasks() {
-        let mut data = vec![0u32; 10];
+        let mut data = [0u32; 10];
         let (a, b) = data.split_at_mut(5);
         scope(|s| {
             s.spawn(move |_| a.fill(1));
