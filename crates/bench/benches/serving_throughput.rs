@@ -20,14 +20,19 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fusedmm_bench::report::{JsonReport, Table};
+use fusedmm_bench::report::{run_meta, JsonReport, Table};
 use fusedmm_bench::workloads::{env_usize, ZipfSampler};
+use fusedmm_core::kernel_profiles;
 use fusedmm_graph::features::random_features;
 use fusedmm_graph::rmat::{rmat, RmatConfig};
 use fusedmm_ops::OpSet;
-use fusedmm_serve::{CacheConfig, Engine, EngineConfig, ShardedEngine, Ticket};
+use fusedmm_perf::flops::flops_per_edge;
+use fusedmm_perf::roofline::arithmetic_intensity;
+use fusedmm_perf::stream::stream_triad;
+use fusedmm_serve::{CacheConfig, Engine, EngineConfig, ShardedEngine, Ticket, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
@@ -404,6 +409,110 @@ fn inflight_sweep(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: us
     table
 }
 
+/// Overhead guard: the same closed-loop workload with tracing disabled
+/// vs sampled on (1 request in 64), interleaved twice per mode with
+/// best-of taken, so telemetry cannot silently tax the serving hot
+/// path. Asserts the sampled p50 stays within 5% of the disabled p50
+/// (plus 50 us absolute slack for smoke-scale noise).
+fn telemetry_overhead(a: &Csr, feats: &Dense, n: usize, clients: usize, requests: usize) -> Table {
+    let batch = 16;
+    let run = |tracer: Arc<Tracer>| {
+        let engine = Engine::new(
+            a.clone(),
+            feats.clone(),
+            feats.clone(),
+            OpSet::sigmoid_embedding(None),
+            EngineConfig { tracer: Some(tracer), ..config() },
+        );
+        let elapsed = drive_clients(clients, requests, batch, n, |nodes| {
+            engine.embed(nodes).expect("overhead embed")
+        });
+        let m = engine.metrics();
+        (m.embed.p50.as_secs_f64() * 1e6, (clients * requests) as f64 / elapsed)
+    };
+    // Warm up the plan cache and allocator outside the measurement.
+    let _ = run(Tracer::disabled());
+    let mut off = (f64::INFINITY, 0f64);
+    let mut on = (f64::INFINITY, 0f64);
+    for _ in 0..2 {
+        let r = run(Tracer::disabled());
+        if r.0 < off.0 {
+            off = r;
+        }
+        let r = run(Tracer::new(1.0 / 64.0, 4096));
+        if r.0 < on.0 {
+            on = r;
+        }
+    }
+    let regression = (on.0 - off.0) / off.0 * 100.0;
+    let mut table = Table::new(&["Tracing", "req/s", "p50 (us)", "p50 regression"]);
+    table.row(vec!["off".into(), format!("{:.0}", off.1), format!("{:.0}", off.0), "-".into()]);
+    table.row(vec![
+        "1/64 sampled".into(),
+        format!("{:.0}", on.1),
+        format!("{:.0}", on.0),
+        format!("{regression:+.1}%"),
+    ]);
+    table.print();
+    let slack = off.0 * 0.05 + 50.0;
+    assert!(
+        on.0 <= off.0 + slack,
+        "sampled tracing regressed embed p50 by {regression:.1}% ({:.0} us -> {:.0} us), \
+         beyond the 5% + 50 us guard",
+        off.0,
+        on.0,
+    );
+    println!("\nGuard: sampled tracing held the p50 within 5% (+50 us slack) of tracing-off.\n");
+    table
+}
+
+/// Achieved vs roofline GFLOP/s per kernel shape the dispatcher
+/// launched anywhere in this process — the per-`(op, d, backend,
+/// blocking)` accounting recorded by `core::dispatch`. The roof is
+/// `STREAM bandwidth x AI(d, delta)` (paper Eq. 4) with `delta` taken
+/// per shape from its accumulated edges/rows.
+fn kernel_roofline() -> Table {
+    let bw = stream_triad(8 << 20, 3).gbytes_per_sec;
+    println!("STREAM triad bandwidth: {bw:.1} GB/s\n");
+    let mut table = Table::new(&[
+        "op",
+        "d",
+        "backend",
+        "blocking",
+        "launches",
+        "rows",
+        "avg deg",
+        "GFLOP/s",
+        "roofline",
+        "efficiency",
+    ]);
+    for p in kernel_profiles() {
+        let secs = p.elapsed.as_secs_f64();
+        if p.rows == 0 || p.edges == 0 || secs <= 0.0 {
+            continue;
+        }
+        let avg_degree = p.edges as f64 / p.rows as f64;
+        let gflops = p.edges as f64 * flops_per_edge(p.pattern, p.d) as f64 / secs / 1e9;
+        let roof = bw * arithmetic_intensity(p.d, avg_degree);
+        table.row(vec![
+            p.pattern.name().to_string(),
+            p.d.to_string(),
+            p.backend.label().to_string(),
+            p.blocking.to_string(),
+            p.calls.to_string(),
+            p.rows.to_string(),
+            format!("{avg_degree:.1}"),
+            format!("{gflops:.2}"),
+            format!("{roof:.2}"),
+            format!("{:.0}%", gflops / roof * 100.0),
+        ]);
+    }
+    table.print();
+    println!("\nShape to verify: every shape sits under its bandwidth-bound roof; serving");
+    println!("launches (small row subsets, latency-bound) land well below the batch roof.");
+    table
+}
+
 fn main() {
     let n = env_usize("FUSEDMM_SERVE_N", 20_000);
     let d = env_usize("FUSEDMM_SERVE_D", 64);
@@ -419,6 +528,11 @@ fn main() {
     );
 
     let mut report = JsonReport::new();
+
+    let meta = run_meta();
+    meta.print();
+    println!();
+    report.section("meta", &meta);
 
     println!("== batch-size sweep (single engine) ==");
     report.section("batch_size", &batch_size_sweep(&a, &feats, n, clients, requests_per_client));
@@ -437,6 +551,15 @@ fn main() {
 
     println!("\n== open-loop ticketed serving: in-flight depth x shards x cache (batch 16) ==");
     report.section("inflight", &inflight_sweep(&a, &feats, n, clients, requests_per_client));
+
+    println!("\n== telemetry overhead guard (batch 16) ==");
+    report.section(
+        "telemetry_overhead",
+        &telemetry_overhead(&a, &feats, n, clients, requests_per_client),
+    );
+
+    println!("\n== kernel shapes: achieved vs roofline ==");
+    report.section("kernel_roofline", &kernel_roofline());
 
     if let Some(path) = JsonReport::env_path() {
         report.write(&path).expect("write FUSEDMM_BENCH_JSON report");

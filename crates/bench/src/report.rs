@@ -2,6 +2,43 @@
 
 use crate::methods::CellResult;
 
+/// One-row table identifying a benchmark run: git commit, CPU
+/// architecture and detected ISA features, the SIMD backend the
+/// process executes, and the rayon pool width. Benches prepend it as a
+/// `meta` section of their [`JsonReport`] so artifacts uploaded by CI
+/// are comparable across commits and machines.
+pub fn run_meta() -> Table {
+    let sha = std::env::var("GITHUB_SHA")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short=12", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    let cpu = fusedmm_core::cpu_features();
+    let features = cpu
+        .detected
+        .iter()
+        .map(|(name, present)| format!("{name}={}", if *present { "yes" } else { "no" }))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut table = Table::new(&["git", "arch", "features", "backend", "threads"]);
+    table.row(vec![
+        sha,
+        cpu.arch.to_string(),
+        if features.is_empty() { "-".into() } else { features },
+        format!("{}{}", cpu.backend, if cpu.forced_scalar { " (forced)" } else { "" }),
+        rayon::current_num_threads().to_string(),
+    ]);
+    table
+}
+
 /// Format one table cell: seconds with three decimals, or the paper's
 /// `×` for out-of-memory entries.
 pub fn fmt_cell(r: &CellResult) -> String {

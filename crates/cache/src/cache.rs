@@ -470,6 +470,7 @@ impl ResultCache {
                 let row = e.data.clone();
                 drop(seg);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.late_hits.fetch_add(1, Ordering::Relaxed);
                 return MissRoute::Resident(row);
             }
         }

@@ -14,6 +14,12 @@ pub struct CacheStats {
     pub hits: AtomicU64,
     /// Lookups that missed (absent or stale entry).
     pub misses: AtomicU64,
+    /// The subset of `hits` served by the route-miss re-probe: a fill
+    /// landed between a lookup's miss and its routing call, so the row
+    /// was both a miss (at lookup) and a hit (at routing). Reconciles
+    /// the counters exactly: `hits - late_hits + misses` equals the
+    /// rows looked up.
+    pub late_hits: AtomicU64,
     /// Rows written into the cache.
     pub inserts: AtomicU64,
     /// Rows retired by CLOCK eviction under budget pressure.
@@ -41,16 +47,21 @@ pub struct CacheStats {
 impl CacheStats {
     /// Point-in-time summary.
     pub fn snapshot(&self) -> CacheMetrics {
+        // One consistent (current, peak) pair — two separate loads
+        // could interleave with a registration and report peak <
+        // current.
+        let inflight = self.inflight.snapshot();
         CacheMetrics {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            late_hits: self.late_hits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidated_rows: self.invalidated_rows.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             coalesced_misses: self.coalesced_misses.load(Ordering::Relaxed),
-            inflight_rows: self.inflight.value(),
-            inflight_peak_rows: self.inflight.peak(),
+            inflight_rows: inflight.current,
+            inflight_peak_rows: inflight.peak,
             bytes: self.bytes.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
             hit_ratio: self.hit_ratio.snapshot(),
@@ -66,6 +77,10 @@ pub struct CacheMetrics {
     pub hits: u64,
     /// Row lookups that had to be computed.
     pub misses: u64,
+    /// Hits served by the route-miss re-probe (the row's miss was
+    /// already counted at lookup): `hits - late_hits + misses` equals
+    /// rows looked up.
+    pub late_hits: u64,
     /// Rows written into the cache.
     pub inserts: u64,
     /// Rows retired by CLOCK eviction.

@@ -63,6 +63,18 @@ enum Level {
     Dyn,
 }
 
+impl Level {
+    /// The `blocking` label the kernel profile table reports (the
+    /// unspecialized path reports `generic` without resolving a level).
+    fn label(self) -> &'static str {
+        match self {
+            Level::Const => "const",
+            Level::Strip => "strip",
+            Level::Dyn => "dyn",
+        }
+    }
+}
+
 fn resolve_level(blocking: Blocking, d: usize) -> Level {
     match blocking {
         Blocking::RegisterBlocked => Level::Const,
@@ -138,16 +150,26 @@ pub fn fusedmm_opt_with(
     strategy: PartitionStrategy,
 ) -> Dense {
     validate_shapes(a, x, y);
-    if blocking == Blocking::Generic {
-        return fusedmm_generic_opts(a, x, y, ops, partitions, strategy);
-    }
-    let Some(spec) = specialize(ops) else {
-        return fusedmm_generic_opts(a, x, y, ops, partitions, strategy);
+    let spec = if blocking == Blocking::Generic { None } else { specialize(ops) };
+    let Some(spec) = spec else {
+        let t0 = std::time::Instant::now();
+        let z = fusedmm_generic_opts(a, x, y, ops, partitions, strategy);
+        crate::profile::record_kernel(
+            ops.pattern,
+            x.ncols(),
+            active_backend(),
+            "generic",
+            t0.elapsed(),
+            a.nrows(),
+            a.nnz(),
+        );
+        return z;
     };
     let d = x.ncols();
     let level = resolve_level(blocking, d);
     let backend = active_backend();
     let mut z = Dense::zeros(a.nrows(), d);
+    let t0 = std::time::Instant::now();
 
     match spec {
         Specialized::Embed(sk) => {
@@ -227,6 +249,15 @@ pub fn fusedmm_opt_with(
             });
         }
     }
+    crate::profile::record_kernel(
+        ops.pattern,
+        d,
+        backend,
+        level.label(),
+        t0.elapsed(),
+        a.nrows(),
+        a.nnz(),
+    );
     z
 }
 

@@ -60,6 +60,7 @@ pub mod generic;
 pub mod genkern;
 pub mod part;
 pub mod plan;
+pub mod profile;
 pub mod rows;
 pub mod simd;
 
@@ -68,6 +69,7 @@ pub use dispatch::{fusedmm_opt, fusedmm_opt_with, specialize, Blocking, Speciali
 pub use generic::{fusedmm_generic, fusedmm_generic_opts, fusedmm_reference};
 pub use part::{Partition, PartitionStrategy};
 pub use plan::{Plan, PlanCache, PlanTag};
+pub use profile::{kernel_profiles, reset_kernel_profiles, KernelProfile};
 pub use rows::{fusedmm_rows, fusedmm_rows_banded, fusedmm_rows_with};
 pub use simd::{active_backend, cpu_features, Backend, CpuFeatures};
 

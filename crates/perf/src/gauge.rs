@@ -49,6 +49,26 @@ impl Gauge {
         self.peak.load(Ordering::Relaxed)
     }
 
+    /// A consistent `(current, peak)` pair. Two separate
+    /// [`Gauge::value`] / [`Gauge::peak`] loads can interleave with a
+    /// concurrent [`Gauge::inc`] between them and report `peak <
+    /// current`; the snapshot clamps the invariant back
+    /// (`peak >= current` always holds in the returned pair).
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        let current = self.current.load(Ordering::Relaxed);
+        let peak = self.peak.load(Ordering::Relaxed).max(current);
+        GaugeSnapshot { current, peak }
+    }
+
+    /// Restart the high-water mark from the current value — the knob a
+    /// per-interval exporter uses to report peak-per-window instead of
+    /// peak-ever. Increments racing the reset may be absorbed into the
+    /// new window; the `peak >= current` invariant is restored by the
+    /// next [`Gauge::inc`] or [`Gauge::snapshot`].
+    pub fn reset_peak(&self) {
+        self.peak.store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Increment, returning a guard that decrements when dropped. The
     /// gauge must be shared (`Arc`) so the guard can outlive the
     /// borrow that created it — exactly the shape a completion token
@@ -57,6 +77,16 @@ impl Gauge {
         self.inc();
         GaugeGuard { gauge: Arc::clone(self) }
     }
+}
+
+/// A consistent point-in-time view of a [`Gauge`], produced by
+/// [`Gauge::snapshot`]: `peak >= current` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// The gauge's value at snapshot time.
+    pub current: u64,
+    /// The high-water mark (never below `current`).
+    pub peak: u64,
 }
 
 /// RAII handle holding one unit of a shared [`Gauge`]; dropping it
@@ -106,6 +136,48 @@ mod tests {
         assert_eq!(g.value(), 1);
         drop(b);
         assert_eq!((g.value(), g.peak()), (0, 2));
+    }
+
+    #[test]
+    fn snapshot_is_consistent_and_reset_restarts_the_window() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        let s = g.snapshot();
+        assert_eq!((s.current, s.peak), (2, 3));
+        g.reset_peak();
+        assert_eq!(g.peak(), 2, "window restarts from the current value");
+        g.dec();
+        g.inc();
+        g.inc();
+        let s = g.snapshot();
+        assert_eq!((s.current, s.peak), (3, 3), "new highs tracked after reset");
+    }
+
+    #[test]
+    fn snapshot_never_reports_peak_below_current() {
+        // Hammer inc/dec on one thread while another snapshots; every
+        // observed pair must satisfy the invariant even though the two
+        // fields are separate atomics.
+        let g = Arc::new(Gauge::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let writer = Arc::clone(&g);
+            let done = Arc::clone(&stop);
+            s.spawn(move || {
+                for _ in 0..200_000 {
+                    writer.inc();
+                    writer.dec();
+                }
+                done.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = g.snapshot();
+                assert!(snap.peak >= snap.current, "{snap:?}");
+            }
+        });
     }
 
     #[test]

@@ -120,13 +120,11 @@ impl LatencyHistogram {
     /// Consistent point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
-        let mean = self
-            .total_nanos
-            .load(Ordering::Relaxed)
-            .checked_div(count)
-            .map_or(Duration::ZERO, Duration::from_nanos);
+        let total_nanos = self.total_nanos.load(Ordering::Relaxed);
+        let mean = total_nanos.checked_div(count).map_or(Duration::ZERO, Duration::from_nanos);
         HistogramSnapshot {
             count,
+            total: Duration::from_nanos(total_nanos),
             mean,
             p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
             p90: self.quantile(0.90).unwrap_or(Duration::ZERO),
@@ -312,6 +310,9 @@ impl std::fmt::Display for RatioSnapshot {
 pub struct HistogramSnapshot {
     /// Observations recorded.
     pub count: u64,
+    /// Exact sum of all observations (the Prometheus `_sum` series;
+    /// `mean` is this divided by `count`, truncated to nanoseconds).
+    pub total: Duration,
     /// Arithmetic mean latency.
     pub mean: Duration,
     /// Median latency.
@@ -392,7 +393,9 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(Duration::from_micros(10));
         h.record(Duration::from_micros(30));
-        assert_eq!(h.snapshot().mean, Duration::from_micros(20));
+        let s = h.snapshot();
+        assert_eq!(s.mean, Duration::from_micros(20));
+        assert_eq!(s.total, Duration::from_micros(40), "sum is exact, not mean*count");
     }
 
     #[test]

@@ -15,18 +15,27 @@
 //! * [`hist`] — a lock-free log-bucketed latency histogram (p50/p99 and
 //!   throughput for the serving engine);
 //! * [`gauge`] — a concurrent up/down counter with a high-water mark
-//!   (in-flight request accounting for the non-blocking serving path).
+//!   (in-flight request accounting for the non-blocking serving path);
+//! * [`registry`] — a pull-model [`MetricsRegistry`] that enumerates
+//!   every engine/shard/cache/kernel metric as labeled samples and
+//!   exports Prometheus text format and JSON;
+//! * [`trace`] — sampled request-lifecycle tracing into per-thread
+//!   lock-free span rings, dumpable as chrome://tracing JSON.
 
 pub mod flops;
 pub mod gauge;
 pub mod hist;
 pub mod memtrack;
+pub mod registry;
 pub mod roofline;
 pub mod stream;
 pub mod timer;
+pub mod trace;
 
-pub use gauge::{Gauge, GaugeGuard};
+pub use gauge::{Gauge, GaugeGuard, GaugeSnapshot};
 pub use hist::{HistogramSnapshot, HistogramVec, LatencyHistogram, RatioHistogram, RatioSnapshot};
 pub use memtrack::CountingAllocator;
+pub use registry::{parse_prometheus, MetricValue, MetricsRegistry, MetricsSnapshot, Sample};
 pub use roofline::{arithmetic_intensity, attainable_gflops};
 pub use timer::{time_iterations, TimingStats};
+pub use trace::{SpanCtx, SpanKind, SpanRecord, Tracer};

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use std::sync::{mpsc, Arc, Condvar};
 use std::time::{Duration, Instant};
 
+use fusedmm_perf::trace::SpanCtx;
 use fusedmm_sparse::dense::Dense;
 
 use crate::cache::FillSet;
@@ -31,6 +32,12 @@ pub(crate) struct Pending {
     /// coalesced-waiter back-fill — as soon as the rows are computed,
     /// before completing the caller.
     pub fills: Option<FillSet>,
+    /// The request's enqueue-span context when it was sampled for
+    /// tracing: the dispatcher parents its batch/kernel/cache-fill
+    /// spans under it (recorded per sampled request, so each owns a
+    /// complete tree). `None` for unsampled requests — every span site
+    /// downstream short-circuits.
+    pub trace: Option<SpanCtx>,
     /// Enqueue time, for end-to-end latency accounting.
     pub enqueued: Instant,
 }
@@ -165,7 +172,7 @@ mod tests {
     }
 
     fn pending(nodes: Vec<usize>, epoch: Arc<FeatureEpoch>, tx: mpsc::Sender<Dense>) -> Pending {
-        Pending { nodes, epoch, tx, fills: None, enqueued: Instant::now() }
+        Pending { nodes, epoch, tx, fills: None, trace: None, enqueued: Instant::now() }
     }
 
     #[test]

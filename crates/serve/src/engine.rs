@@ -20,14 +20,19 @@ use fusedmm_core::{Blocking, Plan};
 use fusedmm_ops::OpSet;
 use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{HistogramSnapshot, LatencyHistogram};
+use fusedmm_perf::registry::{MetricsRegistry, Sample};
+use fusedmm_perf::trace::{SpanCtx, SpanKind, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
 use crate::batcher::{dedup_union, group_by_epoch, scatter_rows, BatchQueue, Pending};
 use crate::cache::{EmbedCache, FillSet};
+use crate::observe::{apply_labels, push_cache_samples};
 use crate::score::score_edges_banded;
 use crate::store::{FeatureEpoch, FeatureStore};
-use crate::ticket::{EmbedAssembly, Part, Ticket, WaiterSlot};
+use crate::ticket::{
+    Completion, EmbedAssembly, Part, RequestStats, Ticket, TraceHandle, WaiterSlot,
+};
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -48,6 +53,12 @@ pub struct EngineConfig {
     /// only their dependency touch set. See the README's "Result
     /// caching" section for the semantics.
     pub cache: Option<CacheConfig>,
+    /// Request-lifecycle tracer. `None` (the default) uses the
+    /// process-wide [`Tracer::global`], whose sample rate comes from
+    /// the `FUSEDMM_TRACE` environment variable (unset = tracing off).
+    /// Tests inject an explicit tracer here to avoid environment
+    /// coupling.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +68,7 @@ impl Default for EngineConfig {
             coalesce_window: Duration::from_micros(50),
             blocking: None,
             cache: None,
+            tracer: None,
         }
     }
 }
@@ -89,6 +101,17 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Identity of an engine within a (possibly sharded) deployment:
+/// where its row band starts, and which shard slot it fills.
+pub(crate) struct BandId {
+    /// Global vertex id of local CSR row 0 (0 for a whole-graph
+    /// engine).
+    pub start: usize,
+    /// Shard index within a sharded front end (`None` for a standalone
+    /// engine) — the `shard` tag on this engine's spans.
+    pub shard: Option<usize>,
+}
+
 struct EngineShared {
     /// The adjacency rows this engine owns — the whole matrix, or one
     /// PART1D row band of it under local row indexing.
@@ -96,6 +119,9 @@ struct EngineShared {
     /// Global vertex id of local CSR row 0 (0 for a whole-graph
     /// engine).
     band_start: usize,
+    /// Shard index within a sharded front end (`None` standalone);
+    /// labels this engine's spans.
+    shard: Option<usize>,
     /// Feature source, shared with writers (and sibling shards).
     store: Arc<FeatureStore>,
     /// Result cache for this engine's output rows (whole-graph engines
@@ -116,6 +142,13 @@ struct EngineShared {
     batches_dispatched: AtomicU64,
     rows_requested: AtomicU64,
     rows_computed: AtomicU64,
+    /// Request reconciliation: begun == harvested + abandoned once
+    /// every ticket has resolved.
+    stats: Arc<RequestStats>,
+    /// Request-lifecycle span recorder (possibly disabled); shared by
+    /// a sharded front end and its band engines so span ids and
+    /// timestamps are consistent across one request's tree.
+    tracer: Arc<Tracer>,
     started: Instant,
     stopped: AtomicBool,
 }
@@ -179,24 +212,25 @@ impl Engine {
             store.subscribe(Arc::clone(&cache) as _);
             cache
         });
-        Engine::for_band(a, 0, store, cache, ops, plan, config)
+        Engine::for_band(a, BandId { start: 0, shard: None }, store, cache, ops, plan, config)
     }
 
     /// Construct an engine over one PART1D row band: `a` holds global
-    /// rows `band_start..band_start + a.nrows()` under local indices,
+    /// rows `band.start..band.start + a.nrows()` under local indices,
     /// the store stays global. Used by
     /// [`ShardedEngine`](crate::ShardedEngine); the plan is supplied by
     /// the caller (shards share a tagged
     /// [`PlanCache`](fusedmm_core::PlanCache)).
     pub(crate) fn for_band(
         a: Csr,
-        band_start: usize,
+        band: BandId,
         store: Arc<FeatureStore>,
         cache: Option<Arc<EmbedCache>>,
         ops: OpSet,
         plan: Plan,
         config: EngineConfig,
     ) -> Engine {
+        let band_start = band.start;
         assert!(
             store.x_rows() >= band_start + a.nrows(),
             "store X ({} rows) must cover the band ending at {}",
@@ -208,9 +242,11 @@ impl Engine {
             cache.is_none() || band_start == 0,
             "band engines are uncached; the sharded front end owns the shared cache"
         );
+        let tracer = config.tracer.clone().unwrap_or_else(|| Arc::clone(Tracer::global()));
         let shared = Arc::new(EngineShared {
             a,
             band_start,
+            shard: band.shard,
             store,
             cache,
             ops,
@@ -223,6 +259,8 @@ impl Engine {
             batches_dispatched: AtomicU64::new(0),
             rows_requested: AtomicU64::new(0),
             rows_computed: AtomicU64::new(0),
+            stats: Arc::new(RequestStats::default()),
+            tracer,
             started: Instant::now(),
             stopped: AtomicBool::new(false),
         });
@@ -312,23 +350,55 @@ impl Engine {
             return Err(ServeError::EngineShutdown);
         }
         if nodes.is_empty() {
+            self.shared.stats.ready();
             return Ok(Ticket::ready(Ok(Dense::zeros(0, self.dimension()))));
         }
         self.check_nodes(nodes.iter().copied())?;
         let t0 = Instant::now();
+        let tracer = &self.shared.tracer;
+        let root = tracer.sample_root();
+        let begin_ns = if root.is_some() { tracer.now() } else { 0 };
+        let trace_handle =
+            |root: SpanCtx| TraceHandle { tracer: Arc::clone(tracer), root, begin_ns };
         let epoch = self.shared.store.snapshot();
         let guard = self.shared.inflight.acquire();
         let Some(cache) = &self.shared.cache else {
-            let rx = self.enqueue_pinned(nodes, epoch, None)?;
-            return Ok(Ticket::pending(EmbedAssembly::direct(nodes.to_vec(), rx, guard)));
+            let rx = self.enqueue_pinned(nodes, epoch, None, root)?;
+            self.shared.stats.begin();
+            let completion = Completion {
+                hist: None,
+                stats: Some(Arc::clone(&self.shared.stats)),
+                trace: root.map(trace_handle),
+            };
+            return Ok(Ticket::pending(EmbedAssembly::direct(
+                nodes.to_vec(),
+                rx,
+                completion,
+                guard,
+            )));
         };
         // Cache path: serve hits from memory, route each miss — the
         // first miss in a validity window owns the computation (and
         // goes through the micro-batcher), concurrent misses on the
         // same vertex coalesce onto the in-flight row.
         let mut out = Dense::zeros(nodes.len(), self.dimension());
+        let route_start = if root.is_some() { tracer.now() } else { 0 };
         let (misses, positions) = cache.split(nodes, epoch.epoch(), &mut out);
         if misses.is_empty() {
+            if let Some(r) = root {
+                let now = tracer.now();
+                let route = tracer.child(r);
+                tracer.record(
+                    route,
+                    SpanKind::CacheRoute,
+                    route_start,
+                    now,
+                    self.shared.shard,
+                    nodes.len() as u64,
+                );
+                tracer.record(r, SpanKind::Embed, begin_ns, now, None, nodes.len() as u64);
+            }
+            self.shared.stats.ready();
             self.shared.embed_latency.record(t0.elapsed());
             return Ok(Ticket::ready(Ok(out)));
         }
@@ -347,13 +417,24 @@ impl Engine {
                 MissRoute::Resident(row) => waiters.push(WaiterSlot::resolved(u, row)),
             }
         }
+        if let Some(r) = root {
+            let route = tracer.child(r);
+            tracer.record(
+                route,
+                SpanKind::CacheRoute,
+                route_start,
+                tracer.now(),
+                self.shared.shard,
+                nodes.len() as u64,
+            );
+        }
         let mut parts = Vec::new();
         if !owned.is_empty() {
             // The FillSet rides the queue; if the enqueue loses a race
             // with shutdown its Drop aborts the registrations, so
             // coalesced waiters fail instead of hanging.
             let fills = FillSet::new(Arc::clone(cache), owners);
-            let rx = self.enqueue_pinned(&owned, Arc::clone(&epoch), Some(fills))?;
+            let rx = self.enqueue_pinned(&owned, Arc::clone(&epoch), Some(fills), root)?;
             parts.push(Part::new(owned, 0, rx));
         }
         let positions = positions.into_iter().map(|i| (i, nodes[i])).collect();
@@ -361,14 +442,14 @@ impl Engine {
         // record its completion here to keep one histogram observation
         // per request.
         let finish_hist = parts.is_empty().then(|| Arc::clone(&self.shared.embed_latency));
+        self.shared.stats.begin();
+        let completion = Completion {
+            hist: finish_hist,
+            stats: Some(Arc::clone(&self.shared.stats)),
+            trace: root.map(trace_handle),
+        };
         Ok(Ticket::pending(EmbedAssembly::assemble(
-            out,
-            parts,
-            waiters,
-            positions,
-            finish_hist,
-            None,
-            guard,
+            out, parts, waiters, positions, completion, None, guard,
         )))
     }
 
@@ -379,26 +460,47 @@ impl Engine {
     /// [`ShardedEngine`](crate::ShardedEngine) uses this to fan one
     /// request (and one pinned epoch) out across every involved shard
     /// before collecting any result.
+    ///
+    /// `trace` is the sampled request's root span context: an
+    /// `Enqueue` child span is recorded here (tagged with this
+    /// engine's shard slot) and handed to the dispatcher as the parent
+    /// of the batch/kernel/cache-fill spans. The caller's tracer must
+    /// be this engine's tracer (a sharded front end shares one with
+    /// its bands).
     pub(crate) fn enqueue_pinned(
         &self,
         nodes: &[usize],
         epoch: Arc<FeatureEpoch>,
         fills: Option<FillSet>,
+        trace: Option<SpanCtx>,
     ) -> Result<mpsc::Receiver<Dense>, ServeError> {
         self.check_nodes(nodes.iter().copied())?;
         if self.shared.stopped.load(Ordering::Acquire) {
             return Err(ServeError::EngineShutdown);
         }
+        let tracer = &self.shared.tracer;
+        let span = trace.map(|parent| (tracer.child(parent), tracer.now()));
         let (tx, rx) = mpsc::channel();
         let accepted = self.shared.queue.push(Pending {
             nodes: nodes.to_vec(),
             epoch,
             tx,
             fills,
+            trace: span.map(|(ctx, _)| ctx),
             enqueued: Instant::now(),
         });
         if !accepted {
             return Err(ServeError::EngineShutdown);
+        }
+        if let Some((ctx, start)) = span {
+            tracer.record(
+                ctx,
+                SpanKind::Enqueue,
+                start,
+                tracer.now(),
+                self.shared.shard,
+                nodes.len() as u64,
+            );
         }
         Ok(rx)
     }
@@ -470,6 +572,8 @@ impl Engine {
     pub fn metrics(&self) -> EngineMetrics {
         let elapsed = self.shared.started.elapsed();
         let embed = self.shared.embed_latency.snapshot();
+        // One consistent (current, peak) pair — see Gauge::snapshot.
+        let inflight = self.shared.inflight.snapshot();
         EngineMetrics {
             uptime: elapsed,
             embed_requests_per_sec: embed.throughput(elapsed),
@@ -479,12 +583,76 @@ impl Engine {
             batches_dispatched: self.shared.batches_dispatched.load(Ordering::Relaxed),
             rows_requested: self.shared.rows_requested.load(Ordering::Relaxed),
             rows_computed: self.shared.rows_computed.load(Ordering::Relaxed),
-            inflight: self.shared.inflight.value(),
-            inflight_peak: self.shared.inflight.peak(),
+            requests_begun: self.shared.stats.begun.load(Ordering::Relaxed),
+            requests_harvested: self.shared.stats.harvested.load(Ordering::Relaxed),
+            requests_abandoned: self.shared.stats.abandoned.load(Ordering::Relaxed),
+            inflight: inflight.current,
+            inflight_peak: inflight.peak,
             feature_epoch: self.shared.store.current_epoch(),
             epoch_swaps: self.shared.store.swap_count(),
             cache: self.shared.cache.as_ref().map(|c| c.metrics()),
         }
+    }
+
+    /// Register this engine's metrics with `registry` as one collector
+    /// appending `fusedmm_*` samples, each tagged with `labels` (a
+    /// sharded front end passes `[("shard", "<i>")]`). The collector
+    /// captures the live atomics — every later
+    /// [`MetricsRegistry::snapshot`] sees current values.
+    pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        let shared = Arc::clone(&self.shared);
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        registry.register(move |out| {
+            let l = |s: Sample| apply_labels(s, &labels);
+            out.push(l(Sample::histogram(
+                "fusedmm_embed_latency_seconds",
+                shared.embed_latency.snapshot(),
+            )));
+            out.push(l(Sample::histogram(
+                "fusedmm_score_latency_seconds",
+                shared.score_latency.snapshot(),
+            )));
+            out.push(l(Sample::histogram(
+                "fusedmm_infer_latency_seconds",
+                shared.infer_latency.snapshot(),
+            )));
+            out.push(l(Sample::counter(
+                "fusedmm_batches_dispatched_total",
+                shared.batches_dispatched.load(Ordering::Relaxed),
+            )));
+            out.push(l(Sample::counter(
+                "fusedmm_rows_requested_total",
+                shared.rows_requested.load(Ordering::Relaxed),
+            )));
+            out.push(l(Sample::counter(
+                "fusedmm_rows_computed_total",
+                shared.rows_computed.load(Ordering::Relaxed),
+            )));
+            out.push(l(Sample::counter(
+                "fusedmm_requests_begun_total",
+                shared.stats.begun.load(Ordering::Relaxed),
+            )));
+            out.push(l(Sample::counter(
+                "fusedmm_requests_harvested_total",
+                shared.stats.harvested.load(Ordering::Relaxed),
+            )));
+            out.push(l(Sample::counter(
+                "fusedmm_requests_abandoned_total",
+                shared.stats.abandoned.load(Ordering::Relaxed),
+            )));
+            let inflight = shared.inflight.snapshot();
+            out.push(l(Sample::gauge("fusedmm_requests_inflight", inflight.current as f64)));
+            out.push(l(Sample::gauge("fusedmm_requests_inflight_peak", inflight.peak as f64)));
+            out.push(l(Sample::gauge(
+                "fusedmm_feature_epoch",
+                shared.store.current_epoch() as f64,
+            )));
+            out.push(l(Sample::counter("fusedmm_epoch_swaps_total", shared.store.swap_count())));
+            if let Some(cache) = &shared.cache {
+                push_cache_samples(out, &cache.metrics(), &labels);
+            }
+        });
     }
 
     /// The result cache's statistics, when one is enabled.
@@ -525,14 +693,22 @@ impl Drop for Engine {
 }
 
 fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
+    let tracer = &shared.tracer;
     while let Some(batch) = shared.queue.next_batch(config.coalesce_window, config.max_batch_rows) {
         // Requests pinned to different feature epochs must not share a
         // kernel launch; in the common (no mid-batch publish) case this
         // is one group and coalescing is unchanged.
         for group in group_by_epoch(batch) {
             let epoch = Arc::clone(&group[0].epoch);
+            // Batch/kernel timestamps are taken once per launch and
+            // recorded once per *sampled* request, so each sampled
+            // request owns a complete tree even when the batch
+            // coalesced many callers.
+            let sampled = group.iter().any(|p| p.trace.is_some());
+            let batch_start = if sampled { tracer.now() } else { 0 };
             let union = dedup_union(group.iter().map(|p| p.nodes.as_slice()));
             let rows_requested: usize = group.iter().map(|p| p.nodes.len()).sum();
+            let kernel_start = if sampled { tracer.now() } else { 0 };
             let union_rows = shared.plan.execute_rows_banded(
                 &shared.a,
                 shared.band_start,
@@ -541,6 +717,7 @@ fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
                 epoch.y(),
                 &shared.ops,
             );
+            let kernel_end = if sampled { tracer.now() } else { 0 };
             // Account before completing requests so a caller that
             // observes its own completion also observes the batch in
             // the metrics.
@@ -549,13 +726,47 @@ fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
             shared.rows_computed.fetch_add(union.len() as u64, Ordering::Relaxed);
             for request in group {
                 let out = scatter_rows(&union, &union_rows, &request.nodes);
+                let batch_ctx = request.trace.map(|parent| tracer.child(parent));
+                if let Some(ctx) = batch_ctx {
+                    let kernel = tracer.child(ctx);
+                    tracer.record(
+                        kernel,
+                        SpanKind::Kernel,
+                        kernel_start,
+                        kernel_end,
+                        shared.shard,
+                        union.len() as u64,
+                    );
+                }
                 // Resolve owned cache registrations first, so coalesced
                 // waiters complete as soon as the computation does —
                 // independent of when this caller harvests its ticket.
                 if let Some(fills) = request.fills {
+                    let fill_start = if batch_ctx.is_some() { tracer.now() } else { 0 };
                     fills.complete(&out);
+                    if let Some(ctx) = batch_ctx {
+                        let fill = tracer.child(ctx);
+                        tracer.record(
+                            fill,
+                            SpanKind::CacheFill,
+                            fill_start,
+                            tracer.now(),
+                            shared.shard,
+                            out.nrows() as u64,
+                        );
+                    }
                 }
                 shared.embed_latency.record(request.enqueued.elapsed());
+                if let Some(ctx) = batch_ctx {
+                    tracer.record(
+                        ctx,
+                        SpanKind::Batch,
+                        batch_start,
+                        tracer.now(),
+                        shared.shard,
+                        rows_requested as u64,
+                    );
+                }
                 // A disconnected receiver just means the caller gave up.
                 let _ = request.tx.send(out);
             }
@@ -583,6 +794,15 @@ pub struct EngineMetrics {
     /// Total rows actually computed after deduplication (≤ requested
     /// when concurrent requests overlap).
     pub rows_computed: u64,
+    /// Embed requests admitted (every `embed_begin` that returned
+    /// `Ok`, including requests resolved at creation).
+    pub requests_begun: u64,
+    /// Embed requests whose response was assembled and returned.
+    pub requests_harvested: u64,
+    /// Embed requests whose ticket was dropped unresolved (or died on
+    /// a shutdown). `begun == harvested + abandoned` once every ticket
+    /// has resolved.
+    pub requests_abandoned: u64,
     /// Embed requests currently open (begin → resolve): blocking calls
     /// plus every un-harvested [`Ticket`].
     pub inflight: u64,
@@ -605,11 +825,14 @@ impl std::fmt::Display for EngineMetrics {
         writeln!(f, "infer: {}", self.infer)?;
         write!(
             f,
-            "batches: {}  rows requested: {}  rows computed: {}  in-flight: {} (peak {})  \
-             epoch: {} ({} swaps)",
+            "batches: {}  rows requested: {}  rows computed: {}  requests: {} begun / {} \
+             harvested / {} abandoned  in-flight: {} (peak {})  epoch: {} ({} swaps)",
             self.batches_dispatched,
             self.rows_requested,
             self.rows_computed,
+            self.requests_begun,
+            self.requests_harvested,
+            self.requests_abandoned,
             self.inflight,
             self.inflight_peak,
             self.feature_epoch,

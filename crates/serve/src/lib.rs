@@ -53,7 +53,18 @@
 //! * latency accounting — every request records into
 //!   [`LatencyHistogram`](fusedmm_perf::LatencyHistogram)s, surfaced
 //!   as p50/p90/p99 and throughput by [`Engine::metrics`] (per-shard
-//!   and merged via [`ShardedEngine::metrics`]).
+//!   and merged via [`ShardedEngine::metrics`]);
+//! * observability ([`observe`]) — engines register every counter,
+//!   gauge, and histogram with a
+//!   [`MetricsRegistry`]
+//!   ([`Engine::register_metrics`] /
+//!   [`ShardedEngine::register_metrics`], plus
+//!   [`register_kernel_profiles`] for the dispatcher's per-shape
+//!   kernel accounting), exported as Prometheus text or JSON; sampled
+//!   requests additionally record a full lifecycle span tree (enqueue
+//!   → batch → kernel → cache fill → harvest) into a lock-free
+//!   [`Tracer`] (`FUSEDMM_TRACE=<rate>`),
+//!   dumpable as chrome://tracing JSON.
 //!
 //! # Quickstart
 //!
@@ -85,15 +96,21 @@
 pub mod batcher;
 pub mod cache;
 pub mod engine;
+pub mod observe;
 pub mod score;
 pub mod shard;
 pub mod store;
 pub mod ticket;
 
 pub use cache::EmbedCache;
+pub use observe::register_kernel_profiles;
 // The cache crate's config/metrics are part of this crate's public
 // surface (EngineConfig::cache, EngineMetrics::cache).
 pub use fusedmm_cache::{CacheConfig, CacheMetrics};
+// The perf crate's telemetry types are part of this crate's public
+// surface (register_metrics, EngineConfig::tracer).
+pub use fusedmm_perf::registry::{MetricsRegistry, MetricsSnapshot, Sample};
+pub use fusedmm_perf::trace::Tracer;
 
 pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
 pub use score::{score_edges, score_edges_banded};

@@ -29,14 +29,19 @@ use fusedmm_core::{Partition, PartitionStrategy, Plan, PlanCache, PlanTag};
 use fusedmm_ops::OpSet;
 use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{HistogramSnapshot, HistogramVec, LatencyHistogram};
+use fusedmm_perf::registry::{MetricsRegistry, Sample};
+use fusedmm_perf::trace::{SpanKind, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
 use crate::batcher::dedup_union;
 use crate::cache::{EmbedCache, FillSet};
-use crate::engine::{Engine, EngineConfig, EngineMetrics, ServeError};
+use crate::engine::{BandId, Engine, EngineConfig, EngineMetrics, ServeError};
+use crate::observe::push_cache_samples;
 use crate::store::FeatureStore;
-use crate::ticket::{EmbedAssembly, Part, Ticket, WaiterSlot};
+use crate::ticket::{
+    Completion, EmbedAssembly, Part, RequestStats, Ticket, TraceHandle, WaiterSlot,
+};
 
 /// A graph served by several PART1D band engines behind one front end.
 /// Shares the request API with [`Engine`] (`embed` / `score_edges` /
@@ -58,6 +63,17 @@ pub struct ShardedEngine {
     /// Front-end embed requests currently open (begin → resolve),
     /// blocking calls and un-harvested tickets alike.
     inflight: Arc<Gauge>,
+    /// Front-end request reconciliation: every admitted request is
+    /// `begun` and ends up `harvested` or `abandoned` — exactly once,
+    /// no matter how many shards it fanned out to (band engines never
+    /// see whole requests, only enqueued pieces, so their own
+    /// [`RequestStats`] stay zero under a front end).
+    stats: Arc<RequestStats>,
+    /// The tracer every request-lifecycle span records into. Shared
+    /// with all band engines (they get it through their
+    /// [`EngineConfig`]) so one sampled request's fan-out spans carry
+    /// consistent ids and timestamps.
+    tracer: Arc<Tracer>,
     /// Set by [`ShardedEngine::shutdown`] so the front end rejects new
     /// requests even when the shared cache could satisfy them.
     stopped: AtomicBool,
@@ -123,7 +139,12 @@ impl ShardedEngine {
             store.subscribe(Arc::clone(&cache) as _);
             cache
         });
-        let band_config = EngineConfig { cache: None, ..config.clone() };
+        // Resolve the tracer once so the front end and every band
+        // engine share one instance (consistent span ids/timestamps
+        // across a request's fan-out).
+        let tracer = config.tracer.clone().unwrap_or_else(|| Arc::clone(Tracer::global()));
+        let band_config =
+            EngineConfig { cache: None, tracer: Some(Arc::clone(&tracer)), ..config.clone() };
         let shards: Vec<Engine> = (0..part.len())
             .map(|s| {
                 let rows = part.rows(s);
@@ -133,7 +154,7 @@ impl ShardedEngine {
                 };
                 Engine::for_band(
                     a.row_band(rows.clone()),
-                    rows.start,
+                    BandId { start: rows.start, shard: Some(s) },
                     Arc::clone(&store),
                     None,
                     ops.clone(),
@@ -149,6 +170,8 @@ impl ShardedEngine {
             cache,
             hit_latency: Arc::new(LatencyHistogram::new()),
             inflight: Arc::new(Gauge::new()),
+            stats: Arc::new(RequestStats::default()),
+            tracer,
             stopped: AtomicBool::new(false),
             boundaries: part.boundaries().to_vec(),
             fanout,
@@ -233,9 +256,15 @@ impl ShardedEngine {
         }
         self.check_nodes(nodes)?;
         if nodes.is_empty() {
+            self.stats.ready();
             return Ok(Ticket::ready(Ok(Dense::zeros(0, self.dimension()))));
         }
         let t0 = Instant::now();
+        // One sampling decision per request; when sampled, every span
+        // of its fan-out (front-end route, per-shard enqueue / batch /
+        // kernel / fill, harvest) hangs off this root.
+        let root = self.tracer.sample_root();
+        let begin_ns = if root.is_some() { self.tracer.now() } else { 0 };
         let epoch = self.store.snapshot();
         let guard = self.inflight.acquire();
         let mut out = Dense::zeros(nodes.len(), self.dimension());
@@ -243,8 +272,30 @@ impl ShardedEngine {
         // positions they owe, and any coalesced waiters.
         let (to_compute, positions, waiters, mut owners) = match &self.cache {
             Some(cache) => {
+                let route_start = if root.is_some() { self.tracer.now() } else { 0 };
                 let (misses, positions) = cache.split(nodes, epoch.epoch(), &mut out);
                 if misses.is_empty() {
+                    if let Some(r) = root {
+                        let now = self.tracer.now();
+                        let route = self.tracer.child(r);
+                        self.tracer.record(
+                            route,
+                            SpanKind::CacheRoute,
+                            route_start,
+                            now,
+                            None,
+                            nodes.len() as u64,
+                        );
+                        self.tracer.record(
+                            r,
+                            SpanKind::Embed,
+                            begin_ns,
+                            now,
+                            None,
+                            nodes.len() as u64,
+                        );
+                    }
+                    self.stats.ready();
                     self.hit_latency.record(t0.elapsed());
                     return Ok(Ticket::ready(Ok(out)));
                 }
@@ -264,6 +315,17 @@ impl ShardedEngine {
                             waiters.push(WaiterSlot::resolved(u, row));
                         }
                     }
+                }
+                if let Some(r) = root {
+                    let route = self.tracer.child(r);
+                    self.tracer.record(
+                        route,
+                        SpanKind::CacheRoute,
+                        route_start,
+                        self.tracer.now(),
+                        None,
+                        nodes.len() as u64,
+                    );
                 }
                 (owned, positions, waiters, owners)
             }
@@ -306,17 +368,30 @@ impl ShardedEngine {
         // FillSets (aborting their registrations); sets already
         // enqueued resolve through their shard dispatchers.
         for (s, shard_nodes, fills) in pending {
-            let rx = self.shards[s].enqueue_pinned(&shard_nodes, Arc::clone(&epoch), fills)?;
+            let rx =
+                self.shards[s].enqueue_pinned(&shard_nodes, Arc::clone(&epoch), fills, root)?;
             parts.push(Part::new(shard_nodes, s, rx));
         }
         let positions = positions.into_iter().map(|i| (i, nodes[i])).collect();
+        // A fully coalesced request never reaches a shard dispatcher:
+        // record its completion into the front-end hit histogram.
         let finish_hist = parts.is_empty().then(|| Arc::clone(&self.hit_latency));
+        self.stats.begin();
+        let completion = Completion {
+            hist: finish_hist,
+            stats: Some(Arc::clone(&self.stats)),
+            trace: root.map(|r| TraceHandle {
+                tracer: Arc::clone(&self.tracer),
+                root: r,
+                begin_ns,
+            }),
+        };
         Ok(Ticket::pending(EmbedAssembly::assemble(
             out,
             parts,
             waiters,
             positions,
-            finish_hist,
+            completion,
             Some(Arc::clone(&self.fanout)),
             guard,
         )))
@@ -399,16 +474,74 @@ impl ShardedEngine {
             merged.absorb(shard.embed_latency());
         }
         merged.absorb(&self.hit_latency);
+        // One consistent (current, peak) pair — see Gauge::snapshot.
+        let inflight = self.inflight.snapshot();
         ShardedMetrics {
             uptime: self.started.elapsed(),
             embed: merged.snapshot(),
             fanout: (0..self.shards.len()).map(|s| self.fanout.snapshot(s)).collect(),
             per_shard: self.shards.iter().map(|e| e.metrics()).collect(),
-            inflight: self.inflight.value(),
-            inflight_peak: self.inflight.peak(),
+            requests_begun: self.stats.begun.load(Ordering::Relaxed),
+            requests_harvested: self.stats.harvested.load(Ordering::Relaxed),
+            requests_abandoned: self.stats.abandoned.load(Ordering::Relaxed),
+            inflight: inflight.current,
+            inflight_peak: inflight.peak,
             feature_epoch: self.store.current_epoch(),
             epoch_swaps: self.store.swap_count(),
             cache: self.cache.as_ref().map(|c| c.metrics()),
+        }
+    }
+
+    /// Register the front end and every band engine with `registry`.
+    ///
+    /// Front-end samples (request reconciliation, in-flight gauges, the
+    /// cache-hit latency histogram, per-shard fan-out histograms, the
+    /// shared cache) carry no `shard` label; each band engine registers
+    /// its own collector tagged `shard="<i>"`, so one
+    /// [`MetricsRegistry::snapshot`] enumerates the whole deployment.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        let stats = Arc::clone(&self.stats);
+        let inflight = Arc::clone(&self.inflight);
+        let hit_latency = Arc::clone(&self.hit_latency);
+        let fanout = Arc::clone(&self.fanout);
+        let cache = self.cache.clone();
+        let store = Arc::clone(&self.store);
+        let nshards = self.shards.len();
+        registry.register(move |out| {
+            out.push(Sample::histogram(
+                "fusedmm_frontend_hit_latency_seconds",
+                hit_latency.snapshot(),
+            ));
+            out.push(Sample::counter(
+                "fusedmm_requests_begun_total",
+                stats.begun.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "fusedmm_requests_harvested_total",
+                stats.harvested.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "fusedmm_requests_abandoned_total",
+                stats.abandoned.load(Ordering::Relaxed),
+            ));
+            let snap = inflight.snapshot();
+            out.push(Sample::gauge("fusedmm_requests_inflight", snap.current as f64));
+            out.push(Sample::gauge("fusedmm_requests_inflight_peak", snap.peak as f64));
+            out.push(Sample::gauge("fusedmm_feature_epoch", store.current_epoch() as f64));
+            out.push(Sample::counter("fusedmm_epoch_swaps_total", store.swap_count()));
+            for s in 0..nshards {
+                out.push(
+                    Sample::histogram("fusedmm_fanout_gather_seconds", fanout.snapshot(s))
+                        .label("shard", s.to_string()),
+                );
+            }
+            if let Some(cache) = &cache {
+                push_cache_samples(out, &cache.metrics(), &[]);
+            }
+        });
+        for (s, shard) in self.shards.iter().enumerate() {
+            let tag = s.to_string();
+            shard.register_metrics(registry, &[("shard", &tag)]);
         }
     }
 
@@ -454,6 +587,15 @@ pub struct ShardedMetrics {
     pub fanout: Vec<HistogramSnapshot>,
     /// Each shard engine's own metrics, in band order.
     pub per_shard: Vec<EngineMetrics>,
+    /// Front-end embed requests admitted (every `embed_begin` that
+    /// returned `Ok`, including requests resolved at creation).
+    pub requests_begun: u64,
+    /// Front-end embed requests whose response was assembled.
+    pub requests_harvested: u64,
+    /// Front-end embed requests whose ticket was dropped unresolved.
+    /// `requests_begun == requests_harvested + requests_abandoned`
+    /// once every ticket has resolved.
+    pub requests_abandoned: u64,
     /// Front-end embed requests currently open (begin → resolve):
     /// blocking calls plus every un-harvested [`Ticket`].
     pub inflight: u64,
@@ -471,10 +613,14 @@ impl std::fmt::Display for ShardedMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} shards, epoch {} ({} swaps), in-flight {} (peak {}), merged embed: {}",
+            "{} shards, epoch {} ({} swaps), requests {} begun / {} harvested / {} abandoned, \
+             in-flight {} (peak {}), merged embed: {}",
             self.per_shard.len(),
             self.feature_epoch,
             self.epoch_swaps,
+            self.requests_begun,
+            self.requests_harvested,
+            self.requests_abandoned,
             self.inflight,
             self.inflight_peak,
             self.embed

@@ -18,15 +18,73 @@
 //! `embed_begin(..)?.wait()`, so ticketed and blocking serving are the
 //! same code path — bit-identical by construction.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use fusedmm_cache::RowWaiter;
 use fusedmm_perf::gauge::GaugeGuard;
 use fusedmm_perf::hist::{HistogramVec, LatencyHistogram};
+use fusedmm_perf::trace::{SpanCtx, SpanKind, Tracer};
 use fusedmm_sparse::dense::Dense;
 
 use crate::engine::ServeError;
+
+/// Request-lifecycle reconciliation counters: every `embed_begin` that
+/// returns `Ok` counts one `begun`, and exactly one of `harvested`
+/// (the response was assembled and returned) or `abandoned` (the
+/// ticket was dropped unresolved, or died on an engine shutdown) —
+/// so `begun == harvested + abandoned` once every ticket has resolved.
+/// Tickets that are already resolved at creation (empty request, full
+/// cache hit) count `begun` and `harvested` immediately: their result
+/// is materialized at begin time.
+#[derive(Debug, Default)]
+pub(crate) struct RequestStats {
+    pub begun: AtomicU64,
+    pub harvested: AtomicU64,
+    pub abandoned: AtomicU64,
+}
+
+impl RequestStats {
+    pub fn begin(&self) {
+        self.begun.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn harvest(&self) {
+        self.harvested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A ticket resolved at creation: begun and harvested in one step.
+    pub fn ready(&self) {
+        self.begin();
+        self.harvest();
+    }
+}
+
+/// The sampled root span a ticket carries until it resolves: the
+/// completing harvest records the `Harvest` child and closes the root
+/// `Embed` span; an abandoned assembly still closes the root so every
+/// sampled request leaves a rooted tree.
+pub(crate) struct TraceHandle {
+    pub tracer: Arc<Tracer>,
+    pub root: SpanCtx,
+    /// `Tracer::now()` at `embed_begin` — the root span's start.
+    pub begin_ns: u64,
+}
+
+/// Everything recorded when an [`EmbedAssembly`] resolves (or is
+/// dropped unresolved). Bundled so the assembly constructors stay at a
+/// readable arity.
+#[derive(Default)]
+pub(crate) struct Completion {
+    /// Records begin→completion when no dispatcher saw this request
+    /// (fully coalesced) — keeps one histogram observation per request.
+    pub hist: Option<Arc<LatencyHistogram>>,
+    /// The owning engine's reconciliation counters.
+    pub stats: Option<Arc<RequestStats>>,
+    /// The sampled root span, when this request was admitted.
+    pub trace: Option<TraceHandle>,
+}
 
 /// A completion token for one in-flight serving request. Obtained from
 /// `embed_begin`; resolves exactly once (the result is moved out by
@@ -196,10 +254,12 @@ pub(crate) struct EmbedAssembly {
     waiters: Vec<WaiterSlot>,
     /// `(output row, node)` pairs to fill from parts/waiters.
     positions: Vec<(usize, usize)>,
-    /// Records begin→completion when no dispatcher saw this request
-    /// (fully coalesced) — keeps one histogram observation per
-    /// request.
-    finish_hist: Option<Arc<LatencyHistogram>>,
+    /// Recorded when the assembly resolves: completion histogram,
+    /// reconciliation counters, and the sampled root span.
+    completion: Completion,
+    /// `Tracer::now()` at the start of the harvest call currently in
+    /// progress — the `Harvest` span's start when that call completes.
+    harvest_start_ns: u64,
     /// Gather-progress histogram (sharded front end): member
     /// `parts[i].tag` records when that part's rows arrive.
     fanout: Option<Arc<HistogramVec>>,
@@ -212,14 +272,20 @@ pub(crate) struct EmbedAssembly {
 impl EmbedAssembly {
     /// The uncached single-engine shape: the dispatcher's response is
     /// the final one.
-    pub(crate) fn direct(nodes: Vec<usize>, rx: mpsc::Receiver<Dense>, guard: GaugeGuard) -> Self {
+    pub(crate) fn direct(
+        nodes: Vec<usize>,
+        rx: mpsc::Receiver<Dense>,
+        completion: Completion,
+        guard: GaugeGuard,
+    ) -> Self {
         EmbedAssembly {
             out: Some(Dense::zeros(0, 0)),
             whole: true,
             parts: vec![Part::new(nodes, 0, rx)],
             waiters: Vec::new(),
             positions: Vec::new(),
-            finish_hist: None,
+            completion,
+            harvest_start_ns: 0,
             fanout: None,
             begun: Instant::now(),
             _inflight: guard,
@@ -233,7 +299,7 @@ impl EmbedAssembly {
         parts: Vec<Part>,
         waiters: Vec<WaiterSlot>,
         positions: Vec<(usize, usize)>,
-        finish_hist: Option<Arc<LatencyHistogram>>,
+        completion: Completion,
         fanout: Option<Arc<HistogramVec>>,
         guard: GaugeGuard,
     ) -> Self {
@@ -243,10 +309,19 @@ impl EmbedAssembly {
             parts,
             waiters,
             positions,
-            finish_hist,
+            completion,
+            harvest_start_ns: 0,
             fanout,
             begun: Instant::now(),
             _inflight: guard,
+        }
+    }
+
+    /// Called at the top of every harvest entry point so the
+    /// completing call's `Harvest` span covers exactly that call.
+    fn note_harvest_start(&mut self) {
+        if let Some(tr) = &self.completion.trace {
+            self.harvest_start_ns = tr.tracer.now();
         }
     }
 
@@ -284,15 +359,50 @@ impl EmbedAssembly {
                 out.row_mut(pos).copy_from_slice(row);
             }
         }
-        if let Some(hist) = &self.finish_hist {
+        if let Some(hist) = &self.completion.hist {
             hist.record(self.begun.elapsed());
+        }
+        if let Some(stats) = &self.completion.stats {
+            stats.harvest();
+        }
+        if let Some(tr) = &self.completion.trace {
+            let now = tr.tracer.now();
+            let harvest = tr.tracer.child(tr.root);
+            tr.tracer.record(
+                harvest,
+                SpanKind::Harvest,
+                self.harvest_start_ns,
+                now,
+                None,
+                out.nrows() as u64,
+            );
+            tr.tracer.record(tr.root, SpanKind::Embed, tr.begin_ns, now, None, out.nrows() as u64);
         }
         Ok(out)
     }
 }
 
+impl Drop for EmbedAssembly {
+    fn drop(&mut self) {
+        // `complete` takes `out`; if it is still here the ticket never
+        // resolved — dropped unharvested, or failed on a shutdown.
+        if self.out.is_none() {
+            return;
+        }
+        if let Some(stats) = &self.completion.stats {
+            stats.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+        // Close the root span anyway so a sampled-then-abandoned
+        // request still leaves a rooted (if truncated) tree.
+        if let Some(tr) = &self.completion.trace {
+            tr.tracer.record(tr.root, SpanKind::Embed, tr.begin_ns, tr.tracer.now(), None, 0);
+        }
+    }
+}
+
 impl Harvest<Dense> for EmbedAssembly {
     fn try_harvest(&mut self) -> Option<Result<Dense, ServeError>> {
+        self.note_harvest_start();
         let mut pending = false;
         for i in 0..self.parts.len() {
             if self.parts[i].rows.is_some() {
@@ -321,6 +431,7 @@ impl Harvest<Dense> for EmbedAssembly {
     }
 
     fn harvest(&mut self) -> Result<Dense, ServeError> {
+        self.note_harvest_start();
         for i in 0..self.parts.len() {
             if self.parts[i].rows.is_some() {
                 continue;
@@ -341,6 +452,7 @@ impl Harvest<Dense> for EmbedAssembly {
     }
 
     fn harvest_deadline(&mut self, deadline: Instant) -> Option<Result<Dense, ServeError>> {
+        self.note_harvest_start();
         for i in 0..self.parts.len() {
             if self.parts[i].rows.is_some() {
                 continue;
@@ -397,7 +509,8 @@ mod tests {
     fn direct_assembly_polls_then_completes() {
         let (gauge, g) = guard();
         let (tx, rx) = mpsc::channel();
-        let mut t = Ticket::pending(EmbedAssembly::direct(vec![0, 1], rx, g));
+        let mut t =
+            Ticket::pending(EmbedAssembly::direct(vec![0, 1], rx, Completion::default(), g));
         assert_eq!(t.poll(), None, "nothing sent yet");
         assert_eq!(gauge.value(), 1);
         let rows = Dense::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
@@ -410,7 +523,7 @@ mod tests {
     fn dropped_ticket_releases_the_gauge() {
         let (gauge, g) = guard();
         let (_tx, rx) = mpsc::channel();
-        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, g));
+        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, Completion::default(), g));
         assert_eq!(gauge.value(), 1);
         drop(t);
         assert_eq!(gauge.value(), 0);
@@ -421,7 +534,7 @@ mod tests {
         let (_gauge, g) = guard();
         let (tx, rx) = mpsc::channel::<Dense>();
         drop(tx);
-        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, g));
+        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, Completion::default(), g));
         assert_eq!(t.wait(), Err(ServeError::EngineShutdown));
     }
 
@@ -429,7 +542,7 @@ mod tests {
     fn wait_deadline_times_out_and_stays_live() {
         let (_gauge, g) = guard();
         let (tx, rx) = mpsc::channel();
-        let mut t = Ticket::pending(EmbedAssembly::direct(vec![3], rx, g));
+        let mut t = Ticket::pending(EmbedAssembly::direct(vec![3], rx, Completion::default(), g));
         let soon = Instant::now() + std::time::Duration::from_millis(5);
         assert!(t.wait_deadline(soon).is_none());
         assert!(t.is_live());
@@ -455,7 +568,7 @@ mod tests {
             vec![Part::new(vec![2], 0, rx)],
             vec![WaiterSlot::new(8, w)],
             vec![(0, 8), (1, 2), (2, 8)],
-            None,
+            Completion::default(),
             None,
             g,
         ));
@@ -465,5 +578,55 @@ mod tests {
         cache.fill(owner, &[88.0]);
         let z = t.poll().expect("complete").expect("ok");
         assert_eq!(z.as_slice(), &[88.0, 22.0, 88.0, 55.0]);
+    }
+
+    #[test]
+    fn completion_reconciles_harvested_and_abandoned() {
+        let stats = Arc::new(RequestStats::default());
+        // Harvested: the dispatcher answers and the ticket is waited.
+        let (_gauge, g) = guard();
+        let (tx, rx) = mpsc::channel();
+        stats.begin();
+        let completion = Completion { stats: Some(Arc::clone(&stats)), ..Completion::default() };
+        let t = Ticket::pending(EmbedAssembly::direct(vec![0], rx, completion, g));
+        tx.send(Dense::from_rows(1, 1, &[1.0]).unwrap()).unwrap();
+        t.wait().unwrap();
+        // Abandoned: the ticket is dropped before any answer.
+        let (_gauge2, g2) = guard();
+        let (_tx2, rx2) = mpsc::channel();
+        stats.begin();
+        let completion = Completion { stats: Some(Arc::clone(&stats)), ..Completion::default() };
+        drop(Ticket::pending(EmbedAssembly::direct(vec![1], rx2, completion, g2)));
+        // Ready at creation.
+        stats.ready();
+        let begun = stats.begun.load(Ordering::Relaxed);
+        let harvested = stats.harvested.load(Ordering::Relaxed);
+        let abandoned = stats.abandoned.load(Ordering::Relaxed);
+        assert_eq!((begun, harvested, abandoned), (3, 2, 1));
+        assert_eq!(begun, harvested + abandoned);
+    }
+
+    #[test]
+    fn resolving_a_traced_assembly_closes_the_root_and_harvest_spans() {
+        let tracer = Tracer::new(1.0, 64);
+        let root = tracer.sample_root().unwrap();
+        let begin_ns = tracer.now();
+        let (_gauge, g) = guard();
+        let (tx, rx) = mpsc::channel();
+        let completion = Completion {
+            trace: Some(TraceHandle { tracer: Arc::clone(&tracer), root, begin_ns }),
+            ..Completion::default()
+        };
+        let t = Ticket::pending(EmbedAssembly::direct(vec![0, 1], rx, completion, g));
+        tx.send(Dense::from_rows(2, 1, &[1.0, 2.0]).unwrap()).unwrap();
+        t.wait().unwrap();
+        let spans = tracer.spans();
+        let embed = spans.iter().find(|s| s.kind == SpanKind::Embed).expect("root closed");
+        let harvest = spans.iter().find(|s| s.kind == SpanKind::Harvest).expect("harvest span");
+        assert_eq!(embed.parent, 0);
+        assert_eq!(harvest.parent, embed.span);
+        assert_eq!(harvest.trace, embed.trace);
+        assert_eq!(embed.rows, 2);
+        assert!(embed.start_ns <= harvest.start_ns && harvest.end_ns <= embed.end_ns);
     }
 }

@@ -15,6 +15,13 @@
 //! verifies cached responses stay bit-identical across publishes and
 //! delta updates while the hit counters climb.
 //!
+//! Closes with the telemetry layer: one [`MetricsRegistry`] snapshot
+//! enumerating every engine/shard/cache/kernel metric in the process
+//! (dumped as Prometheus text via `FUSEDMM_METRICS_PROM=<path>` and
+//! JSON via `FUSEDMM_METRICS_JSON=<path>`), and a fully-sampled
+//! lifecycle trace of a ticketed, cache-missing, sharded request
+//! (chrome://tracing JSON via `FUSEDMM_TRACE_JSON=<path>`).
+//!
 //! Run: `cargo run --release --example serving`
 //! Scale down (e.g. CI smoke runs): `FUSEDMM_SERVE_N=2000`.
 
@@ -235,7 +242,7 @@ fn main() {
     let depth = env_usize("FUSEDMM_SERVE_INFLIGHT", 256);
     println!("\nnon-blocking serving: launching a window of {depth} ticketed requests...");
     let ticketed = Engine::new(
-        a,
+        a.clone(),
         epoch0.x().clone(),
         epoch0.y().clone(),
         OpSet::sigmoid_embedding(None),
@@ -295,4 +302,70 @@ fn main() {
         );
     }
     println!("verified: {depth} ticketed responses bit-identical to blocking embed");
+
+    // Telemetry: one registry enumerating every engine, shard, cache,
+    // and kernel-shape metric this process produced, plus a
+    // fully-sampled lifecycle trace of a ticketed, cache-missing,
+    // sharded request — the span tree the chrome://tracing dump shows.
+    println!("\ntelemetry: metrics registry + request lifecycle trace...");
+    let tracer = Tracer::new(1.0, 8192);
+    let traced = ShardedEngine::new(
+        a,
+        epoch0.x().clone(),
+        epoch0.y().clone(),
+        OpSet::sigmoid_embedding(None),
+        shards,
+        EngineConfig {
+            coalesce_window: Duration::from_micros(100),
+            cache: Some(CacheConfig::with_mb(cache_mb)),
+            tracer: Some(tracer.clone()),
+            ..EngineConfig::default()
+        },
+    );
+    // Cold nodes spanning every band: the request misses the cache,
+    // fans out to its owning shards, and back-fills on the way out.
+    let step = (n / 48).max(1);
+    let cold: Vec<usize> = (0..48).map(|i| (i * step).min(n - 1)).collect();
+    let ticket = traced.embed_begin(&cold).expect("traced begin");
+    std::hint::black_box(ticket.wait().expect("traced harvest"));
+    let spans = tracer.spans();
+    let kinds: std::collections::BTreeSet<&'static str> =
+        spans.iter().map(|s| s.kind.label()).collect();
+    println!(
+        "trace captured {} spans across stages: {}",
+        spans.len(),
+        kinds.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+    for stage in ["embed", "cache_route", "enqueue", "batch", "kernel", "cache_fill", "harvest"] {
+        assert!(kinds.contains(stage), "lifecycle stage {stage} missing from the trace");
+    }
+
+    let registry = MetricsRegistry::new();
+    engine.register_metrics(&registry, &[("engine", "mixed")]);
+    cached.register_metrics(&registry, &[("engine", "cached")]);
+    ticketed.register_metrics(&registry, &[("engine", "ticketed")]);
+    traced.register_metrics(&registry);
+    register_kernel_profiles(&registry);
+    let snap = registry.snapshot();
+    println!(
+        "registry snapshot: {} samples (engines, shards, cache, kernel shapes)",
+        snap.samples.len()
+    );
+
+    let dump = |var: &str, contents: String| {
+        if let Ok(path) = std::env::var(var) {
+            if !path.is_empty() {
+                if let Some(dir) = std::path::Path::new(&path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).expect("create telemetry dir");
+                    }
+                }
+                std::fs::write(&path, contents).expect("write telemetry dump");
+                println!("wrote {var} -> {path}");
+            }
+        }
+    };
+    dump("FUSEDMM_METRICS_PROM", snap.to_prometheus());
+    dump("FUSEDMM_METRICS_JSON", snap.to_json());
+    dump("FUSEDMM_TRACE_JSON", tracer.chrome_json());
 }

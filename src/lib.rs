@@ -17,7 +17,8 @@
 //! * [`serve`] — the online serving engine: plan cache, row-subset
 //!   kernels, micro-batched embedding refresh, edge scoring;
 //! * [`perf`] — timing, latency histograms, memory tracking, STREAM
-//!   bandwidth, roofline.
+//!   bandwidth, roofline, the metrics registry, and the request
+//!   tracer.
 //!
 //! ## Quickstart
 //!
@@ -56,8 +57,9 @@ pub mod prelude {
     pub use fusedmm_graph::rmat::{rmat, RmatConfig};
     pub use fusedmm_ops::{AOp, MOp, Mlp, OpSet, Pattern, ROp, SOp, SigmoidLut, VOp};
     pub use fusedmm_serve::{
-        CacheConfig, CacheMetrics, Engine, EngineConfig, FeatureStore, ServeError, ShardedEngine,
-        ShardedMetrics, Ticket,
+        register_kernel_profiles, CacheConfig, CacheMetrics, Engine, EngineConfig, FeatureStore,
+        MetricsRegistry, MetricsSnapshot, ServeError, ShardedEngine, ShardedMetrics, Ticket,
+        Tracer,
     };
     pub use fusedmm_sparse::coo::Dedup;
     pub use fusedmm_sparse::{Coo, Csc, Csr, Dense};
