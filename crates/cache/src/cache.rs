@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -60,7 +60,7 @@ struct InsertStats {
 /// Waiters removed from a resolved in-flight registration.
 #[derive(Default)]
 struct TakenWaiters {
-    senders: Vec<mpsc::Sender<Box<[f32]>>>,
+    cells: Vec<Arc<FillCell>>,
     /// False when the registration was already resolved (double
     /// fill/abort is a no-op, and must not unbalance the gauge).
     resolved: bool,
@@ -74,7 +74,7 @@ struct Inflight {
     /// resolve a different registration for the same node.
     token: u64,
     /// Waiters to back-fill when the owner completes.
-    waiters: Vec<mpsc::Sender<Box<[f32]>>>,
+    waiters: Vec<Arc<FillCell>>,
 }
 
 #[derive(Default)]
@@ -189,37 +189,122 @@ impl std::fmt::Display for FillAborted {
 
 impl std::error::Error for FillAborted {}
 
+/// One coalesced waiter's resolution cell: a mutex/condvar pair the
+/// owner's fill (or abort) resolves exactly once. Unlike a channel it
+/// supports **wakeup subscription** — a harvest waiting on many
+/// sources registers a callback and parks once instead of polling.
+struct FillCell {
+    state: StdMutex<CellState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CellState {
+    value: Option<Result<Box<[f32]>, FillAborted>>,
+    watchers: Vec<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl FillCell {
+    fn new() -> Arc<FillCell> {
+        Arc::new(FillCell { state: StdMutex::new(CellState::default()), cv: Condvar::new() })
+    }
+
+    /// Resolve once (later calls are no-ops), wake blocked waiters, and
+    /// fire subscribed watchers — outside the lock, so a watcher may
+    /// take unrelated locks without ordering risk.
+    fn resolve(&self, value: Result<Box<[f32]>, FillAborted>) {
+        let watchers = {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.value.is_some() {
+                return;
+            }
+            st.value = Some(value);
+            std::mem::take(&mut st.watchers)
+        };
+        self.cv.notify_all();
+        for w in watchers {
+            w();
+        }
+    }
+
+    /// Take the resolution if present. A consumed cell keeps reporting
+    /// `FillAborted`, matching the disconnected-channel semantics the
+    /// waiter had when it was mpsc-based.
+    fn take_locked(st: &mut CellState) -> Option<Result<Box<[f32]>, FillAborted>> {
+        if st.value.is_some() {
+            st.value.replace(Err(FillAborted))
+        } else {
+            None
+        }
+    }
+}
+
 /// Waiter-side handle of a coalesced miss: resolves with the computed
-/// row when the owning request's fill lands.
-#[derive(Debug)]
+/// row when the owning request's fill lands. Blocking waits park on a
+/// condvar (no poll cadence); [`RowWaiter::subscribe`] registers a
+/// wakeup callback for multi-source waiting.
 pub struct RowWaiter {
-    rx: mpsc::Receiver<Box<[f32]>>,
+    cell: Arc<FillCell>,
+}
+
+impl std::fmt::Debug for RowWaiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowWaiter").finish_non_exhaustive()
+    }
 }
 
 impl RowWaiter {
     /// Non-blocking probe: `Some(Ok(row))` once filled, `Some(Err(_))`
     /// when the owner aborted, `None` while still in flight.
     pub fn poll(&self) -> Option<Result<Box<[f32]>, FillAborted>> {
-        match self.rx.try_recv() {
-            Ok(row) => Some(Ok(row)),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(FillAborted)),
+        let mut st = self.cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        FillCell::take_locked(&mut st)
+    }
+
+    /// Park until the fill lands (or the owner aborts).
+    pub fn wait(&self) -> Result<Box<[f32]>, FillAborted> {
+        let mut st = self.cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = FillCell::take_locked(&mut st) {
+                return v;
+            }
+            st = self.cell.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    /// Block until the fill lands (or the owner aborts).
-    pub fn wait(&self) -> Result<Box<[f32]>, FillAborted> {
-        self.rx.recv().map_err(|_| FillAborted)
+    /// Park until the fill lands, the owner aborts, or `deadline`
+    /// passes (`None` on timeout; the handle stays usable). Deadline
+    /// precision comes from the condvar timeout, not a poll loop.
+    pub fn wait_deadline(&self, deadline: Instant) -> Option<Result<Box<[f32]>, FillAborted>> {
+        let mut st = self.cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = FillCell::take_locked(&mut st) {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) =
+                self.cell.cv.wait_timeout(st, deadline - now).unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
     }
 
-    /// Block until the fill lands, the owner aborts, or `deadline`
-    /// passes (`None` on timeout; the handle stays usable).
-    pub fn wait_deadline(&self, deadline: Instant) -> Option<Result<Box<[f32]>, FillAborted>> {
-        let timeout = deadline.saturating_duration_since(Instant::now());
-        match self.rx.recv_timeout(timeout) {
-            Ok(row) => Some(Ok(row)),
-            Err(mpsc::RecvTimeoutError::Timeout) => None,
-            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(FillAborted)),
+    /// Register a wakeup callback: fired once when the cell resolves
+    /// (fill or abort) — immediately, if it already has.
+    pub fn subscribe(&self, watcher: Arc<dyn Fn() + Send + Sync>) {
+        let fire_now = {
+            let mut st = self.cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.value.is_some() {
+                true
+            } else {
+                st.watchers.push(watcher.clone());
+                false
+            }
+        };
+        if fire_now {
+            watcher();
         }
     }
 }
@@ -297,8 +382,18 @@ impl ResultCache {
         self.seg_cap * self.segments.len()
     }
 
+    /// Number of lock stripes (fault injection targets one by index).
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The lock stripe `node`'s entry lives in.
+    pub fn segment_of(&self, node: usize) -> usize {
+        node % self.segments.len()
+    }
+
     fn segment(&self, node: usize) -> &Mutex<Segment> {
-        &self.segments[node % self.segments.len()]
+        &self.segments[self.segment_of(node)]
     }
 
     fn valid(&self, node: usize, stamp: u64, pinned: u64) -> bool {
@@ -476,11 +571,11 @@ impl ResultCache {
         }
         if let Some(entries) = seg.inflight.get_mut(&node) {
             if let Some(e) = entries.iter_mut().find(|e| self.valid(node, e.epoch, pinned)) {
-                let (tx, rx) = mpsc::channel();
-                e.waiters.push(tx);
+                let cell = FillCell::new();
+                e.waiters.push(Arc::clone(&cell));
                 drop(seg);
                 self.stats.coalesced_misses.fetch_add(1, Ordering::Relaxed);
-                return MissRoute::Waiter(RowWaiter { rx });
+                return MissRoute::Waiter(RowWaiter { cell });
             }
         }
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
@@ -510,13 +605,15 @@ impl ResultCache {
         assert_eq!(row.len(), self.d, "row slice must hold one row");
         let mut seg = self.segment(owner.node).lock();
         let waiters = Self::take_inflight_locked(&mut seg, &owner);
-        for tx in &waiters.senders {
-            // Sending is non-blocking (unbounded channel) and a
-            // disconnected waiter just means its ticket was dropped.
-            let _ = tx.send(row.into());
-        }
         let outcome = self.insert_locked(&mut seg, owner.node, owner.epoch, row);
         drop(seg);
+        // Waiter cells resolve after the segment lock drops: the
+        // registration removal and the insert already happened
+        // atomically above, and a subscribed watcher must be free to
+        // take unrelated locks.
+        for cell in &waiters.cells {
+            cell.resolve(Ok(row.into()));
+        }
         if waiters.resolved {
             self.stats.inflight.dec();
         }
@@ -528,9 +625,11 @@ impl ResultCache {
     /// recompute; nothing is inserted.
     pub fn abort(&self, owner: InflightOwner) {
         let mut seg = self.segment(owner.node).lock();
-        // Dropping the senders disconnects every waiter's receiver.
         let waiters = Self::take_inflight_locked(&mut seg, &owner);
         drop(seg);
+        for cell in &waiters.cells {
+            cell.resolve(Err(FillAborted));
+        }
         if waiters.resolved {
             self.stats.inflight.dec();
         }
@@ -549,7 +648,7 @@ impl ResultCache {
         if entries.is_empty() {
             seg.inflight.remove(&owner.node);
         }
-        TakenWaiters { senders: entry.waiters, resolved: true }
+        TakenWaiters { cells: entry.waiters, resolved: true }
     }
 
     /// A publish minted `epoch`: lazily invalidate every entry stamped
@@ -840,6 +939,29 @@ mod tests {
         c.fill(owner, &row(2, 4.0));
         let far = Instant::now() + std::time::Duration::from_secs(5);
         assert_eq!(w.wait_deadline(far).unwrap().unwrap().as_ref(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn subscribed_watcher_fires_on_fill_and_immediately_when_late() {
+        use std::sync::atomic::AtomicUsize;
+        let c = ResultCache::new(4, 2, CacheConfig::default());
+        let MissRoute::Owner(owner) = c.route_miss(3, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w) = c.route_miss(3, 0) else { panic!("waiter") };
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        w.subscribe(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "nothing resolved yet");
+        c.fill(owner, &row(2, 6.0));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "watcher fired on fill");
+        // Subscribing after resolution fires at once.
+        let f = Arc::clone(&fired);
+        w.subscribe(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(w.poll().unwrap().unwrap().as_ref(), &[6.0, 6.0]);
     }
 
     #[test]

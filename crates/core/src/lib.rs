@@ -70,7 +70,7 @@ pub use generic::{fusedmm_generic, fusedmm_generic_opts, fusedmm_reference};
 pub use part::{Partition, PartitionStrategy};
 pub use plan::{Plan, PlanCache, PlanTag};
 pub use profile::{kernel_profiles, reset_kernel_profiles, KernelProfile};
-pub use rows::{fusedmm_rows, fusedmm_rows_banded, fusedmm_rows_with};
+pub use rows::{fusedmm_rows, fusedmm_rows_banded, fusedmm_rows_banded_topk, fusedmm_rows_with};
 pub use simd::{active_backend, cpu_features, Backend, CpuFeatures};
 
 use fusedmm_ops::OpSet;

@@ -20,7 +20,7 @@ use fusedmm_sparse::dense::Dense;
 use crate::autotune::global_tuner;
 use crate::dispatch::{fusedmm_opt_with, Blocking};
 use crate::part::PartitionStrategy;
-use crate::rows::{fusedmm_rows_banded, fusedmm_rows_with};
+use crate::rows::{fusedmm_rows_banded, fusedmm_rows_banded_topk, fusedmm_rows_with};
 use crate::simd::{active_backend, Backend};
 
 /// A frozen kernel configuration for one (pattern, dimension): which
@@ -127,6 +127,36 @@ impl Plan {
     ) -> Dense {
         self.check(ops, x);
         fusedmm_rows_banded(a_band, band_start, rows, x, y, ops, self.blocking, None, self.strategy)
+    }
+
+    /// Degraded-tier band execution: like
+    /// [`Plan::execute_rows_banded`], but each requested row aggregates
+    /// only its `k` strongest neighbors (see
+    /// [`crate::rows::fusedmm_rows_banded_topk`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_rows_banded_topk(
+        &self,
+        a_band: &Csr,
+        band_start: usize,
+        rows: &[usize],
+        k: usize,
+        x: &Dense,
+        y: &Dense,
+        ops: &OpSet,
+    ) -> Dense {
+        self.check(ops, x);
+        fusedmm_rows_banded_topk(
+            a_band,
+            band_start,
+            rows,
+            k,
+            x,
+            y,
+            ops,
+            self.blocking,
+            None,
+            self.strategy,
+        )
     }
 
     fn check(&self, ops: &OpSet, x: &Dense) {

@@ -79,6 +79,56 @@ pub fn fusedmm_rows_banded(
     partitions: Option<usize>,
     strategy: PartitionStrategy,
 ) -> Dense {
+    let Some(local) = check_band(a_band, band_start, rows, x, y) else {
+        return Dense::zeros(0, x.ncols());
+    };
+    let mb = slice_rows(a_band, &local);
+    let xb = gather_rows(x, rows);
+    fusedmm_opt_with(&mb.adj, &xb, y, ops, blocking, partitions, strategy)
+}
+
+/// [`fusedmm_rows_banded`] over each requested row's `k` strongest
+/// neighbors only — the serving engine's `TopKNeighbors` degraded
+/// tier. The truncation
+/// ([`Csr::top_k_by_weight`]) is applied to the *sliced* minibatch, so
+/// its cost is O(subset nnz), not O(graph nnz); work and accuracy both
+/// degrade gracefully with `k`. Rows whose degree is already ≤ `k`
+/// come out bit-identical to the exact path.
+///
+/// # Panics
+/// Same contract as [`fusedmm_rows_banded`].
+#[allow(clippy::too_many_arguments)]
+pub fn fusedmm_rows_banded_topk(
+    a_band: &Csr,
+    band_start: usize,
+    rows: &[usize],
+    k: usize,
+    x: &Dense,
+    y: &Dense,
+    ops: &OpSet,
+    blocking: Blocking,
+    partitions: Option<usize>,
+    strategy: PartitionStrategy,
+) -> Dense {
+    let Some(local) = check_band(a_band, band_start, rows, x, y) else {
+        return Dense::zeros(0, x.ncols());
+    };
+    let mb = slice_rows(a_band, &local);
+    let truncated = mb.adj.top_k_by_weight(k);
+    let xb = gather_rows(x, rows);
+    fusedmm_opt_with(&truncated, &xb, y, ops, blocking, partitions, strategy)
+}
+
+/// Validate the band-call contract shared by the exact and top-k row
+/// paths, and map global `rows` to band-local indices. `None` for an
+/// empty subset (the caller returns zero rows).
+fn check_band(
+    a_band: &Csr,
+    band_start: usize,
+    rows: &[usize],
+    x: &Dense,
+    y: &Dense,
+) -> Option<Vec<usize>> {
     let band_end = band_start + a_band.nrows();
     assert!(
         x.nrows() >= band_end,
@@ -88,21 +138,19 @@ pub fn fusedmm_rows_banded(
     assert_eq!(y.nrows(), a_band.ncols(), "Y must have one row per (global) column of the band");
     assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
     if rows.is_empty() {
-        return Dense::zeros(0, x.ncols());
+        return None;
     }
-    let local: Vec<usize> = rows
-        .iter()
-        .map(|&u| {
-            assert!(
-                (band_start..band_end).contains(&u),
-                "row {u} out of range for band {band_start}..{band_end}"
-            );
-            u - band_start
-        })
-        .collect();
-    let mb = slice_rows(a_band, &local);
-    let xb = gather_rows(x, rows);
-    fusedmm_opt_with(&mb.adj, &xb, y, ops, blocking, partitions, strategy)
+    Some(
+        rows.iter()
+            .map(|&u| {
+                assert!(
+                    (band_start..band_end).contains(&u),
+                    "row {u} out of range for band {band_start}..{band_end}"
+                );
+                u - band_start
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -228,6 +276,66 @@ mod tests {
             None,
             PartitionStrategy::NnzBalanced,
         );
+    }
+
+    #[test]
+    fn topk_truncation_matches_kernel_over_truncated_graph() {
+        let n = 48;
+        let a = graph(n);
+        let d = 16;
+        let x = feats(n, d, 0.25);
+        let y = feats(n, d, 0.65);
+        let ops = OpSet::sigmoid_embedding(None);
+        let (lo, hi) = (10usize, 40usize);
+        let band = a.row_band(lo..hi);
+        let rows = [12usize, 39, 10, 12, 25];
+        let k = 2;
+        let z = fusedmm_rows_banded_topk(
+            &band,
+            lo,
+            &rows,
+            k,
+            &x,
+            &y,
+            &ops,
+            Blocking::Auto,
+            None,
+            PartitionStrategy::NnzBalanced,
+        );
+        // Reference: exact row kernel over the globally-truncated graph
+        // (slicing and truncating commute — both act per row).
+        let truncated = a.top_k_by_weight(k);
+        let full = fusedmm_reference(&truncated, &x, &y, &ops);
+        for (i, &u) in rows.iter().enumerate() {
+            for c in 0..d {
+                assert!((z.get(i, c) - full.get(u, c)).abs() < 1e-5, "row {u} lane {c}");
+            }
+        }
+        // A k covering every degree reproduces the exact path exactly.
+        let exact = fusedmm_rows_banded(
+            &band,
+            lo,
+            &rows,
+            &x,
+            &y,
+            &ops,
+            Blocking::Auto,
+            None,
+            PartitionStrategy::NnzBalanced,
+        );
+        let via_topk = fusedmm_rows_banded_topk(
+            &band,
+            lo,
+            &rows,
+            n,
+            &x,
+            &y,
+            &ops,
+            Blocking::Auto,
+            None,
+            PartitionStrategy::NnzBalanced,
+        );
+        assert_eq!(via_topk.as_slice(), exact.as_slice(), "k ≥ max degree is bit-identical");
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! Micro-batching: coalesce concurrent node-subset requests into one
 //! deduplicated row batch per dispatcher tick.
 //!
-//! Callers block on a per-request channel while the dispatcher thread
-//! (spawned by [`Engine`](crate::Engine)) drains the queue, takes the
-//! sorted union of all requested nodes, runs the row-subset kernel
-//! once, and scatters each caller's rows back. Batching amortizes the
-//! kernel launch and deduplication means a hot node requested by ten
-//! concurrent callers is computed once.
+//! Callers block on a per-request one-shot slot while the dispatcher
+//! thread (spawned by [`Engine`](crate::Engine)) drains the queue,
+//! takes the sorted union of all requested nodes, runs the row-subset
+//! kernel once, and scatters each caller's rows back. Batching
+//! amortizes the kernel launch and deduplication means a hot node
+//! requested by ten concurrent callers is computed once.
+//!
+//! The queue is deadline-aware: a drain partitions requests whose
+//! deadline already passed into `Drained::expired` so the dispatcher
+//! can fail them (typed, cheap) without spending kernel time — and it
+//! tracks its total queued rows so the admission policy can bound the
+//! backlog.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Condvar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 use fusedmm_perf::trace::SpanCtx;
@@ -17,6 +24,8 @@ use fusedmm_sparse::dense::Dense;
 
 use crate::cache::FillSet;
 use crate::store::FeatureEpoch;
+use crate::ticket::Quality;
+use crate::wait::SlotTx;
 
 /// One enqueued embedding request.
 pub(crate) struct Pending {
@@ -25,12 +34,15 @@ pub(crate) struct Pending {
     /// The feature epoch pinned at enqueue time: the whole response is
     /// computed from this snapshot, never torn across a publish.
     pub epoch: Arc<FeatureEpoch>,
-    /// Completion channel back to the caller.
-    pub tx: mpsc::Sender<Dense>,
+    /// Completion slot back to the caller: computed rows, or a typed
+    /// part error (expired, panicked). Dropping it unsent reads as
+    /// engine shutdown on the caller side.
+    pub tx: SlotTx,
     /// In-flight cache registrations this request owns (`fills[i]` ↔
     /// `nodes[i]`): the dispatcher resolves them — cache insert plus
     /// coalesced-waiter back-fill — as soon as the rows are computed,
-    /// before completing the caller.
+    /// before completing the caller. Dropped (aborting the fills) when
+    /// the request expires instead of running.
     pub fills: Option<FillSet>,
     /// The request's enqueue-span context when it was sampled for
     /// tracing: the dispatcher parents its batch/kernel/cache-fill
@@ -38,8 +50,27 @@ pub(crate) struct Pending {
     /// complete tree). `None` for unsampled requests — every span site
     /// downstream short-circuits.
     pub trace: Option<SpanCtx>,
+    /// Drop (and fail with `PartError::Expired`) instead of computing
+    /// past this instant.
+    pub deadline: Option<Instant>,
+    /// The answer tier: decides which kernel the dispatcher launches.
+    /// Requests of different tiers never share a launch.
+    pub quality: Quality,
     /// Enqueue time, for end-to-end latency accounting.
     pub enqueued: Instant,
+}
+
+impl Pending {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// One dispatcher drain: the launchable batch plus any requests whose
+/// deadline passed while queued (to be failed without kernel time).
+pub(crate) struct Drained {
+    pub batch: Vec<Pending>,
+    pub expired: Vec<Pending>,
 }
 
 struct QueueState {
@@ -48,10 +79,14 @@ struct QueueState {
 }
 
 /// The dispatcher's work queue: a condvar-signalled FIFO of
-/// [`Pending`] requests.
+/// [`Pending`] requests that tracks its total queued rows (the
+/// admission policy's backlog signal).
 pub(crate) struct BatchQueue {
     state: std::sync::Mutex<QueueState>,
     cv: Condvar,
+    /// Total `nodes.len()` across queued requests. Kept as a separate
+    /// atomic so admission can read it without taking the queue lock.
+    rows: AtomicUsize,
 }
 
 impl BatchQueue {
@@ -59,17 +94,27 @@ impl BatchQueue {
         BatchQueue {
             state: std::sync::Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
             cv: Condvar::new(),
+            rows: AtomicUsize::new(0),
         }
+    }
+
+    /// Total requested rows currently queued (admission's backlog
+    /// signal; monotonic observations only — the queue may drain
+    /// concurrently).
+    pub fn queued_rows(&self) -> usize {
+        self.rows.load(Ordering::Relaxed)
     }
 
     /// Enqueue a request; returns `false` when the queue is already
     /// shut down (the request is dropped).
     pub fn push(&self, request: Pending) -> bool {
+        let rows = request.nodes.len();
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.shutdown {
             return false;
         }
         state.pending.push_back(request);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
         drop(state);
         self.cv.notify_one();
         true
@@ -84,13 +129,11 @@ impl BatchQueue {
     /// Block until work arrives (or shutdown), optionally linger
     /// `coalesce_window` so concurrent callers can join the batch, then
     /// drain requests until `max_batch_rows` requested rows are taken
-    /// (always at least one request). Returns `None` only on shutdown
-    /// with an empty queue.
-    pub fn next_batch(
-        &self,
-        coalesce_window: Duration,
-        max_batch_rows: usize,
-    ) -> Option<Vec<Pending>> {
+    /// (always at least one request). Requests whose deadline already
+    /// passed are siphoned into `Drained::expired` without counting
+    /// toward the row cap. Returns `None` only on shutdown with an
+    /// empty queue.
+    pub fn next_batch(&self, coalesce_window: Duration, max_batch_rows: usize) -> Option<Drained> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.pending.is_empty() {
             if state.shutdown {
@@ -107,31 +150,47 @@ impl BatchQueue {
             std::thread::sleep(coalesce_window);
             state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         }
+        let now = Instant::now();
         let mut batch = Vec::new();
+        let mut expired = Vec::new();
         let mut rows = 0usize;
+        let mut drained_rows = 0usize;
         while let Some(front) = state.pending.front() {
+            if front.expired(now) {
+                // Expired work costs no kernel time, so it never
+                // limits the drain — sweep the whole backlog of it.
+                drained_rows += front.nodes.len();
+                expired.push(state.pending.pop_front().expect("front exists"));
+                continue;
+            }
             if !batch.is_empty() && rows + front.nodes.len() > max_batch_rows {
                 break;
             }
             rows += front.nodes.len();
+            drained_rows += front.nodes.len();
             batch.push(state.pending.pop_front().expect("front exists"));
         }
-        Some(batch)
+        self.rows.fetch_sub(drained_rows, Ordering::Relaxed);
+        Some(Drained { batch, expired })
     }
 }
 
 /// Split a drained batch into kernel-launch groups that share one
 /// pinned [`FeatureEpoch`] (identity, not number — two snapshots of the
-/// same epoch object are the same group). Requests pinned to different
-/// epochs must never share a kernel launch, or responses would mix
-/// feature generations; grouping (rather than flushing per request)
-/// keeps full coalescing in the common case where no publish landed
-/// mid-batch. Order is preserved: groups appear in first-seen order and
-/// requests keep their queue order within a group.
+/// same epoch object are the same group) *and* one [`Quality`] tier.
+/// Requests pinned to different epochs must never share a kernel
+/// launch, or responses would mix feature generations; requests of
+/// different tiers run different kernels. Grouping (rather than
+/// flushing per request) keeps full coalescing in the common case.
+/// Order is preserved: groups appear in first-seen order and requests
+/// keep their queue order within a group.
 pub(crate) fn group_by_epoch(batch: Vec<Pending>) -> Vec<Vec<Pending>> {
     let mut groups: Vec<Vec<Pending>> = Vec::new();
     for pending in batch {
-        match groups.iter_mut().find(|g| Arc::ptr_eq(&g[0].epoch, &pending.epoch)) {
+        match groups
+            .iter_mut()
+            .find(|g| Arc::ptr_eq(&g[0].epoch, &pending.epoch) && g[0].quality == pending.quality)
+        {
             Some(group) => group.push(pending),
             None => groups.push(vec![pending]),
         }
@@ -166,13 +225,24 @@ pub fn scatter_rows(union_nodes: &[usize], union_rows: &Dense, nodes: &[usize]) 
 mod tests {
     use super::*;
     use crate::store::FeatureStore;
+    use crate::wait::slot;
 
     fn epoch() -> Arc<FeatureEpoch> {
         FeatureStore::new(Dense::zeros(1, 1), Dense::zeros(1, 1)).snapshot()
     }
 
-    fn pending(nodes: Vec<usize>, epoch: Arc<FeatureEpoch>, tx: mpsc::Sender<Dense>) -> Pending {
-        Pending { nodes, epoch, tx, fills: None, trace: None, enqueued: Instant::now() }
+    fn pending(nodes: Vec<usize>, epoch: Arc<FeatureEpoch>) -> Pending {
+        let (tx, _rx) = slot();
+        Pending {
+            nodes,
+            epoch,
+            tx,
+            fills: None,
+            trace: None,
+            deadline: None,
+            quality: Quality::Exact,
+            enqueued: Instant::now(),
+        }
     }
 
     #[test]
@@ -196,55 +266,90 @@ mod tests {
     #[test]
     fn queue_batches_everything_waiting() {
         let q = BatchQueue::new();
-        let (tx, _rx) = mpsc::channel();
         let ep = epoch();
         for n in 0..3usize {
-            assert!(q.push(pending(vec![n], Arc::clone(&ep), tx.clone())));
+            assert!(q.push(pending(vec![n], Arc::clone(&ep))));
         }
-        let batch = q.next_batch(Duration::ZERO, 1024).expect("work available");
-        assert_eq!(batch.len(), 3);
+        assert_eq!(q.queued_rows(), 3);
+        let drained = q.next_batch(Duration::ZERO, 1024).expect("work available");
+        assert_eq!(drained.batch.len(), 3);
+        assert!(drained.expired.is_empty());
+        assert_eq!(q.queued_rows(), 0, "drain returns the rows to the gauge");
     }
 
     #[test]
     fn queue_respects_row_cap_but_always_progresses() {
         let q = BatchQueue::new();
-        let (tx, _rx) = mpsc::channel();
         let ep = epoch();
         // One oversized request plus a small one.
-        q.push(pending(vec![0; 100], Arc::clone(&ep), tx.clone()));
-        q.push(pending(vec![1], Arc::clone(&ep), tx.clone()));
+        q.push(pending(vec![0; 100], Arc::clone(&ep)));
+        q.push(pending(vec![1], Arc::clone(&ep)));
+        assert_eq!(q.queued_rows(), 101);
         let first = q.next_batch(Duration::ZERO, 10).unwrap();
-        assert_eq!(first.len(), 1, "oversized request still dispatched alone");
+        assert_eq!(first.batch.len(), 1, "oversized request still dispatched alone");
+        assert_eq!(q.queued_rows(), 1);
         let second = q.next_batch(Duration::ZERO, 10).unwrap();
-        assert_eq!(second.len(), 1);
+        assert_eq!(second.batch.len(), 1);
+        assert_eq!(q.queued_rows(), 0);
+    }
+
+    #[test]
+    fn expired_requests_are_siphoned_without_charging_the_cap() {
+        let q = BatchQueue::new();
+        let ep = epoch();
+        let mut dead = pending(vec![0; 50], Arc::clone(&ep));
+        dead.deadline = Some(Instant::now() - Duration::from_millis(1));
+        q.push(dead);
+        let mut live = pending(vec![1, 2], Arc::clone(&ep));
+        live.deadline = Some(Instant::now() + Duration::from_secs(60));
+        q.push(live);
+        q.push(pending(vec![3], Arc::clone(&ep)));
+        // Row cap 4 < the expired request's 50 rows: expired work must
+        // not starve the drain.
+        let drained = q.next_batch(Duration::ZERO, 4).unwrap();
+        assert_eq!(drained.expired.len(), 1);
+        assert_eq!(drained.expired[0].nodes.len(), 50);
+        assert_eq!(drained.batch.len(), 2, "both live requests fit under the cap");
+        assert_eq!(q.queued_rows(), 0);
+    }
+
+    #[test]
+    fn all_expired_drain_is_valid_progress() {
+        let q = BatchQueue::new();
+        let ep = epoch();
+        for n in 0..2usize {
+            let mut p = pending(vec![n], Arc::clone(&ep));
+            p.deadline = Some(Instant::now() - Duration::from_millis(1));
+            q.push(p);
+        }
+        let drained = q.next_batch(Duration::ZERO, 8).unwrap();
+        assert!(drained.batch.is_empty());
+        assert_eq!(drained.expired.len(), 2);
     }
 
     #[test]
     fn shutdown_drains_then_ends() {
         let q = BatchQueue::new();
-        let (tx, _rx) = mpsc::channel();
-        q.push(pending(vec![3], epoch(), tx));
+        q.push(pending(vec![3], epoch()));
         q.shutdown();
         assert!(q.next_batch(Duration::ZERO, 8).is_some(), "queued work still served");
         assert!(q.next_batch(Duration::ZERO, 8).is_none(), "then the queue reports closed");
-        let (tx2, _rx2) = mpsc::channel();
-        assert!(!q.push(pending(vec![1], epoch(), tx2)));
+        assert!(!q.push(pending(vec![1], epoch())));
     }
 
     #[test]
     fn epoch_groups_split_by_identity_and_preserve_order() {
-        let (tx, _rx) = mpsc::channel();
         let store = FeatureStore::new(Dense::zeros(1, 1), Dense::zeros(1, 1));
         let old = store.snapshot();
         store.publish(Dense::zeros(1, 1), Dense::zeros(1, 1));
         let new = store.snapshot();
         // Interleaved epochs: old, new, old, new, new.
         let batch = vec![
-            pending(vec![0], Arc::clone(&old), tx.clone()),
-            pending(vec![1], Arc::clone(&new), tx.clone()),
-            pending(vec![2], Arc::clone(&old), tx.clone()),
-            pending(vec![3], Arc::clone(&new), tx.clone()),
-            pending(vec![4], Arc::clone(&new), tx.clone()),
+            pending(vec![0], Arc::clone(&old)),
+            pending(vec![1], Arc::clone(&new)),
+            pending(vec![2], Arc::clone(&old)),
+            pending(vec![3], Arc::clone(&new)),
+            pending(vec![4], Arc::clone(&new)),
         ];
         let groups = group_by_epoch(batch);
         assert_eq!(groups.len(), 2, "one kernel-launch group per pinned epoch");
@@ -255,11 +360,22 @@ mod tests {
     }
 
     #[test]
-    fn single_epoch_batch_is_one_group() {
-        let (tx, _rx) = mpsc::channel();
+    fn quality_tiers_never_share_a_launch_group() {
         let ep = epoch();
+        let mut topk = pending(vec![1], Arc::clone(&ep));
+        topk.quality = Quality::TopKNeighbors(4);
         let batch =
-            (0..4).map(|n| pending(vec![n], Arc::clone(&ep), tx.clone())).collect::<Vec<_>>();
+            vec![pending(vec![0], Arc::clone(&ep)), topk, pending(vec![2], Arc::clone(&ep))];
+        let groups = group_by_epoch(batch);
+        assert_eq!(groups.len(), 2, "same epoch, different tier → different group");
+        assert_eq!(groups[0].iter().map(|p| p.nodes[0]).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(groups[1][0].quality, Quality::TopKNeighbors(4));
+    }
+
+    #[test]
+    fn single_epoch_batch_is_one_group() {
+        let ep = epoch();
+        let batch = (0..4).map(|n| pending(vec![n], Arc::clone(&ep))).collect::<Vec<_>>();
         let groups = group_by_epoch(batch);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len(), 4);

@@ -29,6 +29,7 @@ use fusedmm_cache::{CacheConfig, CacheMetrics, InflightOwner, MissRoute, ResultC
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
+use crate::fault::FaultPlan;
 use crate::store::EpochListener;
 
 /// An embedding result cache for one graph, shared by every engine
@@ -100,6 +101,12 @@ impl EmbedCache {
         self.cache.abort(owner);
     }
 
+    /// The lock stripe `node`'s entry lives in (the fault plan's
+    /// poisoned-segment targeting).
+    pub(crate) fn segment_of(&self, node: usize) -> usize {
+        self.cache.segment_of(node)
+    }
+
     /// Point-in-time cache statistics.
     pub fn metrics(&self) -> CacheMetrics {
         self.cache.metrics()
@@ -129,22 +136,37 @@ impl EpochListener for EmbedCache {
 pub(crate) struct FillSet {
     cache: Arc<EmbedCache>,
     owners: Vec<InflightOwner>,
+    /// When a fault plan poisons a cache segment, fills landing in it
+    /// are aborted instead of inserted — the owning request still gets
+    /// its computed rows, but the row is never cached and coalesced
+    /// waiters observe the failure (chaos coverage for the abort path).
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl FillSet {
     /// `owners[i]` must correspond to the `i`-th node of the request
     /// this set rides with.
-    pub(crate) fn new(cache: Arc<EmbedCache>, owners: Vec<InflightOwner>) -> FillSet {
-        FillSet { cache, owners }
+    pub(crate) fn new(
+        cache: Arc<EmbedCache>,
+        owners: Vec<InflightOwner>,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> FillSet {
+        FillSet { cache, owners, fault }
     }
 
     /// Resolve every registration: `rows.row(i)` is the computed row
     /// for `owners[i]` — inserted into the cache and sent to every
-    /// coalesced waiter.
+    /// coalesced waiter (or aborted, when the fault plan poisoned the
+    /// owner's segment).
     pub(crate) fn complete(mut self, rows: &Dense) {
         assert_eq!(rows.nrows(), self.owners.len(), "one computed row per owned registration");
+        let poisoned = self.fault.as_ref().and_then(|f| f.poisoned_segment());
         for (i, owner) in self.owners.drain(..).enumerate() {
-            self.cache.fill(owner, rows.row(i));
+            if poisoned == Some(self.cache.segment_of(owner.node())) {
+                self.cache.abort(owner);
+            } else {
+                self.cache.fill(owner, rows.row(i));
+            }
         }
     }
 }
@@ -237,7 +259,7 @@ mod tests {
         let cache = Arc::new(EmbedCache::new(&ring(4), 2, CacheConfig::default()));
         let MissRoute::Owner(owner) = cache.route_miss(2, 0) else { panic!("owner") };
         let MissRoute::Waiter(w) = cache.route_miss(2, 0) else { panic!("waiter") };
-        drop(FillSet::new(Arc::clone(&cache), vec![owner]));
+        drop(FillSet::new(Arc::clone(&cache), vec![owner], None));
         assert!(w.wait().is_err(), "waiter observes the abort, not a hang");
         assert_eq!(cache.metrics().inflight_rows, 0);
     }
@@ -249,12 +271,32 @@ mod tests {
         let MissRoute::Owner(o2) = cache.route_miss(3, 0) else { panic!("owner") };
         let MissRoute::Waiter(w) = cache.route_miss(3, 0) else { panic!("waiter") };
         let rows = Dense::from_rows(2, 2, &[1.0, 1.5, 3.0, 3.5]).unwrap();
-        FillSet::new(Arc::clone(&cache), vec![o1, o2]).complete(&rows);
+        FillSet::new(Arc::clone(&cache), vec![o1, o2], None).complete(&rows);
         assert_eq!(w.wait().unwrap().as_ref(), &[3.0, 3.5]);
         let mut out = Dense::zeros(2, 2);
         let (misses, _) = cache.split(&[1, 3], 0, &mut out);
         assert!(misses.is_empty(), "both rows resident after the fill");
         assert_eq!(out.row(0), &[1.0, 1.5]);
         assert_eq!(out.row(1), &[3.0, 3.5]);
+    }
+
+    #[test]
+    fn poisoned_segment_aborts_only_its_fills() {
+        let cache = Arc::new(EmbedCache::new(&ring(4), 2, CacheConfig::default()));
+        let poisoned = cache.segment_of(2);
+        let healthy =
+            (0..4).find(|&u| cache.segment_of(u) != poisoned).expect("more than one stripe");
+        let plan = Arc::new(FaultPlan::parse(&format!("poison_segment={poisoned}")).unwrap());
+        let MissRoute::Owner(o1) = cache.route_miss(2, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w_poisoned) = cache.route_miss(2, 0) else { panic!("waiter") };
+        let MissRoute::Owner(o2) = cache.route_miss(healthy, 0) else { panic!("owner") };
+        let MissRoute::Waiter(w_healthy) = cache.route_miss(healthy, 0) else { panic!("waiter") };
+        let rows = Dense::from_rows(2, 2, &[2.0, 2.5, 7.0, 7.5]).unwrap();
+        FillSet::new(Arc::clone(&cache), vec![o1, o2], Some(plan)).complete(&rows);
+        assert!(w_poisoned.wait().is_err(), "poisoned fill aborted, waiter fails cleanly");
+        assert_eq!(w_healthy.wait().unwrap().as_ref(), &[7.0, 7.5]);
+        let mut out = Dense::zeros(1, 2);
+        let (misses, _) = cache.split(&[2], 0, &mut out);
+        assert_eq!(misses, vec![2], "the poisoned row was never cached");
     }
 }

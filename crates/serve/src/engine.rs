@@ -11,7 +11,7 @@
 //! concurrent [`FeatureStore::publish`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -25,14 +25,18 @@ use fusedmm_perf::trace::{SpanCtx, SpanKind, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
+use crate::admit::{Admission, AdmissionPolicy};
 use crate::batcher::{dedup_union, group_by_epoch, scatter_rows, BatchQueue, Pending};
 use crate::cache::{EmbedCache, FillSet};
-use crate::observe::{apply_labels, push_cache_samples};
+use crate::fault::FaultPlan;
+use crate::observe::{apply_labels, push_cache_samples, push_outcome_samples};
 use crate::score::score_edges_banded;
 use crate::store::{FeatureEpoch, FeatureStore};
 use crate::ticket::{
-    Completion, EmbedAssembly, Part, RequestStats, Ticket, TraceHandle, WaiterSlot,
+    Completion, EmbedAssembly, EmbedOptions, EmbedResponse, Part, PartRetry, Quality, RequestStats,
+    Ticket, TraceHandle, WaiterSlot,
 };
+use crate::wait::{slot, PartError, SlotRx};
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -59,6 +63,16 @@ pub struct EngineConfig {
     /// Tests inject an explicit tracer here to avoid environment
     /// coupling.
     pub tracer: Option<Arc<Tracer>>,
+    /// Admission policy capping in-flight requests and queued rows.
+    /// `None` (the default) reads `FUSEDMM_ADMIT_*` from the
+    /// environment (unset = unlimited); tests and examples inject an
+    /// explicit policy to avoid environment coupling.
+    pub admission: Option<AdmissionPolicy>,
+    /// Fault-injection plan for chaos testing. `None` (the default)
+    /// reads `FUSEDMM_FAULT_PLAN` from the environment (unset =
+    /// disabled); pass `Some(Arc::new(FaultPlan::disabled()))` to make
+    /// an engine immune regardless of the environment.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +83,8 @@ impl Default for EngineConfig {
             blocking: None,
             cache: None,
             tracer: None,
+            admission: None,
+            fault: None,
         }
     }
 }
@@ -86,6 +102,27 @@ pub enum ServeError {
     },
     /// The engine has been shut down.
     EngineShutdown,
+    /// The admission policy rejected the request: the engine was at
+    /// its in-flight or queued-rows cap (load observed at rejection
+    /// time included for operator context). Shed requests cost no
+    /// kernel time and no queue slot — back off and retry.
+    Shed {
+        /// Open requests when the policy rejected.
+        inflight: u64,
+        /// Queued (undispatched) rows when the policy rejected.
+        queued_rows: usize,
+    },
+    /// The request's deadline passed before its rows were computed
+    /// (possibly before it was even admitted). No kernel time was
+    /// spent past the deadline.
+    DeadlineExpired,
+    /// A dispatched part of the request failed (its kernel launch
+    /// panicked) and the one healthy-path retry failed too.
+    PartFailed {
+        /// The shard whose part failed terminally (`None` for a
+        /// standalone engine or a coalesced-fill failure).
+        shard: Option<usize>,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -95,6 +132,18 @@ impl std::fmt::Display for ServeError {
                 write!(f, "node {node} out of range for a graph of {nvertices} vertices")
             }
             ServeError::EngineShutdown => write!(f, "engine has shut down"),
+            ServeError::Shed { inflight, queued_rows } => write!(
+                f,
+                "request shed by admission control ({inflight} in flight, {queued_rows} rows \
+                 queued)"
+            ),
+            ServeError::DeadlineExpired => write!(f, "deadline expired before the rows computed"),
+            ServeError::PartFailed { shard: Some(s) } => {
+                write!(f, "shard {s} failed the request past its retry")
+            }
+            ServeError::PartFailed { shard: None } => {
+                write!(f, "a part of the request failed past its retry")
+            }
         }
     }
 }
@@ -142,9 +191,17 @@ struct EngineShared {
     batches_dispatched: AtomicU64,
     rows_requested: AtomicU64,
     rows_computed: AtomicU64,
-    /// Request reconciliation: begun == harvested + abandoned once
-    /// every ticket has resolved.
+    /// Request reconciliation: begun == harvested + degraded + shed +
+    /// failed + abandoned once every ticket has resolved.
     stats: Arc<RequestStats>,
+    /// Resolved admission policy (config override or environment).
+    admission: AdmissionPolicy,
+    /// Resolved fault-injection plan, `None` when chaos is off.
+    fault: Option<Arc<FaultPlan>>,
+    /// Kernel-launch panics caught at the dispatch boundary.
+    panics_caught: AtomicU64,
+    /// Requests dropped past their deadline without kernel time.
+    expired_dropped: AtomicU64,
     /// Request-lifecycle span recorder (possibly disabled); shared by
     /// a sharded front end and its band engines so span ids and
     /// timestamps are consistent across one request's tree.
@@ -157,6 +214,53 @@ impl EngineShared {
     /// One past the last global vertex id this engine's band owns.
     fn band_end(&self) -> usize {
         self.band_start + self.a.nrows()
+    }
+
+    /// Enqueue an embedding request pinned to `epoch`; the returned
+    /// slot resolves with the rows (or a typed part error) once the
+    /// dispatcher serves the batch. Nodes must already be
+    /// range-checked. Lives on the shared state (not [`Engine`]) so a
+    /// ticket's retry closure can re-enqueue without a handle to the
+    /// engine.
+    fn enqueue(
+        &self,
+        nodes: &[usize],
+        epoch: Arc<FeatureEpoch>,
+        fills: Option<FillSet>,
+        trace: Option<SpanCtx>,
+        quality: Quality,
+        deadline: Option<Instant>,
+    ) -> Result<SlotRx, ServeError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(ServeError::EngineShutdown);
+        }
+        let tracer = &self.tracer;
+        let span = trace.map(|parent| (tracer.child(parent), tracer.now()));
+        let (tx, rx) = slot();
+        let accepted = self.queue.push(Pending {
+            nodes: nodes.to_vec(),
+            epoch,
+            tx,
+            fills,
+            trace: span.map(|(ctx, _)| ctx),
+            deadline,
+            quality,
+            enqueued: Instant::now(),
+        });
+        if !accepted {
+            return Err(ServeError::EngineShutdown);
+        }
+        if let Some((ctx, start)) = span {
+            tracer.record(
+                ctx,
+                SpanKind::Enqueue,
+                start,
+                tracer.now(),
+                self.shard,
+                nodes.len() as u64,
+            );
+        }
+        Ok(rx)
     }
 }
 
@@ -243,6 +347,9 @@ impl Engine {
             "band engines are uncached; the sharded front end owns the shared cache"
         );
         let tracer = config.tracer.clone().unwrap_or_else(|| Arc::clone(Tracer::global()));
+        let admission = config.admission.unwrap_or_else(AdmissionPolicy::from_env);
+        let fault = config.fault.clone().or_else(FaultPlan::from_env);
+        let fault = fault.filter(|f| f.is_active());
         let shared = Arc::new(EngineShared {
             a,
             band_start,
@@ -260,6 +367,10 @@ impl Engine {
             rows_requested: AtomicU64::new(0),
             rows_computed: AtomicU64::new(0),
             stats: Arc::new(RequestStats::default()),
+            admission,
+            fault,
+            panics_caught: AtomicU64::new(0),
+            expired_dropped: AtomicU64::new(0),
             tracer,
             started: Instant::now(),
             stopped: AtomicBool::new(false),
@@ -343,17 +454,57 @@ impl Engine {
     /// `wait` it, or `wait_deadline` it. One caller can hold thousands
     /// of open tickets; [`EngineMetrics::inflight`] gauges the window.
     ///
-    /// Errors are eager: out-of-range nodes and shutdown are reported
-    /// here, not deferred into the ticket.
+    /// Errors are eager: out-of-range nodes, shutdown, admission
+    /// rejection, and pre-expired deadlines are reported here, not
+    /// deferred into the ticket.
     pub fn embed_begin(&self, nodes: &[usize]) -> Result<Ticket<Dense>, ServeError> {
+        Ok(self.embed_begin_opts(nodes, EmbedOptions::default())?.map(|r| r.rows))
+    }
+
+    /// [`Engine::embed_begin`] with per-request [`EmbedOptions`]: an
+    /// optional deadline (expired work is dropped before the kernel
+    /// launch) and a [`Quality`] tier. The full [`EmbedResponse`]
+    /// carries per-row `served_degraded` marks and the tier actually
+    /// served (the admission ladder may downgrade `Exact` to
+    /// `CachedOnly` near the in-flight cap).
+    pub fn embed_begin_opts(
+        &self,
+        nodes: &[usize],
+        opts: EmbedOptions,
+    ) -> Result<Ticket<EmbedResponse>, ServeError> {
         if self.shared.stopped.load(Ordering::Acquire) {
             return Err(ServeError::EngineShutdown);
         }
         if nodes.is_empty() {
             self.shared.stats.ready();
-            return Ok(Ticket::ready(Ok(Dense::zeros(0, self.dimension()))));
+            return Ok(Ticket::ready(Ok(EmbedResponse {
+                rows: Dense::zeros(0, self.dimension()),
+                served_degraded: Vec::new(),
+                quality: opts.quality,
+            })));
         }
         self.check_nodes(nodes.iter().copied())?;
+        // Admission runs before this request acquires the in-flight
+        // gauge, so it never counts itself toward the cap it is being
+        // judged against.
+        let mut quality = opts.quality;
+        let inflight = self.shared.inflight.value();
+        let queued_rows = self.shared.queue.queued_rows();
+        match self.shared.admission.decide(inflight, queued_rows) {
+            Admission::Admit => {}
+            Admission::Degrade => {
+                quality = AdmissionPolicy::downgrade(quality, self.shared.cache.is_some());
+            }
+            Admission::Shed => {
+                self.shared.stats.shed();
+                return Err(ServeError::Shed { inflight, queued_rows });
+            }
+        }
+        if opts.deadline.is_some_and(|d| d <= Instant::now()) {
+            self.shared.stats.begin();
+            self.shared.stats.fail();
+            return Err(ServeError::DeadlineExpired);
+        }
         let t0 = Instant::now();
         let tracer = &self.shared.tracer;
         let root = tracer.sample_root();
@@ -362,17 +513,60 @@ impl Engine {
             |root: SpanCtx| TraceHandle { tracer: Arc::clone(tracer), root, begin_ns };
         let epoch = self.shared.store.snapshot();
         let guard = self.shared.inflight.acquire();
-        let Some(cache) = &self.shared.cache else {
-            let rx = self.enqueue_pinned(nodes, epoch, None, root)?;
+        if quality == Quality::CachedOnly {
+            return Ok(self.embed_cached_only(nodes, &epoch, t0, root, begin_ns));
+        }
+        if let Quality::TopKNeighbors(_) = quality {
+            // Degraded tier: skip the cache entirely — truncated rows
+            // must never be cached or mixed with exact rows — and run
+            // the degree-truncated kernel. Every row is marked
+            // degraded (rows with degree ≤ k happen to be exact, but
+            // the response-level contract is "this tier was served").
+            let rx = self.shared.enqueue(
+                nodes,
+                Arc::clone(&epoch),
+                None,
+                root,
+                quality,
+                opts.deadline,
+            )?;
             self.shared.stats.begin();
             let completion = Completion {
                 hist: None,
                 stats: Some(Arc::clone(&self.shared.stats)),
                 trace: root.map(trace_handle),
             };
+            let retry = self.retry_handle(Arc::clone(&epoch), quality, opts.deadline);
+            let part = Part::with_retry(nodes.to_vec(), 0, self.shared.shard, rx, Some(retry));
             return Ok(Ticket::pending(EmbedAssembly::direct(
-                nodes.to_vec(),
-                rx,
+                part,
+                vec![true; nodes.len()],
+                quality,
+                completion,
+                guard,
+            )));
+        }
+        let Some(cache) = &self.shared.cache else {
+            let rx = self.shared.enqueue(
+                nodes,
+                Arc::clone(&epoch),
+                None,
+                root,
+                quality,
+                opts.deadline,
+            )?;
+            self.shared.stats.begin();
+            let completion = Completion {
+                hist: None,
+                stats: Some(Arc::clone(&self.shared.stats)),
+                trace: root.map(trace_handle),
+            };
+            let retry = self.retry_handle(Arc::clone(&epoch), quality, opts.deadline);
+            let part = Part::with_retry(nodes.to_vec(), 0, self.shared.shard, rx, Some(retry));
+            return Ok(Ticket::pending(EmbedAssembly::direct(
+                part,
+                vec![false; nodes.len()],
+                quality,
                 completion,
                 guard,
             )));
@@ -400,7 +594,11 @@ impl Engine {
             }
             self.shared.stats.ready();
             self.shared.embed_latency.record(t0.elapsed());
-            return Ok(Ticket::ready(Ok(out)));
+            return Ok(Ticket::ready(Ok(EmbedResponse {
+                rows: out,
+                served_degraded: vec![false; nodes.len()],
+                quality,
+            })));
         }
         let mut owned = Vec::new();
         let mut owners = Vec::new();
@@ -433,9 +631,20 @@ impl Engine {
             // The FillSet rides the queue; if the enqueue loses a race
             // with shutdown its Drop aborts the registrations, so
             // coalesced waiters fail instead of hanging.
-            let fills = FillSet::new(Arc::clone(cache), owners);
-            let rx = self.enqueue_pinned(&owned, Arc::clone(&epoch), Some(fills), root)?;
-            parts.push(Part::new(owned, 0, rx));
+            let fills = FillSet::new(Arc::clone(cache), owners, self.shared.fault.clone());
+            let rx = self.shared.enqueue(
+                &owned,
+                Arc::clone(&epoch),
+                Some(fills),
+                root,
+                quality,
+                opts.deadline,
+            )?;
+            // The retry path recomputes without fills: the original
+            // registrations were aborted by the panicked launch, and a
+            // recovery pass should not race fresh coalescers.
+            let retry = self.retry_handle(Arc::clone(&epoch), quality, opts.deadline);
+            parts.push(Part::with_retry(owned, 0, self.shared.shard, rx, Some(retry)));
         }
         let positions = positions.into_iter().map(|i| (i, nodes[i])).collect();
         // A fully coalesced request never reaches the dispatcher:
@@ -449,11 +658,70 @@ impl Engine {
             trace: root.map(trace_handle),
         };
         Ok(Ticket::pending(EmbedAssembly::assemble(
-            out, parts, waiters, positions, completion, None, guard,
+            out,
+            parts,
+            waiters,
+            positions,
+            vec![false; nodes.len()],
+            quality,
+            completion,
+            None,
+            guard,
         )))
     }
 
-    /// Enqueue an embedding request pinned to `epoch`; the receiver
+    /// The `CachedOnly` tier: answer immediately from whatever the
+    /// result cache holds at the pinned epoch. Misses come back as
+    /// zero rows marked `served_degraded` — no enqueue, no miss
+    /// routing, no coalescing, no kernel time. Without a cache every
+    /// row is a degraded zero row.
+    fn embed_cached_only(
+        &self,
+        nodes: &[usize],
+        epoch: &Arc<FeatureEpoch>,
+        t0: Instant,
+        root: Option<SpanCtx>,
+        begin_ns: u64,
+    ) -> Ticket<EmbedResponse> {
+        let tracer = &self.shared.tracer;
+        let mut out = Dense::zeros(nodes.len(), self.dimension());
+        let mut marks = vec![true; nodes.len()];
+        if let Some(cache) = &self.shared.cache {
+            let route_start = if root.is_some() { tracer.now() } else { 0 };
+            let (_, miss_positions) = cache.split(nodes, epoch.epoch(), &mut out);
+            marks = vec![false; nodes.len()];
+            for &i in &miss_positions {
+                marks[i] = true;
+            }
+            if let Some(r) = root {
+                let route = tracer.child(r);
+                tracer.record(
+                    route,
+                    SpanKind::CacheRoute,
+                    route_start,
+                    tracer.now(),
+                    self.shared.shard,
+                    nodes.len() as u64,
+                );
+            }
+        }
+        if let Some(r) = root {
+            tracer.record(r, SpanKind::Embed, begin_ns, tracer.now(), None, nodes.len() as u64);
+        }
+        if marks.iter().any(|&b| b) {
+            self.shared.stats.ready_degraded();
+        } else {
+            self.shared.stats.ready();
+        }
+        self.shared.embed_latency.record(t0.elapsed());
+        Ticket::ready(Ok(EmbedResponse {
+            rows: out,
+            served_degraded: marks,
+            quality: Quality::CachedOnly,
+        }))
+    }
+
+    /// Enqueue an embedding request pinned to `epoch`; the slot
     /// completes with the rows once the dispatcher serves the batch
     /// (resolving `fills` — cache inserts plus coalesced-waiter
     /// back-fills — first).
@@ -467,42 +735,48 @@ impl Engine {
     /// of the batch/kernel/cache-fill spans. The caller's tracer must
     /// be this engine's tracer (a sharded front end shares one with
     /// its bands).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn enqueue_pinned(
         &self,
         nodes: &[usize],
         epoch: Arc<FeatureEpoch>,
         fills: Option<FillSet>,
         trace: Option<SpanCtx>,
-    ) -> Result<mpsc::Receiver<Dense>, ServeError> {
+        quality: Quality,
+        deadline: Option<Instant>,
+    ) -> Result<SlotRx, ServeError> {
         self.check_nodes(nodes.iter().copied())?;
-        if self.shared.stopped.load(Ordering::Acquire) {
-            return Err(ServeError::EngineShutdown);
-        }
-        let tracer = &self.shared.tracer;
-        let span = trace.map(|parent| (tracer.child(parent), tracer.now()));
-        let (tx, rx) = mpsc::channel();
-        let accepted = self.shared.queue.push(Pending {
-            nodes: nodes.to_vec(),
-            epoch,
-            tx,
-            fills,
-            trace: span.map(|(ctx, _)| ctx),
-            enqueued: Instant::now(),
-        });
-        if !accepted {
-            return Err(ServeError::EngineShutdown);
-        }
-        if let Some((ctx, start)) = span {
-            tracer.record(
-                ctx,
-                SpanKind::Enqueue,
-                start,
-                tracer.now(),
-                self.shared.shard,
-                nodes.len() as u64,
-            );
-        }
-        Ok(rx)
+        self.shared.enqueue(nodes, epoch, fills, trace, quality, deadline)
+    }
+
+    /// A one-shot healthy-path re-enqueue for a part whose kernel
+    /// launch panicked: same nodes, same pinned epoch (an `Exact`
+    /// retry stays bit-identical), no cache fills and no trace parent.
+    pub(crate) fn retry_handle(
+        &self,
+        epoch: Arc<FeatureEpoch>,
+        quality: Quality,
+        deadline: Option<Instant>,
+    ) -> PartRetry {
+        let shared = Arc::clone(&self.shared);
+        Box::new(move |nodes: &[usize]| shared.enqueue(nodes, epoch, None, None, quality, deadline))
+    }
+
+    /// Rows queued (undispatched) in this engine's batcher — the
+    /// admission policy's backlog signal, summed across shards by a
+    /// sharded front end.
+    pub(crate) fn queued_rows(&self) -> usize {
+        self.shared.queue.queued_rows()
+    }
+
+    /// Kernel-launch panics caught at this engine's dispatch boundary.
+    pub(crate) fn panics_caught(&self) -> u64 {
+        self.shared.panics_caught.load(Ordering::Relaxed)
+    }
+
+    /// Requests this engine's dispatcher dropped past their deadline.
+    pub(crate) fn expired_dropped(&self) -> u64 {
+        self.shared.expired_dropped.load(Ordering::Relaxed)
     }
 
     /// Score candidate `(u, v)` edges with the SDDMM-only path (see
@@ -585,7 +859,13 @@ impl Engine {
             rows_computed: self.shared.rows_computed.load(Ordering::Relaxed),
             requests_begun: self.shared.stats.begun.load(Ordering::Relaxed),
             requests_harvested: self.shared.stats.harvested.load(Ordering::Relaxed),
+            requests_degraded: self.shared.stats.degraded.load(Ordering::Relaxed),
+            requests_shed: self.shared.stats.shed.load(Ordering::Relaxed),
+            requests_failed: self.shared.stats.failed.load(Ordering::Relaxed),
             requests_abandoned: self.shared.stats.abandoned.load(Ordering::Relaxed),
+            panics_caught: self.shared.panics_caught.load(Ordering::Relaxed),
+            expired_dropped: self.shared.expired_dropped.load(Ordering::Relaxed),
+            queued_rows: self.shared.queue.queued_rows(),
             inflight: inflight.current,
             inflight_peak: inflight.peak,
             feature_epoch: self.shared.store.current_epoch(),
@@ -629,17 +909,15 @@ impl Engine {
                 "fusedmm_rows_computed_total",
                 shared.rows_computed.load(Ordering::Relaxed),
             )));
+            push_outcome_samples(out, &shared.stats, &labels);
+            out.push(l(Sample::gauge("fusedmm_queue_rows", shared.queue.queued_rows() as f64)));
             out.push(l(Sample::counter(
-                "fusedmm_requests_begun_total",
-                shared.stats.begun.load(Ordering::Relaxed),
+                "fusedmm_panics_caught_total",
+                shared.panics_caught.load(Ordering::Relaxed),
             )));
             out.push(l(Sample::counter(
-                "fusedmm_requests_harvested_total",
-                shared.stats.harvested.load(Ordering::Relaxed),
-            )));
-            out.push(l(Sample::counter(
-                "fusedmm_requests_abandoned_total",
-                shared.stats.abandoned.load(Ordering::Relaxed),
+                "fusedmm_expired_dropped_total",
+                shared.expired_dropped.load(Ordering::Relaxed),
             )));
             let inflight = shared.inflight.snapshot();
             out.push(l(Sample::gauge("fusedmm_requests_inflight", inflight.current as f64)));
@@ -692,14 +970,43 @@ impl Drop for Engine {
     }
 }
 
+/// Fail every request in `expired` with a typed `Expired` reply:
+/// deadline passed while queued, no kernel time spent. Dropping the
+/// `FillSet` aborts any owned cache registrations, so coalesced
+/// waiters fail instead of hanging.
+fn drop_expired(shared: &EngineShared, expired: Vec<Pending>) {
+    for request in expired {
+        shared.expired_dropped.fetch_add(1, Ordering::Relaxed);
+        drop(request.fills);
+        request.tx.send(Err(PartError::Expired));
+    }
+}
+
 fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
     let tracer = &shared.tracer;
-    while let Some(batch) = shared.queue.next_batch(config.coalesce_window, config.max_batch_rows) {
-        // Requests pinned to different feature epochs must not share a
-        // kernel launch; in the common (no mid-batch publish) case this
-        // is one group and coalescing is unchanged.
-        for group in group_by_epoch(batch) {
+    // Monotonic launch counter driving the fault plan's
+    // panic-on-nth-batch injection.
+    let mut batch_seq: u64 = 0;
+    while let Some(drained) = shared.queue.next_batch(config.coalesce_window, config.max_batch_rows)
+    {
+        drop_expired(shared, drained.expired);
+        // Requests pinned to different feature epochs (or different
+        // quality tiers) must not share a kernel launch; in the common
+        // (no mid-batch publish, one tier) case this is one group and
+        // coalescing is unchanged.
+        for group in group_by_epoch(drained.batch) {
+            // Deadlines are re-checked right before the launch: the
+            // coalesce linger (or a long prior group) may have
+            // outlasted a deadline that was live at drain time.
+            let now = Instant::now();
+            let (group, expired_now): (Vec<_>, Vec<_>) =
+                group.into_iter().partition(|p| p.deadline.is_none_or(|d| d > now));
+            drop_expired(shared, expired_now);
+            if group.is_empty() {
+                continue;
+            }
             let epoch = Arc::clone(&group[0].epoch);
+            let quality = group[0].quality;
             // Batch/kernel timestamps are taken once per launch and
             // recorded once per *sampled* request, so each sampled
             // request owns a complete tree even when the batch
@@ -708,15 +1015,52 @@ fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
             let batch_start = if sampled { tracer.now() } else { 0 };
             let union = dedup_union(group.iter().map(|p| p.nodes.as_slice()));
             let rows_requested: usize = group.iter().map(|p| p.nodes.len()).sum();
+            batch_seq += 1;
+            let seq = batch_seq;
             let kernel_start = if sampled { tracer.now() } else { 0 };
-            let union_rows = shared.plan.execute_rows_banded(
-                &shared.a,
-                shared.band_start,
-                &union,
-                epoch.x(),
-                epoch.y(),
-                &shared.ops,
-            );
+            // The launch is a fault boundary: a panic inside the
+            // kernel (or injected by the fault plan) is caught here
+            // and turned into typed per-request part errors — the
+            // dispatcher thread survives, and each ticket retries once
+            // on a healthy path before reporting `PartFailed`.
+            let launched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(fault) = &shared.fault {
+                    fault.maybe_panic(seq);
+                }
+                match quality {
+                    Quality::TopKNeighbors(k) => shared.plan.execute_rows_banded_topk(
+                        &shared.a,
+                        shared.band_start,
+                        &union,
+                        k,
+                        epoch.x(),
+                        epoch.y(),
+                        &shared.ops,
+                    ),
+                    Quality::Exact | Quality::CachedOnly => shared.plan.execute_rows_banded(
+                        &shared.a,
+                        shared.band_start,
+                        &union,
+                        epoch.x(),
+                        epoch.y(),
+                        &shared.ops,
+                    ),
+                }
+            }));
+            let union_rows = match launched {
+                Ok(rows) => rows,
+                Err(_) => {
+                    shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    for request in group {
+                        // Dropping the FillSet aborts the owned cache
+                        // registrations; the requester's ticket gets a
+                        // typed panic reply and drives its own retry.
+                        drop(request.fills);
+                        request.tx.send(Err(PartError::Panicked));
+                    }
+                    continue;
+                }
+            };
             let kernel_end = if sampled { tracer.now() } else { 0 };
             // Account before completing requests so a caller that
             // observes its own completion also observes the batch in
@@ -742,6 +1086,12 @@ fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
                 // waiters complete as soon as the computation does —
                 // independent of when this caller harvests its ticket.
                 if let Some(fills) = request.fills {
+                    // Injected fill latency: widens the window in which
+                    // coalesced waiters are outstanding (chaos coverage
+                    // for the waiter paths).
+                    if let Some(delay) = shared.fault.as_ref().and_then(|f| f.fill_delay()) {
+                        std::thread::sleep(delay);
+                    }
                     let fill_start = if batch_ctx.is_some() { tracer.now() } else { 0 };
                     fills.complete(&out);
                     if let Some(ctx) = batch_ctx {
@@ -768,7 +1118,7 @@ fn dispatch_loop(shared: &EngineShared, config: &EngineConfig) {
                     );
                 }
                 // A disconnected receiver just means the caller gave up.
-                let _ = request.tx.send(out);
+                request.tx.send(Ok(out));
             }
         }
     }
@@ -794,15 +1144,33 @@ pub struct EngineMetrics {
     /// Total rows actually computed after deduplication (≤ requested
     /// when concurrent requests overlap).
     pub rows_computed: u64,
-    /// Embed requests admitted (every `embed_begin` that returned
-    /// `Ok`, including requests resolved at creation).
+    /// Embed requests that reached admission (every `embed_begin` that
+    /// counted an outcome, including requests resolved at creation and
+    /// requests shed at the door).
     pub requests_begun: u64,
-    /// Embed requests whose response was assembled and returned.
+    /// Embed requests whose exact response was assembled and returned.
     pub requests_harvested: u64,
-    /// Embed requests whose ticket was dropped unresolved (or died on
-    /// a shutdown). `begun == harvested + abandoned` once every ticket
-    /// has resolved.
+    /// Embed requests answered with at least one degraded row
+    /// (`CachedOnly` misses, truncated-neighbor tiers).
+    pub requests_degraded: u64,
+    /// Embed requests rejected by the admission policy.
+    pub requests_shed: u64,
+    /// Embed requests resolved with an error after admission (deadline
+    /// expired, part failed past its retry, shutdown mid-flight).
+    pub requests_failed: u64,
+    /// Embed requests whose ticket was dropped unresolved.
+    /// `begun == harvested + degraded + shed + failed + abandoned`
+    /// once every ticket has resolved.
     pub requests_abandoned: u64,
+    /// Kernel-launch panics caught at the dispatch boundary (each
+    /// failed the launch's requests with a retryable part error).
+    pub panics_caught: u64,
+    /// Requests the dispatcher dropped past their deadline without
+    /// spending kernel time.
+    pub expired_dropped: u64,
+    /// Rows currently queued (undispatched) in the micro-batcher —
+    /// the admission policy's backlog signal.
+    pub queued_rows: usize,
     /// Embed requests currently open (begin → resolve): blocking calls
     /// plus every un-harvested [`Ticket`].
     pub inflight: u64,
@@ -826,15 +1194,22 @@ impl std::fmt::Display for EngineMetrics {
         write!(
             f,
             "batches: {}  rows requested: {}  rows computed: {}  requests: {} begun / {} \
-             harvested / {} abandoned  in-flight: {} (peak {})  epoch: {} ({} swaps)",
+             harvested / {} degraded / {} shed / {} failed / {} abandoned  in-flight: {} (peak \
+             {})  queued rows: {}  panics caught: {}  expired: {}  epoch: {} ({} swaps)",
             self.batches_dispatched,
             self.rows_requested,
             self.rows_computed,
             self.requests_begun,
             self.requests_harvested,
+            self.requests_degraded,
+            self.requests_shed,
+            self.requests_failed,
             self.requests_abandoned,
             self.inflight,
             self.inflight_peak,
+            self.queued_rows,
+            self.panics_caught,
+            self.expired_dropped,
             self.feature_epoch,
             self.epoch_swaps
         )?;
@@ -1133,6 +1508,207 @@ mod tests {
         eng.shutdown();
         // Even a would-be full cache hit is refused after shutdown.
         assert_eq!(eng.embed(&[1]), Err(ServeError::EngineShutdown));
+    }
+
+    #[test]
+    fn admission_sheds_at_the_inflight_cap_and_reconciles() {
+        let (plain, _) = engine(20, 8, OpSet::gcn());
+        let cfg = EngineConfig {
+            admission: Some(AdmissionPolicy {
+                max_inflight: 1,
+                max_queued_rows: 0,
+                degrade_fraction: 1.0,
+            }),
+            ..plain.config().clone()
+        };
+        let ep = plain.store().snapshot();
+        let eng =
+            Engine::new(plain.shared.a.clone(), ep.x().clone(), ep.y().clone(), OpSet::gcn(), cfg);
+        let held = eng.embed_begin(&[1]).unwrap();
+        match eng.embed_begin(&[2]) {
+            Err(ServeError::Shed { inflight, .. }) => assert_eq!(inflight, 1),
+            other => panic!("expected Shed at the cap, got {other:?}"),
+        }
+        held.wait().unwrap();
+        eng.embed(&[2]).unwrap();
+        let m = eng.metrics();
+        assert_eq!(m.requests_shed, 1);
+        assert_eq!(
+            m.requests_begun,
+            m.requests_harvested
+                + m.requests_degraded
+                + m.requests_shed
+                + m.requests_failed
+                + m.requests_abandoned
+        );
+    }
+
+    #[test]
+    fn ladder_downgrades_exact_to_cached_only_near_the_cap() {
+        let (plain, _) = engine(20, 8, OpSet::gcn());
+        let cfg = EngineConfig {
+            cache: Some(CacheConfig::default()),
+            admission: Some(AdmissionPolicy {
+                max_inflight: 4,
+                max_queued_rows: 0,
+                degrade_fraction: 0.25,
+            }),
+            ..plain.config().clone()
+        };
+        let ep = plain.store().snapshot();
+        let eng =
+            Engine::new(plain.shared.a.clone(), ep.x().clone(), ep.y().clone(), OpSet::gcn(), cfg);
+        let exact = eng.embed(&[3, 7]).unwrap();
+        // Hold one miss in flight: load 1 ≥ ceil(4 · 0.25) trips the
+        // degrade rung, well below the shed cap of 4.
+        let held = eng.embed_begin(&[11]).unwrap();
+        let resp = eng.embed_begin_opts(&[3, 7], EmbedOptions::default()).unwrap().wait().unwrap();
+        assert_eq!(resp.quality, Quality::CachedOnly, "ladder downgraded before shedding");
+        assert!(!resp.any_degraded(), "warm rows are still the exact cached values");
+        assert_eq!(resp.rows, exact);
+        held.wait().unwrap();
+    }
+
+    #[test]
+    fn pre_expired_deadline_fails_fast_and_counts_failed() {
+        let (eng, _) = engine(10, 4, OpSet::gcn());
+        let opts = EmbedOptions::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(eng.embed_begin_opts(&[1], opts).unwrap_err(), ServeError::DeadlineExpired);
+        let m = eng.metrics();
+        assert_eq!(m.requests_failed, 1);
+        assert_eq!(m.requests_begun, 1);
+    }
+
+    #[test]
+    fn queued_request_expiring_before_launch_fails_typed() {
+        let (plain, _) = engine(10, 4, OpSet::gcn());
+        // A long coalesce linger guarantees the short deadline passes
+        // while the request sits in the queue.
+        let cfg =
+            EngineConfig { coalesce_window: Duration::from_millis(50), ..plain.config().clone() };
+        let ep = plain.store().snapshot();
+        let eng =
+            Engine::new(plain.shared.a.clone(), ep.x().clone(), ep.y().clone(), OpSet::gcn(), cfg);
+        let opts = EmbedOptions::with_deadline(Instant::now() + Duration::from_millis(5));
+        let t = eng.embed_begin_opts(&[1], opts).unwrap();
+        assert_eq!(t.wait().unwrap_err(), ServeError::DeadlineExpired);
+        let m = eng.metrics();
+        assert_eq!(m.expired_dropped, 1);
+        assert_eq!(m.requests_failed, 1);
+        assert_eq!(m.rows_computed, 0, "no kernel time was spent past the deadline");
+    }
+
+    #[test]
+    fn injected_panics_fail_requests_typed_after_one_retry() {
+        crate::fault::quiet_injected_panics();
+        let (plain, _) = engine(10, 4, OpSet::gcn());
+        let cfg = EngineConfig {
+            fault: Some(Arc::new(FaultPlan::parse("panic_every=1").unwrap())),
+            ..plain.config().clone()
+        };
+        let ep = plain.store().snapshot();
+        let eng =
+            Engine::new(plain.shared.a.clone(), ep.x().clone(), ep.y().clone(), OpSet::gcn(), cfg);
+        assert_eq!(eng.embed(&[1]).unwrap_err(), ServeError::PartFailed { shard: None });
+        let m = eng.metrics();
+        assert!(m.panics_caught >= 2, "the original launch and the retry both panicked");
+        assert_eq!(m.requests_failed, 1);
+        assert_eq!(
+            m.requests_begun,
+            m.requests_harvested
+                + m.requests_degraded
+                + m.requests_shed
+                + m.requests_failed
+                + m.requests_abandoned
+        );
+    }
+
+    #[test]
+    fn panicked_launch_recovers_via_retry_bit_identical() {
+        crate::fault::quiet_injected_panics();
+        let (plain, reference) = engine(20, 8, OpSet::gcn());
+        // Batch 2 panics; its retry re-enqueues as batch 3 and lands.
+        let cfg = EngineConfig {
+            fault: Some(Arc::new(FaultPlan::parse("panic_every=2").unwrap())),
+            ..plain.config().clone()
+        };
+        let ep = plain.store().snapshot();
+        let eng =
+            Engine::new(plain.shared.a.clone(), ep.x().clone(), ep.y().clone(), OpSet::gcn(), cfg);
+        let healthy = eng.embed(&[3]).unwrap();
+        let healed = eng.embed(&[3]).unwrap();
+        assert_eq!(healed, healthy, "a retried Exact request is bit-identical");
+        for k in 0..8 {
+            assert!((healed.get(0, k) - reference.get(3, k)).abs() < 1e-5);
+        }
+        let m = eng.metrics();
+        assert_eq!(m.panics_caught, 1);
+        assert_eq!(m.requests_harvested, 2);
+        assert_eq!(m.requests_failed, 0);
+    }
+
+    #[test]
+    fn topk_tier_matches_truncated_graph_and_marks_every_row() {
+        let (eng, _) = engine(40, 8, OpSet::sigmoid_embedding(None));
+        let nodes = [7usize, 0, 39, 7];
+        let resp = eng
+            .embed_begin_opts(&nodes, EmbedOptions::with_quality(Quality::TopKNeighbors(2)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.quality, Quality::TopKNeighbors(2));
+        assert_eq!(resp.degraded_rows(), vec![0, 1, 2, 3]);
+        let ep = eng.store().snapshot();
+        let truncated =
+            fusedmm_reference(&eng.shared.a.top_k_by_weight(2), ep.x(), ep.y(), &eng.shared.ops);
+        for (i, &u) in nodes.iter().enumerate() {
+            for k in 0..8 {
+                assert!(
+                    (resp.rows.get(i, k) - truncated.get(u, k)).abs() < 1e-5,
+                    "node {u} lane {k}"
+                );
+            }
+        }
+        // k at least the max degree leaves the graph intact: the tier
+        // is bit-identical to the exact path.
+        let full = eng
+            .embed_begin_opts(&nodes, EmbedOptions::with_quality(Quality::TopKNeighbors(64)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(full.rows.as_slice(), eng.embed(&nodes).unwrap().as_slice());
+    }
+
+    #[test]
+    fn cached_only_serves_hits_and_zero_fills_misses() {
+        let (plain, _) = engine(20, 8, OpSet::gcn());
+        let cfg = EngineConfig { cache: Some(CacheConfig::default()), ..plain.config().clone() };
+        let ep = plain.store().snapshot();
+        let eng =
+            Engine::new(plain.shared.a.clone(), ep.x().clone(), ep.y().clone(), OpSet::gcn(), cfg);
+        let exact = eng.embed(&[1, 2]).unwrap();
+        let opts = EmbedOptions::with_quality(Quality::CachedOnly);
+        let resp = eng.embed_begin_opts(&[1, 9], opts).unwrap().wait().unwrap();
+        assert_eq!(resp.quality, Quality::CachedOnly);
+        assert_eq!(resp.served_degraded, vec![false, true]);
+        assert_eq!(resp.rows.row(0), exact.row(0), "warm row served from cache");
+        assert_eq!(resp.rows.row(1), vec![0.0; 8].as_slice(), "cold row zero-filled");
+        let warm = eng.embed_begin_opts(&[1, 2], opts).unwrap().wait().unwrap();
+        assert!(!warm.any_degraded());
+        let m = eng.metrics();
+        assert_eq!(m.requests_degraded, 1, "only the partially-missing response was degraded");
+        // CachedOnly never enqueues: node 9 was not computed.
+        let miss_again = eng.embed_begin_opts(&[9], opts).unwrap().wait().unwrap();
+        assert!(miss_again.any_degraded());
+    }
+
+    #[test]
+    fn cached_only_without_a_cache_is_all_zero_and_all_degraded() {
+        let (eng, _) = engine(10, 4, OpSet::gcn());
+        let opts = EmbedOptions::with_quality(Quality::CachedOnly);
+        let resp = eng.embed_begin_opts(&[1, 2], opts).unwrap().wait().unwrap();
+        assert_eq!(resp.served_degraded, vec![true, true]);
+        assert_eq!(resp.rows.as_slice(), &[0.0; 8]);
     }
 
     #[test]

@@ -64,7 +64,33 @@
 //!   requests additionally record a full lifecycle span tree (enqueue
 //!   → batch → kernel → cache fill → harvest) into a lock-free
 //!   [`Tracer`] (`FUSEDMM_TRACE=<rate>`),
-//!   dumpable as chrome://tracing JSON.
+//!   dumpable as chrome://tracing JSON;
+//! * admission control ([`admit`]) — an [`AdmissionPolicy`] caps
+//!   in-flight requests and queued rows (`FUSEDMM_ADMIT_INFLIGHT` /
+//!   `FUSEDMM_ADMIT_ROWS`): a load-shedding ladder first downgrades
+//!   `Exact` requests to `CachedOnly` near the cap, then rejects with a
+//!   typed [`ServeError::Shed`] at the cap — the queue never grows
+//!   unboundedly;
+//! * deadlines and degraded tiers ([`ticket`]) — requests carry an
+//!   optional deadline and a [`Quality`] knob
+//!   ([`Engine::embed_begin_opts`]): expired work is dropped before the
+//!   kernel launch ([`ServeError::DeadlineExpired`]),
+//!   [`Quality::CachedOnly`] answers straight from the result cache
+//!   with per-row `served_degraded` marks, and
+//!   [`Quality::TopKNeighbors`] aggregates only each node's strongest
+//!   neighbors (degree-truncated kernel, measured error vs exact);
+//! * fault isolation ([`fault`]) — a band-engine panic is caught at the
+//!   dispatch boundary and surfaces as a typed per-part error: the
+//!   failed part retries **once** on a healthy path (same pinned epoch,
+//!   so an Exact retry stays bit-identical) before the ticket resolves
+//!   [`ServeError::PartFailed`]; a [`FaultPlan`]
+//!   (`FUSEDMM_FAULT_PLAN=panic_every=N,delay_fill_us=U,poison_segment=S`)
+//!   injects panics, fill delays, and poisoned cache segments for chaos
+//!   testing — every request provably ends harvested, degraded, shed,
+//!   failed, or abandoned, and the request counters reconcile exactly;
+//! * window harvesting ([`wait`]) — [`wait_any`] parks a caller on a
+//!   whole window of tickets with O(1) wakeup work per completion (a
+//!   shared wakeup queue, no poll loop).
 //!
 //! # Quickstart
 //!
@@ -93,16 +119,21 @@
 //! assert_eq!(scores.len(), 2);
 //! ```
 
+pub mod admit;
 pub mod batcher;
 pub mod cache;
 pub mod engine;
+pub mod fault;
 pub mod observe;
 pub mod score;
 pub mod shard;
 pub mod store;
 pub mod ticket;
+pub mod wait;
 
+pub use admit::AdmissionPolicy;
 pub use cache::EmbedCache;
+pub use fault::{quiet_injected_panics, FaultPlan, InjectedFault};
 pub use observe::register_kernel_profiles;
 // The cache crate's config/metrics are part of this crate's public
 // surface (EngineConfig::cache, EngineMetrics::cache).
@@ -116,4 +147,5 @@ pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
 pub use score::{score_edges, score_edges_banded};
 pub use shard::{ShardedEngine, ShardedMetrics};
 pub use store::{EpochListener, FeatureEpoch, FeatureStore};
-pub use ticket::Ticket;
+pub use ticket::{EmbedOptions, EmbedResponse, Quality, Ticket};
+pub use wait::wait_any;

@@ -43,6 +43,40 @@ pub(crate) fn push_cache_samples(
     out.push(l(Sample::ratio("fusedmm_cache_hit_ratio", m.hit_ratio)));
 }
 
+/// Append one engine's request-outcome counters as
+/// `fusedmm_requests_*` samples — the six buckets of the
+/// reconciliation invariant `begun == harvested + degraded + shed +
+/// failed + abandoned`.
+pub(crate) fn push_outcome_samples(
+    out: &mut Vec<Sample>,
+    stats: &crate::ticket::RequestStats,
+    labels: &[(String, String)],
+) {
+    use std::sync::atomic::Ordering;
+    let l = |s: Sample| apply_labels(s, labels);
+    out.push(l(Sample::counter(
+        "fusedmm_requests_begun_total",
+        stats.begun.load(Ordering::Relaxed),
+    )));
+    out.push(l(Sample::counter(
+        "fusedmm_requests_harvested_total",
+        stats.harvested.load(Ordering::Relaxed),
+    )));
+    out.push(l(Sample::counter(
+        "fusedmm_requests_degraded_total",
+        stats.degraded.load(Ordering::Relaxed),
+    )));
+    out.push(l(Sample::counter("fusedmm_requests_shed_total", stats.shed.load(Ordering::Relaxed))));
+    out.push(l(Sample::counter(
+        "fusedmm_requests_failed_total",
+        stats.failed.load(Ordering::Relaxed),
+    )));
+    out.push(l(Sample::counter(
+        "fusedmm_requests_abandoned_total",
+        stats.abandoned.load(Ordering::Relaxed),
+    )));
+}
+
 /// Register the process-global kernel profile table
 /// ([`fusedmm_core::kernel_profiles`]) with `registry`: one
 /// `fusedmm_kernel_*` sample set per `(op, d, backend, blocking)`

@@ -30,17 +30,20 @@ use fusedmm_ops::OpSet;
 use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{HistogramSnapshot, HistogramVec, LatencyHistogram};
 use fusedmm_perf::registry::{MetricsRegistry, Sample};
-use fusedmm_perf::trace::{SpanKind, Tracer};
+use fusedmm_perf::trace::{SpanCtx, SpanKind, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
+use crate::admit::{Admission, AdmissionPolicy};
 use crate::batcher::dedup_union;
 use crate::cache::{EmbedCache, FillSet};
 use crate::engine::{BandId, Engine, EngineConfig, EngineMetrics, ServeError};
-use crate::observe::push_cache_samples;
-use crate::store::FeatureStore;
+use crate::fault::FaultPlan;
+use crate::observe::{push_cache_samples, push_outcome_samples};
+use crate::store::{FeatureEpoch, FeatureStore};
 use crate::ticket::{
-    Completion, EmbedAssembly, Part, RequestStats, Ticket, TraceHandle, WaiterSlot,
+    Completion, EmbedAssembly, EmbedOptions, EmbedResponse, Part, Quality, RequestStats, Ticket,
+    TraceHandle, WaiterSlot,
 };
 
 /// A graph served by several PART1D band engines behind one front end.
@@ -74,6 +77,17 @@ pub struct ShardedEngine {
     /// [`EngineConfig`]) so one sampled request's fan-out spans carry
     /// consistent ids and timestamps.
     tracer: Arc<Tracer>,
+    /// Front-end admission policy: in-flight is this front end's own
+    /// gauge, backlog is the sum of every shard's queued rows. Band
+    /// engines run unlimited beneath it — one gate per deployment, at
+    /// the door.
+    admission: AdmissionPolicy,
+    /// The resolved fault-injection plan (config override or
+    /// environment), `None` when inactive. Panic/delay injection
+    /// happens in the band dispatchers (the plan is propagated through
+    /// their configs); the front end keeps its own handle for
+    /// poisoned-segment fill aborts on the shared cache.
+    fault: Option<Arc<FaultPlan>>,
     /// Set by [`ShardedEngine::shutdown`] so the front end rejects new
     /// requests even when the shared cache could satisfy them.
     stopped: AtomicBool,
@@ -143,8 +157,24 @@ impl ShardedEngine {
         // engine share one instance (consistent span ids/timestamps
         // across a request's fan-out).
         let tracer = config.tracer.clone().unwrap_or_else(|| Arc::clone(Tracer::global()));
-        let band_config =
-            EngineConfig { cache: None, tracer: Some(Arc::clone(&tracer)), ..config.clone() };
+        // Resolve admission and fault injection once, here: requests
+        // are admitted at the front door (band engines run unlimited —
+        // they only ever see already-admitted pieces), and every band
+        // dispatcher injects from the same plan instance (bands never
+        // re-read the environment).
+        let admission = config.admission.unwrap_or_else(AdmissionPolicy::from_env);
+        let fault_cfg = config
+            .fault
+            .clone()
+            .or_else(FaultPlan::from_env)
+            .unwrap_or_else(|| Arc::new(FaultPlan::disabled()));
+        let band_config = EngineConfig {
+            cache: None,
+            tracer: Some(Arc::clone(&tracer)),
+            admission: Some(AdmissionPolicy::unlimited()),
+            fault: Some(Arc::clone(&fault_cfg)),
+            ..config.clone()
+        };
         let shards: Vec<Engine> = (0..part.len())
             .map(|s| {
                 let rows = part.rows(s);
@@ -172,6 +202,8 @@ impl ShardedEngine {
             inflight: Arc::new(Gauge::new()),
             stats: Arc::new(RequestStats::default()),
             tracer,
+            admission,
+            fault: Some(fault_cfg).filter(|f| f.is_active()),
             stopped: AtomicBool::new(false),
             boundaries: part.boundaries().to_vec(),
             fanout,
@@ -249,6 +281,20 @@ impl ShardedEngine {
     /// another in-flight request is already computing coalesce onto it
     /// instead of fanning out — whichever shard owns them.
     pub fn embed_begin(&self, nodes: &[usize]) -> Result<Ticket<Dense>, ServeError> {
+        Ok(self.embed_begin_opts(nodes, EmbedOptions::default())?.map(|r| r.rows))
+    }
+
+    /// [`ShardedEngine::embed_begin`] with per-request
+    /// [`EmbedOptions`]: an optional deadline (expired pieces are
+    /// dropped before any band's kernel launch) and a [`Quality`] tier
+    /// — the same contract as [`Engine::embed_begin_opts`], applied at
+    /// the front door so one admission gate and one tier decision
+    /// cover the whole fan-out.
+    pub fn embed_begin_opts(
+        &self,
+        nodes: &[usize],
+        opts: EmbedOptions,
+    ) -> Result<Ticket<EmbedResponse>, ServeError> {
         // Match the single engine's post-shutdown contract: even a
         // would-be full cache hit is refused once shut down.
         if self.stopped.load(Ordering::Acquire) {
@@ -257,7 +303,33 @@ impl ShardedEngine {
         self.check_nodes(nodes)?;
         if nodes.is_empty() {
             self.stats.ready();
-            return Ok(Ticket::ready(Ok(Dense::zeros(0, self.dimension()))));
+            return Ok(Ticket::ready(Ok(EmbedResponse {
+                rows: Dense::zeros(0, self.dimension()),
+                served_degraded: Vec::new(),
+                quality: opts.quality,
+            })));
+        }
+        // Admission runs before this request acquires the front-end
+        // gauge, so it never counts itself toward the cap it is being
+        // judged against. Backlog is the whole deployment's: the sum
+        // of every band's undispatched rows.
+        let mut quality = opts.quality;
+        let inflight = self.inflight.value();
+        let queued_rows = self.shards.iter().map(|s| s.queued_rows()).sum();
+        match self.admission.decide(inflight, queued_rows) {
+            Admission::Admit => {}
+            Admission::Degrade => {
+                quality = AdmissionPolicy::downgrade(quality, self.cache.is_some());
+            }
+            Admission::Shed => {
+                self.stats.shed();
+                return Err(ServeError::Shed { inflight, queued_rows });
+            }
+        }
+        if opts.deadline.is_some_and(|d| d <= Instant::now()) {
+            self.stats.begin();
+            self.stats.fail();
+            return Err(ServeError::DeadlineExpired);
         }
         let t0 = Instant::now();
         // One sampling decision per request; when sampled, every span
@@ -267,11 +339,17 @@ impl ShardedEngine {
         let begin_ns = if root.is_some() { self.tracer.now() } else { 0 };
         let epoch = self.store.snapshot();
         let guard = self.inflight.acquire();
+        if quality == Quality::CachedOnly {
+            return Ok(self.embed_cached_only(nodes, &epoch, t0, root, begin_ns));
+        }
         let mut out = Dense::zeros(nodes.len(), self.dimension());
         // Sorted, deduplicated nodes still to compute, with the output
-        // positions they owe, and any coalesced waiters.
+        // positions they owe, and any coalesced waiters. The degraded
+        // `TopKNeighbors` tier bypasses the shared cache entirely —
+        // truncated rows must never be cached or mixed with exact rows
+        // — so it always lands in the fan-out arm below.
         let (to_compute, positions, waiters, mut owners) = match &self.cache {
-            Some(cache) => {
+            Some(cache) if quality == Quality::Exact => {
                 let route_start = if root.is_some() { self.tracer.now() } else { 0 };
                 let (misses, positions) = cache.split(nodes, epoch.epoch(), &mut out);
                 if misses.is_empty() {
@@ -297,7 +375,11 @@ impl ShardedEngine {
                     }
                     self.stats.ready();
                     self.hit_latency.record(t0.elapsed());
-                    return Ok(Ticket::ready(Ok(out)));
+                    return Ok(Ticket::ready(Ok(EmbedResponse {
+                        rows: out,
+                        served_degraded: vec![false; nodes.len()],
+                        quality,
+                    })));
                 }
                 let mut owned = Vec::new();
                 let mut owners = Vec::new();
@@ -329,7 +411,7 @@ impl ShardedEngine {
                 }
                 (owned, positions, waiters, owners)
             }
-            None => {
+            _ => {
                 let union = dedup_union([nodes]);
                 (union, (0..nodes.len()).collect(), Vec::new(), Vec::<InflightOwner>::new())
             }
@@ -358,8 +440,15 @@ impl ShardedEngine {
             .enumerate()
             .filter(|(_, (shard_nodes, _))| !shard_nodes.is_empty())
             .map(|(s, (shard_nodes, shard_owners))| {
-                let fills =
-                    self.cache.as_ref().map(|cache| FillSet::new(Arc::clone(cache), shard_owners));
+                // Fills only ride Exact batches: a TopKNeighbors part
+                // computes truncated rows that must never land in the
+                // shared cache (its owners list is empty anyway).
+                let fills = match (&self.cache, quality) {
+                    (Some(cache), Quality::Exact) => {
+                        Some(FillSet::new(Arc::clone(cache), shard_owners, self.fault.clone()))
+                    }
+                    _ => None,
+                };
                 (s, shard_nodes, fills)
             })
             .collect();
@@ -368,9 +457,19 @@ impl ShardedEngine {
         // FillSets (aborting their registrations); sets already
         // enqueued resolve through their shard dispatchers.
         for (s, shard_nodes, fills) in pending {
-            let rx =
-                self.shards[s].enqueue_pinned(&shard_nodes, Arc::clone(&epoch), fills, root)?;
-            parts.push(Part::new(shard_nodes, s, rx));
+            let rx = self.shards[s].enqueue_pinned(
+                &shard_nodes,
+                Arc::clone(&epoch),
+                fills,
+                root,
+                quality,
+                opts.deadline,
+            )?;
+            // Each part can retry once on its own shard after a
+            // panicked launch — same pinned epoch, so an Exact retry
+            // stays bit-identical.
+            let retry = self.shards[s].retry_handle(Arc::clone(&epoch), quality, opts.deadline);
+            parts.push(Part::with_retry(shard_nodes, s, Some(s), rx, Some(retry)));
         }
         let positions = positions.into_iter().map(|i| (i, nodes[i])).collect();
         // A fully coalesced request never reaches a shard dispatcher:
@@ -391,10 +490,63 @@ impl ShardedEngine {
             parts,
             waiters,
             positions,
+            vec![matches!(quality, Quality::TopKNeighbors(_)); nodes.len()],
+            quality,
             completion,
             Some(Arc::clone(&self.fanout)),
             guard,
         )))
+    }
+
+    /// The `CachedOnly` tier at the front door: answer immediately
+    /// from whatever the shared result cache holds at the pinned
+    /// epoch. Misses come back as zero rows marked `served_degraded` —
+    /// no fan-out, no miss routing, no kernel time on any band.
+    /// Without a cache every row is a degraded zero row.
+    fn embed_cached_only(
+        &self,
+        nodes: &[usize],
+        epoch: &Arc<FeatureEpoch>,
+        t0: Instant,
+        root: Option<SpanCtx>,
+        begin_ns: u64,
+    ) -> Ticket<EmbedResponse> {
+        let tracer = &self.tracer;
+        let mut out = Dense::zeros(nodes.len(), self.dimension());
+        let mut marks = vec![true; nodes.len()];
+        if let Some(cache) = &self.cache {
+            let route_start = if root.is_some() { tracer.now() } else { 0 };
+            let (_, miss_positions) = cache.split(nodes, epoch.epoch(), &mut out);
+            marks = vec![false; nodes.len()];
+            for &i in &miss_positions {
+                marks[i] = true;
+            }
+            if let Some(r) = root {
+                let route = tracer.child(r);
+                tracer.record(
+                    route,
+                    SpanKind::CacheRoute,
+                    route_start,
+                    tracer.now(),
+                    None,
+                    nodes.len() as u64,
+                );
+            }
+        }
+        if let Some(r) = root {
+            tracer.record(r, SpanKind::Embed, begin_ns, tracer.now(), None, nodes.len() as u64);
+        }
+        if marks.iter().any(|&b| b) {
+            self.stats.ready_degraded();
+        } else {
+            self.stats.ready();
+        }
+        self.hit_latency.record(t0.elapsed());
+        Ticket::ready(Ok(EmbedResponse {
+            rows: out,
+            served_degraded: marks,
+            quality: Quality::CachedOnly,
+        }))
     }
 
     /// Score candidate `(u, v)` edges (global ids), scattering each
@@ -483,7 +635,13 @@ impl ShardedEngine {
             per_shard: self.shards.iter().map(|e| e.metrics()).collect(),
             requests_begun: self.stats.begun.load(Ordering::Relaxed),
             requests_harvested: self.stats.harvested.load(Ordering::Relaxed),
+            requests_degraded: self.stats.degraded.load(Ordering::Relaxed),
+            requests_shed: self.stats.shed.load(Ordering::Relaxed),
+            requests_failed: self.stats.failed.load(Ordering::Relaxed),
             requests_abandoned: self.stats.abandoned.load(Ordering::Relaxed),
+            panics_caught: self.shards.iter().map(|s| s.panics_caught()).sum(),
+            expired_dropped: self.shards.iter().map(|s| s.expired_dropped()).sum(),
+            queued_rows: self.shards.iter().map(|s| s.queued_rows()).sum(),
             inflight: inflight.current,
             inflight_peak: inflight.peak,
             feature_epoch: self.store.current_epoch(),
@@ -512,18 +670,7 @@ impl ShardedEngine {
                 "fusedmm_frontend_hit_latency_seconds",
                 hit_latency.snapshot(),
             ));
-            out.push(Sample::counter(
-                "fusedmm_requests_begun_total",
-                stats.begun.load(Ordering::Relaxed),
-            ));
-            out.push(Sample::counter(
-                "fusedmm_requests_harvested_total",
-                stats.harvested.load(Ordering::Relaxed),
-            ));
-            out.push(Sample::counter(
-                "fusedmm_requests_abandoned_total",
-                stats.abandoned.load(Ordering::Relaxed),
-            ));
+            push_outcome_samples(out, &stats, &[]);
             let snap = inflight.snapshot();
             out.push(Sample::gauge("fusedmm_requests_inflight", snap.current as f64));
             out.push(Sample::gauge("fusedmm_requests_inflight_peak", snap.peak as f64));
@@ -590,12 +737,32 @@ pub struct ShardedMetrics {
     /// Front-end embed requests admitted (every `embed_begin` that
     /// returned `Ok`, including requests resolved at creation).
     pub requests_begun: u64,
-    /// Front-end embed requests whose response was assembled.
+    /// Front-end embed requests whose response was assembled at full
+    /// fidelity.
     pub requests_harvested: u64,
+    /// Front-end embed requests answered degraded (a `CachedOnly` or
+    /// `TopKNeighbors` response with at least one `served_degraded`
+    /// row).
+    pub requests_degraded: u64,
+    /// Front-end embed requests rejected by the admission policy.
+    pub requests_shed: u64,
+    /// Front-end embed requests that resolved with a typed error
+    /// (expired deadline, part failure, shutdown).
+    pub requests_failed: u64,
     /// Front-end embed requests whose ticket was dropped unresolved.
-    /// `requests_begun == requests_harvested + requests_abandoned`
-    /// once every ticket has resolved.
+    /// `requests_begun == requests_harvested + requests_degraded +
+    /// requests_shed + requests_failed + requests_abandoned` once
+    /// every ticket has resolved.
     pub requests_abandoned: u64,
+    /// Kernel-launch panics caught at band dispatch boundaries, summed
+    /// across shards.
+    pub panics_caught: u64,
+    /// Requests band dispatchers dropped past their deadline, summed
+    /// across shards.
+    pub expired_dropped: u64,
+    /// Rows currently queued (undispatched) across every band — the
+    /// admission policy's backlog signal.
+    pub queued_rows: usize,
     /// Front-end embed requests currently open (begin → resolve):
     /// blocking calls plus every un-harvested [`Ticket`].
     pub inflight: u64,
@@ -613,16 +780,23 @@ impl std::fmt::Display for ShardedMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} shards, epoch {} ({} swaps), requests {} begun / {} harvested / {} abandoned, \
-             in-flight {} (peak {}), merged embed: {}",
+            "{} shards, epoch {} ({} swaps), requests {} begun / {} harvested / {} degraded / \
+             {} shed / {} failed / {} abandoned, panics caught {}, expired dropped {}, \
+             in-flight {} (peak {}), queued rows {}, merged embed: {}",
             self.per_shard.len(),
             self.feature_epoch,
             self.epoch_swaps,
             self.requests_begun,
             self.requests_harvested,
+            self.requests_degraded,
+            self.requests_shed,
+            self.requests_failed,
             self.requests_abandoned,
+            self.panics_caught,
+            self.expired_dropped,
             self.inflight,
             self.inflight_peak,
+            self.queued_rows,
             self.embed
         )?;
         if let Some(cache) = &self.cache {
@@ -809,6 +983,151 @@ mod tests {
             assert!(shard_metrics.cache.is_none());
         }
         assert!(cached.metrics().cache.is_some());
+    }
+
+    #[test]
+    fn front_end_admission_sheds_and_reconciles() {
+        let a = graph(60);
+        let feats = Dense::filled(60, 4, 0.2);
+        let eng = ShardedEngine::new(
+            a,
+            feats.clone(),
+            feats,
+            OpSet::gcn(),
+            3,
+            EngineConfig {
+                admission: Some(AdmissionPolicy {
+                    max_inflight: 1,
+                    max_queued_rows: 0,
+                    degrade_fraction: 1.0,
+                }),
+                ..config()
+            },
+        );
+        let held = eng.embed_begin(&[1, 59]).unwrap();
+        match eng.embed_begin(&[2]) {
+            Err(ServeError::Shed { inflight, .. }) => assert_eq!(inflight, 1),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        drop(held);
+        // Band engines run unlimited beneath the front gate: a fresh
+        // request is admitted again once the held ticket resolves.
+        eng.embed(&[2]).unwrap();
+        let m = eng.metrics();
+        assert_eq!(m.requests_shed, 1);
+        assert_eq!(
+            m.requests_begun,
+            m.requests_harvested
+                + m.requests_degraded
+                + m.requests_shed
+                + m.requests_failed
+                + m.requests_abandoned
+        );
+    }
+
+    #[test]
+    fn sharded_topk_tier_matches_truncated_reference() {
+        let n = 80;
+        let d = 8;
+        let k = 2;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, c| ((r + c) as f32 * 0.04).sin());
+        let y = Dense::from_fn(n, d, |r, c| ((r * 2 + c) as f32 * 0.03).cos());
+        let ops = OpSet::sigmoid_embedding(None);
+        let truncated = fusedmm_reference(&a.top_k_by_weight(k), &x, &y, &ops);
+        let eng = ShardedEngine::new(a, x, y, ops, 3, config());
+        let nodes = [79usize, 0, 40, 13, 41, 7];
+        let resp = eng
+            .embed_begin_opts(&nodes, EmbedOptions::with_quality(Quality::TopKNeighbors(k)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.quality, Quality::TopKNeighbors(k));
+        assert!(resp.served_degraded.iter().all(|&b| b), "every TopK row is marked degraded");
+        for (i, &u) in nodes.iter().enumerate() {
+            for c in 0..d {
+                assert!(
+                    (resp.rows.get(i, c) - truncated.get(u, c)).abs() < 1e-5,
+                    "node {u} lane {c}"
+                );
+            }
+        }
+        assert_eq!(eng.metrics().requests_degraded, 1);
+    }
+
+    #[test]
+    fn sharded_cached_only_serves_warm_rows_exactly() {
+        use fusedmm_cache::CacheConfig;
+        let n = 60;
+        let a = graph(n);
+        let feats = Dense::from_fn(n, 6, |r, c| ((r + c) as f32 * 0.05).sin());
+        let eng = ShardedEngine::new(
+            a,
+            feats.clone(),
+            feats,
+            OpSet::sigmoid_embedding(None),
+            3,
+            EngineConfig { cache: Some(CacheConfig::default()), ..config() },
+        );
+        let nodes = [59usize, 0, 30];
+        let exact = eng.embed(&nodes).unwrap();
+        let resp = eng
+            .embed_begin_opts(&nodes, EmbedOptions::with_quality(Quality::CachedOnly))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.quality, Quality::CachedOnly);
+        assert!(!resp.any_degraded(), "warm rows are served exactly");
+        assert_eq!(resp.rows, exact);
+        // A cold node comes back zeroed and marked — never computed.
+        let cold = eng
+            .embed_begin_opts(&[7], EmbedOptions::with_quality(Quality::CachedOnly))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(cold.served_degraded, vec![true]);
+        assert!(cold.rows.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(eng.metrics().requests_degraded, 1);
+    }
+
+    #[test]
+    fn sharded_injected_panic_retries_once_and_stays_bit_identical() {
+        crate::fault::quiet_injected_panics();
+        let n = 80;
+        let d = 8;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, c| ((r + c) as f32 * 0.04).sin());
+        let y = Dense::from_fn(n, d, |r, c| ((r * 2 + c) as f32 * 0.03).cos());
+        let ops = OpSet::sigmoid_embedding(None);
+        let reference = fusedmm_reference(&a, &x, &y, &ops);
+        let eng = ShardedEngine::new(
+            a,
+            x,
+            y,
+            ops,
+            3,
+            EngineConfig {
+                fault: Some(Arc::new(FaultPlan::parse("panic_every=2").unwrap())),
+                ..config()
+            },
+        );
+        let nodes = [79usize, 0, 40, 13, 41, 7];
+        // Batch 1 on every band is healthy; batch 2 panics and the part
+        // retries on its own shard (batch 3), same pinned epoch.
+        eng.embed(&nodes).unwrap();
+        let z = eng.embed(&nodes).unwrap();
+        for (i, &u) in nodes.iter().enumerate() {
+            for c in 0..d {
+                assert!(
+                    (z.get(i, c) - reference.get(u, c)).abs() < 1e-6,
+                    "retried rows must match the fault-free kernel: node {u} lane {c}"
+                );
+            }
+        }
+        let m = eng.metrics();
+        assert!(m.panics_caught >= 1, "at least one band launch panicked");
+        assert_eq!(m.requests_harvested, 2);
+        assert_eq!(m.requests_failed, 0);
     }
 
     #[test]

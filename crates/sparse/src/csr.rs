@@ -303,6 +303,49 @@ impl Csr {
             *v *= s;
         }
     }
+
+    /// Truncate each row to its `k` strongest neighbors (largest
+    /// `|value|`; ties keep the lower column id, so the result is
+    /// deterministic). Rows with at most `k` nonzeros are unchanged;
+    /// the kept entries stay column-sorted, preserving the
+    /// deterministic accumulation order the kernels rely on. This is
+    /// the degraded-tier neighbor index: aggregating over the
+    /// truncated matrix approximates the exact answer at a fraction of
+    /// the flops, with error concentrated on heavy rows.
+    pub fn top_k_by_weight(&self, k: usize) -> Csr {
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(self.nnz().min(self.nrows.saturating_mul(k)));
+        let mut values = Vec::with_capacity(colidx.capacity());
+        let mut order: Vec<usize> = Vec::new();
+        for u in 0..self.nrows {
+            let (cols, vals) = self.row(u);
+            if cols.len() <= k {
+                colidx.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+            } else {
+                order.clear();
+                order.extend(0..cols.len());
+                order.sort_by(|&i, &j| {
+                    vals[j]
+                        .abs()
+                        .partial_cmp(&vals[i].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(cols[i].cmp(&cols[j]))
+                });
+                order.truncate(k);
+                // Entries within a row are column-sorted, so sorting the
+                // surviving indices restores canonical order.
+                order.sort_unstable();
+                for &i in order.iter() {
+                    colidx.push(cols[i]);
+                    values.push(vals[i]);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, values }
+    }
 }
 
 #[cfg(test)]
@@ -509,5 +552,33 @@ mod tests {
     fn storage_matches_paper_model() {
         let m = small();
         assert_eq!(m.storage_bytes(), 12 * 4 + 8 * 4);
+    }
+
+    #[test]
+    fn top_k_keeps_strongest_neighbors_column_sorted() {
+        // Row 0: weights |2.0|, |-5.0|, |1.0| on cols 1, 3, 4.
+        let mut coo = Coo::new(3, 5);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 3, -5.0);
+        coo.push(0, 4, 1.0);
+        coo.push(1, 0, 1.0); // short row: unchanged
+        let a = coo.to_csr(Dedup::Sum);
+        let t = a.top_k_by_weight(2);
+        assert_eq!(t.row(0), (&[1usize, 3][..], &[2.0f32, -5.0][..]), "keeps |2|,|−5|; drops |1|");
+        assert_eq!(t.row(1), (&[0usize][..], &[1.0f32][..]));
+        assert_eq!(t.row(2), (&[][..], &[][..]));
+        assert_eq!((t.nrows(), t.ncols(), t.nnz()), (3, 5, 3));
+        // k covering every row is the identity.
+        assert_eq!(a.top_k_by_weight(3), a);
+        // Ties keep the lower column id.
+        let mut tie = Coo::new(1, 4);
+        tie.push(0, 1, 1.0);
+        tie.push(0, 2, -1.0);
+        tie.push(0, 3, 1.0);
+        let t = tie.to_csr(Dedup::Sum).top_k_by_weight(2);
+        assert_eq!(t.row(0), (&[1usize, 2][..], &[1.0f32, -1.0][..]));
+        // k == 0 empties every row but keeps the shape.
+        let z = a.top_k_by_weight(0);
+        assert_eq!((z.nrows(), z.ncols(), z.nnz()), (3, 5, 0));
     }
 }

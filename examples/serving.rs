@@ -15,6 +15,13 @@
 //! verifies cached responses stay bit-identical across publishes and
 //! delta updates while the hit counters climb.
 //!
+//! Then drives a 4× overload of mixed-tier requests (Exact /
+//! TopKNeighbors / CachedOnly, some with deadlines) against an engine
+//! whose admission policy and fault plan resolve from the environment
+//! (`FUSEDMM_ADMIT_INFLIGHT`, `FUSEDMM_FAULT_PLAN`) and proves every
+//! ticket resolves with exactly reconciling counters — the chaos-smoke
+//! CI entry point.
+//!
 //! Closes with the telemetry layer: one [`MetricsRegistry`] snapshot
 //! enumerating every engine/shard/cache/kernel metric in the process
 //! (dumped as Prometheus text via `FUSEDMM_METRICS_PROM=<path>` and
@@ -25,12 +32,25 @@
 //! Run: `cargo run --release --example serving`
 //! Scale down (e.g. CI smoke runs): `FUSEDMM_SERVE_N=2000`.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fusedmm::prelude::*;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Explicitly unlimited admission and disabled fault injection, so the
+/// chaos environment (`FUSEDMM_FAULT_PLAN` / `FUSEDMM_ADMIT_*`) only
+/// drives the dedicated overload section at the end — the
+/// bit-identity assertions above it stay deterministic.
+fn steady_config() -> EngineConfig {
+    EngineConfig {
+        admission: Some(AdmissionPolicy::unlimited()),
+        fault: Some(Arc::new(FaultPlan::disabled())),
+        ..EngineConfig::default()
+    }
 }
 
 fn main() {
@@ -59,7 +79,7 @@ fn main() {
         feats.clone(),
         feats.clone(),
         OpSet::sigmoid_embedding(None),
-        EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() },
+        EngineConfig { coalesce_window: Duration::from_micros(100), ..steady_config() },
     );
     println!("engine ready: plan = {:?}, backend = {}\n", engine.plan(), engine.backend());
 
@@ -127,8 +147,7 @@ fn main() {
     // bit-identical to the single engine on the same epoch.
     let shards = env_usize("FUSEDMM_SERVE_SHARDS", 4);
     println!("\nsharding the graph into {shards} nnz-balanced bands...");
-    let cfg =
-        EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() };
+    let cfg = EngineConfig { coalesce_window: Duration::from_micros(100), ..steady_config() };
     let sharded = ShardedEngine::new(
         a.clone(),
         feats.clone(),
@@ -178,7 +197,7 @@ fn main() {
         EngineConfig {
             coalesce_window: Duration::from_micros(100),
             cache: Some(CacheConfig::with_mb(cache_mb)),
-            ..EngineConfig::default()
+            ..steady_config()
         },
     );
     // A skewed hot set: 90% of requests revisit the same 256 nodes.
@@ -216,7 +235,7 @@ fn main() {
         a.clone(),
         cached.store().clone(),
         OpSet::sigmoid_embedding(None),
-        EngineConfig { coalesce_window: Duration::from_micros(100), ..EngineConfig::default() },
+        EngineConfig { coalesce_window: Duration::from_micros(100), ..steady_config() },
     );
     assert_eq!(
         after_delta,
@@ -236,9 +255,10 @@ fn main() {
     // Non-blocking ticketed serving with miss coalescing: one thread
     // launches a deep window of `embed_begin` tickets, does other work
     // (here: nothing but issuing more), and harvests completions with
-    // a poll loop. A long coalesce window holds the first batch open,
-    // so later tickets asking for the same hot nodes register against
-    // the in-flight rows instead of recomputing them.
+    // `wait_any` — parked until some ticket is ready, in completion
+    // order, no spin. A long coalesce window holds the first batch
+    // open, so later tickets asking for the same hot nodes register
+    // against the in-flight rows instead of recomputing them.
     let depth = env_usize("FUSEDMM_SERVE_INFLIGHT", 256);
     println!("\nnon-blocking serving: launching a window of {depth} ticketed requests...");
     let ticketed = Engine::new(
@@ -249,27 +269,17 @@ fn main() {
         EngineConfig {
             coalesce_window: Duration::from_millis(10),
             cache: Some(CacheConfig::with_mb(cache_mb)),
-            ..EngineConfig::default()
+            ..steady_config()
         },
     );
     let requests: Vec<Vec<usize>> =
         (0..depth).map(|r| (0..16).map(|i| hot[(r * 3 + i) % hot.len()]).collect()).collect();
     let t0 = std::time::Instant::now();
-    let mut open: Vec<(usize, Ticket<Dense>)> = requests
-        .iter()
-        .enumerate()
-        .map(|(i, nodes)| (i, ticketed.embed_begin(nodes).expect("begin")))
-        .collect();
+    let mut open: Vec<Ticket<Dense>> =
+        requests.iter().map(|nodes| ticketed.embed_begin(nodes).expect("begin")).collect();
     let mut results: Vec<Option<Dense>> = (0..depth).map(|_| None).collect();
-    while !open.is_empty() {
-        open.retain_mut(|(i, ticket)| match ticket.poll() {
-            Some(z) => {
-                results[*i] = Some(z.expect("ticketed embed"));
-                false
-            }
-            None => true,
-        });
-        std::thread::yield_now();
+    while let Some(i) = wait_any(&mut open) {
+        results[i] = Some(open[i].poll().expect("ready after wait_any").expect("ticketed embed"));
     }
     let elapsed = t0.elapsed();
     let tm = ticketed.metrics();
@@ -310,7 +320,7 @@ fn main() {
     println!("\ntelemetry: metrics registry + request lifecycle trace...");
     let tracer = Tracer::new(1.0, 8192);
     let traced = ShardedEngine::new(
-        a,
+        a.clone(),
         epoch0.x().clone(),
         epoch0.y().clone(),
         OpSet::sigmoid_embedding(None),
@@ -319,7 +329,7 @@ fn main() {
             coalesce_window: Duration::from_micros(100),
             cache: Some(CacheConfig::with_mb(cache_mb)),
             tracer: Some(tracer.clone()),
-            ..EngineConfig::default()
+            ..steady_config()
         },
     );
     // Cold nodes spanning every band: the request misses the cache,
@@ -340,7 +350,89 @@ fn main() {
         assert!(kinds.contains(stage), "lifecycle stage {stage} missing from the trace");
     }
 
+    // Overload & degradation: a fresh sharded engine whose admission
+    // policy and fault plan resolve from the environment
+    // (`FUSEDMM_ADMIT_INFLIGHT` / `FUSEDMM_ADMIT_ROWS` /
+    // `FUSEDMM_FAULT_PLAN`), driven 4× past its in-flight cap with
+    // mixed-tier traffic. Every ticket must resolve — harvested,
+    // degraded, shed, or failed — and the counters must reconcile
+    // exactly, panics and poisoned fills included.
+    quiet_injected_panics();
+    let policy = AdmissionPolicy::from_env();
+    let chaos_depth = if policy.max_inflight > 0 { 4 * policy.max_inflight } else { 128 };
+    println!(
+        "\noverload & degradation: {chaos_depth} mixed-tier requests against \
+         admission {policy:?}, fault plan {}...",
+        if FaultPlan::from_env().is_some_and(|p| p.is_active()) { "ACTIVE" } else { "inactive" }
+    );
+    let chaos = ShardedEngine::new(
+        a,
+        epoch0.x().clone(),
+        epoch0.y().clone(),
+        OpSet::sigmoid_embedding(None),
+        shards,
+        EngineConfig {
+            coalesce_window: Duration::from_micros(100),
+            cache: Some(CacheConfig::with_mb(cache_mb)),
+            // admission: None / fault: None -> resolve from the env.
+            ..EngineConfig::default()
+        },
+    );
+    let mut chaos_tix: Vec<Ticket<EmbedResponse>> = Vec::new();
+    let (mut eager_shed, mut eager_expired) = (0u64, 0u64);
+    for r in 0..chaos_depth {
+        let nodes: Vec<usize> = (0..8).map(|i| (r * 977 + i * 131) % n).collect();
+        let opts = match r % 4 {
+            0 | 1 => EmbedOptions::default(),
+            2 => EmbedOptions::with_quality(Quality::TopKNeighbors(4)),
+            _ => {
+                EmbedOptions::with_deadline(Instant::now() + Duration::from_millis((r % 8) as u64))
+            }
+        };
+        match chaos.embed_begin_opts(&nodes, opts) {
+            Ok(t) => chaos_tix.push(t),
+            Err(ServeError::Shed { .. }) => eager_shed += 1,
+            Err(ServeError::DeadlineExpired) => eager_expired += 1,
+            Err(e) => panic!("unexpected eager error under overload: {e}"),
+        }
+    }
+    // Harvest the whole window with wait_any (O(1) wakeup per
+    // completion): no ticket may hang, whatever the fault plan did.
+    let (mut ok_exact, mut ok_degraded, mut failed) = (0u64, 0u64, 0u64);
+    while let Some(i) = wait_any(&mut chaos_tix) {
+        match chaos_tix[i].poll().expect("ready after wait_any") {
+            Ok(resp) if resp.any_degraded() => ok_degraded += 1,
+            Ok(_) => ok_exact += 1,
+            Err(ServeError::PartFailed { .. }) | Err(ServeError::DeadlineExpired) => failed += 1,
+            Err(e) => panic!("unexpected harvest error under overload: {e}"),
+        }
+    }
+    drop(chaos_tix);
+    let cm = chaos.metrics();
+    println!(
+        "overload outcomes: {ok_exact} exact, {ok_degraded} degraded, {failed} failed, \
+         {eager_shed} shed, {eager_expired} expired at admission"
+    );
+    println!("{cm}");
+    assert_eq!(
+        cm.requests_begun,
+        cm.requests_harvested
+            + cm.requests_degraded
+            + cm.requests_shed
+            + cm.requests_failed
+            + cm.requests_abandoned,
+        "request reconciliation must be exact under chaos"
+    );
+    if policy.is_limited() {
+        assert!(
+            cm.requests_shed + cm.requests_degraded > 0,
+            "a 4x overload past the admission cap must shed or degrade"
+        );
+    }
+    println!("overload verified: every ticket resolved, counters reconcile exactly");
+
     let registry = MetricsRegistry::new();
+    chaos.register_metrics(&registry);
     engine.register_metrics(&registry, &[("engine", "mixed")]);
     cached.register_metrics(&registry, &[("engine", "cached")]);
     ticketed.register_metrics(&registry, &[("engine", "ticketed")]);

@@ -57,9 +57,10 @@ pub mod prelude {
     pub use fusedmm_graph::rmat::{rmat, RmatConfig};
     pub use fusedmm_ops::{AOp, MOp, Mlp, OpSet, Pattern, ROp, SOp, SigmoidLut, VOp};
     pub use fusedmm_serve::{
-        register_kernel_profiles, CacheConfig, CacheMetrics, Engine, EngineConfig, FeatureStore,
-        MetricsRegistry, MetricsSnapshot, ServeError, ShardedEngine, ShardedMetrics, Ticket,
-        Tracer,
+        quiet_injected_panics, register_kernel_profiles, wait_any, AdmissionPolicy, CacheConfig,
+        CacheMetrics, EmbedOptions, EmbedResponse, Engine, EngineConfig, FaultPlan, FeatureStore,
+        MetricsRegistry, MetricsSnapshot, Quality, ServeError, ShardedEngine, ShardedMetrics,
+        Ticket, Tracer,
     };
     pub use fusedmm_sparse::coo::Dedup;
     pub use fusedmm_sparse::{Coo, Csc, Csr, Dense};

@@ -1,0 +1,242 @@
+//! Resilience under overload and injected faults: the serving engines
+//! must never hang a ticket, must reconcile their request counters
+//! exactly (`begun == harvested + degraded + shed + failed +
+//! abandoned`), and must keep Exact-tier responses bit-identical to a
+//! fault-free run — even while the fault plan panics kernel launches,
+//! delays cache fills, and poisons a cache segment, and the admission
+//! policy sheds a 4× overload.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fusedmm::prelude::*;
+
+/// A config immune to the chaos environment: unlimited admission, no
+/// injection — the bit-identity baseline.
+fn fault_free_config() -> EngineConfig {
+    EngineConfig {
+        coalesce_window: Duration::ZERO,
+        blocking: Some(Blocking::Auto),
+        admission: Some(AdmissionPolicy::unlimited()),
+        fault: Some(Arc::new(FaultPlan::disabled())),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn every_launch_panicking_resolves_typed_not_hung() {
+    quiet_injected_panics();
+    let n = 32;
+    let a = rmat(&RmatConfig::new(n, 3 * n).with_seed(9));
+    let x = random_features(n, 6, 0.5, 1);
+    let y = random_features(n, 6, 0.5, 2);
+    let eng = Engine::new(
+        a,
+        x,
+        y,
+        OpSet::sigmoid_embedding(None),
+        EngineConfig {
+            fault: Some(Arc::new(FaultPlan::parse("panic_every=1").unwrap())),
+            ..fault_free_config()
+        },
+    );
+    // Every launch panics, including the one-shot healthy-path retry:
+    // the request must resolve with a typed error, never hang.
+    assert_eq!(eng.embed(&[3, 7]), Err(ServeError::PartFailed { shard: None }));
+    let m = eng.metrics();
+    assert_eq!(m.requests_failed, 1);
+    assert!(m.panics_caught >= 2, "original launch and its retry both panicked");
+    assert_eq!(
+        m.requests_begun,
+        m.requests_harvested
+            + m.requests_degraded
+            + m.requests_shed
+            + m.requests_failed
+            + m.requests_abandoned
+    );
+}
+
+#[test]
+fn wait_any_drains_an_overloaded_window_across_shards() {
+    let n = 96;
+    let d = 8;
+    let a = rmat(&RmatConfig::new(n, 4 * n).with_seed(11));
+    let x = random_features(n, d, 0.5, 3);
+    let y = random_features(n, d, 0.5, 4);
+    let ops = OpSet::sigmoid_embedding(None);
+    let single = Engine::new(a.clone(), x.clone(), y.clone(), ops.clone(), fault_free_config());
+    let eng = ShardedEngine::new(a, x, y, ops, 3, fault_free_config());
+    let windows: Vec<Vec<usize>> =
+        (0..12).map(|i| vec![(i * 17) % n, (i * 5 + 3) % n, (i * 29 + 7) % n]).collect();
+    let mut tix: Vec<Ticket<Dense>> = windows.iter().map(|w| eng.embed_begin(w).unwrap()).collect();
+    let mut drained = 0;
+    while let Some(i) = wait_any(&mut tix) {
+        let z = tix[i].poll().expect("wait_any returns ready tickets").unwrap();
+        assert_eq!(z, single.embed(&windows[i]).unwrap(), "window {i} bit-identical");
+        drained += 1;
+    }
+    assert_eq!(drained, windows.len(), "every ticket completed exactly once");
+}
+
+#[test]
+fn sharded_deadline_expiry_is_typed_and_counted() {
+    let n = 48;
+    let a = rmat(&RmatConfig::new(n, 3 * n).with_seed(5));
+    let feats = random_features(n, 4, 0.5, 6);
+    let eng = ShardedEngine::new(
+        a,
+        feats.clone(),
+        feats,
+        OpSet::gcn(),
+        2,
+        EngineConfig { coalesce_window: Duration::from_millis(50), ..fault_free_config() },
+    );
+    let opts = EmbedOptions::with_deadline(Instant::now() + Duration::from_millis(5));
+    let t = eng.embed_begin_opts(&[1, 47], opts).unwrap();
+    assert_eq!(t.wait().map(|r| r.rows), Err(ServeError::DeadlineExpired));
+    let m = eng.metrics();
+    assert_eq!(m.requests_failed, 1);
+    assert!(m.expired_dropped >= 1, "a band dispatcher dropped the expired piece");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The chaos invariant: a 4× admission-cap overload of mixed
+    /// tiers and random deadlines, against an engine whose fault plan
+    /// panics every 3rd launch, delays fills, and poisons a cache
+    /// segment — every ticket resolves (no hang), the counters
+    /// reconcile exactly, and every non-degraded Exact response is
+    /// bit-identical to the fault-free engine.
+    #[test]
+    fn overloaded_chaotic_serving_never_hangs_and_reconciles(
+        seed in 0u64..64,
+        picks in proptest::collection::vec((0usize..1000, 0u8..4, 0u8..3), 32..33),
+    ) {
+        quiet_injected_panics();
+        let n = 96;
+        let d = 8;
+        let a = rmat(&RmatConfig::new(n, 4 * n).with_seed(seed));
+        let x = random_features(n, d, 0.5, seed ^ 1);
+        let y = random_features(n, d, 0.5, seed ^ 2);
+        let ops = OpSet::sigmoid_embedding(None);
+        let fault_free =
+            ShardedEngine::new(a.clone(), x.clone(), y.clone(), ops.clone(), 3, fault_free_config());
+        let cap = 8u64;
+        let eng = ShardedEngine::new(
+            a,
+            x,
+            y,
+            ops,
+            3,
+            EngineConfig {
+                coalesce_window: Duration::ZERO,
+                blocking: Some(Blocking::Auto),
+                cache: Some(CacheConfig::default()),
+                admission: Some(AdmissionPolicy {
+                    max_inflight: cap as usize,
+                    max_queued_rows: 256,
+                    degrade_fraction: 0.75,
+                }),
+                fault: Some(Arc::new(
+                    FaultPlan::parse("panic_every=3,delay_fill_us=100,poison_segment=1").unwrap(),
+                )),
+                ..EngineConfig::default()
+            },
+        );
+        let mut metas: Vec<Vec<usize>> = Vec::new();
+        let mut tix: Vec<Ticket<EmbedResponse>> = Vec::new();
+        let mut shed_local = 0u64;
+        for (i, &(node, tier, dl)) in picks.iter().enumerate() {
+            let nodes = vec![node % n, (node * 7 + i) % n];
+            let opts = match tier {
+                0 => EmbedOptions::default(),
+                1 => EmbedOptions::with_quality(Quality::TopKNeighbors(2)),
+                2 => EmbedOptions::with_quality(Quality::CachedOnly),
+                _ => EmbedOptions::with_deadline(
+                    Instant::now() + Duration::from_millis(dl as u64 * 5),
+                ),
+            };
+            match eng.embed_begin_opts(&nodes, opts) {
+                Ok(t) => {
+                    metas.push(nodes);
+                    tix.push(t);
+                }
+                Err(ServeError::Shed { inflight, .. }) => {
+                    prop_assert!(inflight >= cap, "shed only at or past the cap");
+                    shed_local += 1;
+                }
+                // A zero-millisecond deadline expires before admission
+                // finishes: an eager typed failure, not a hang.
+                Err(ServeError::DeadlineExpired) => {}
+                Err(e) => prop_assert!(false, "unexpected eager error: {e:?}"),
+            }
+        }
+        // Exercise the O(1) wakeup path once, then drain the window
+        // with a bounded wait: no ticket may hang.
+        let mut results: Vec<Option<Result<EmbedResponse, ServeError>>> = Vec::new();
+        results.resize_with(tix.len(), || None);
+        if let Some(i) = wait_any(&mut tix) {
+            results[i] = Some(tix[i].poll().expect("ready after wait_any"));
+        }
+        for (i, t) in tix.iter_mut().enumerate() {
+            if !t.is_live() {
+                continue;
+            }
+            let r = t
+                .wait_deadline(Instant::now() + Duration::from_secs(20))
+                .expect("no ticket hangs under chaos");
+            results[i] = Some(r);
+        }
+        for (i, r) in results.into_iter().enumerate() {
+            match r.expect("every ticket was harvested") {
+                Ok(resp) => match resp.quality {
+                    Quality::Exact => {
+                        prop_assert!(!resp.any_degraded(), "Exact responses carry no marks");
+                        prop_assert_eq!(
+                            &resp.rows,
+                            &fault_free.embed(&metas[i]).unwrap(),
+                            "Exact-tier response {} bit-identical to the fault-free run",
+                            i
+                        );
+                    }
+                    Quality::TopKNeighbors(_) => {
+                        prop_assert!(resp.served_degraded.iter().all(|&b| b));
+                    }
+                    Quality::CachedOnly => {
+                        // Every row is either a marked zero (miss) or
+                        // bit-identical to the fault-free exact row.
+                        let exact = fault_free.embed(&metas[i]).unwrap();
+                        for (row, &mark) in resp.served_degraded.iter().enumerate() {
+                            if mark {
+                                prop_assert!(
+                                    resp.rows.row(row).iter().all(|&v| v == 0.0),
+                                    "a degraded CachedOnly row is zeroed"
+                                );
+                            } else {
+                                prop_assert_eq!(resp.rows.row(row), exact.row(row));
+                            }
+                        }
+                    }
+                },
+                Err(ServeError::PartFailed { .. }) | Err(ServeError::DeadlineExpired) => {}
+                Err(e) => prop_assert!(false, "unexpected harvest error: {e:?}"),
+            }
+        }
+        drop(tix);
+        let m = eng.metrics();
+        prop_assert_eq!(m.requests_begun, picks.len() as u64, "every request counted begun");
+        prop_assert_eq!(m.requests_shed, shed_local);
+        prop_assert_eq!(
+            m.requests_begun,
+            m.requests_harvested
+                + m.requests_degraded
+                + m.requests_shed
+                + m.requests_failed
+                + m.requests_abandoned,
+            "reconciliation is exact: {}",
+            m
+        );
+    }
+}
