@@ -52,6 +52,14 @@ pub enum Blocking {
     /// Force the generic five-step kernel even for recognized patterns —
     /// the paper's unoptimized "FusedMM" row.
     Generic,
+    /// Degree-aware hybrid execution for skewed graphs: rows are
+    /// classified by degree and each class runs a kernel shaped for it
+    /// (gathered batches for short rows, strip-mined panels for the
+    /// middle, cooperative span-split execution for mega rows). Engages
+    /// when the dimension resolves to the strip level (`d ≡ 0 (mod 8)`
+    /// outside the generated-const list); otherwise behaves exactly
+    /// like [`Blocking::Auto`]. Bit-identical to the uniform kernels.
+    Hybrid(crate::hybrid::HybridConfig),
 }
 
 /// The concrete kernel level [`fusedmm_opt_with`] resolved a
@@ -86,7 +94,7 @@ fn resolve_level(blocking: Blocking, d: usize) -> Level {
             Level::Strip
         }
         Blocking::DynStrips => Level::Dyn,
-        Blocking::Auto | Blocking::Generic => {
+        Blocking::Auto | Blocking::Generic | Blocking::Hybrid(_) => {
             if d <= REGISTER_BLOCK_MAX_DIM && GENERATED_DIMS.contains(&d) {
                 Level::Const
             } else if strip_minable(d) {
@@ -168,6 +176,14 @@ pub fn fusedmm_opt_with(
     let d = x.ncols();
     let level = resolve_level(blocking, d);
     let backend = active_backend();
+    if let Blocking::Hybrid(cfg) = blocking {
+        // The shaped degree-class kernels are strip-family; at const-
+        // or dyn-resolved dimensions the hybrid request falls through
+        // to the uniform path below (identical by construction).
+        if level == Level::Strip {
+            return crate::hybrid::execute(a, x, y, ops, &spec, cfg, partitions, strategy, backend);
+        }
+    }
     let mut z = Dense::zeros(a.nrows(), d);
     let t0 = std::time::Instant::now();
 

@@ -40,8 +40,10 @@ use fusedmm_sparse::dense::Dense;
 use crate::simd::{active_backend, F32x8, VLEN};
 
 pub use strip::{
-    embed_dyn_kernel, embed_strip_kernel, fr_dyn_kernel, fr_strip_kernel, spmm_dyn_kernel,
-    spmm_strip_kernel, strip_minable, tdist_dyn_kernel, tdist_strip_kernel,
+    embed_batch_kernel, embed_dyn_kernel, embed_msg_kernel, embed_strip_kernel, fr_batch_kernel,
+    fr_dyn_kernel, fr_msg_kernel, fr_strip_kernel, span_sweep_kernel, spmm_batch_kernel,
+    spmm_dyn_kernel, spmm_strip_kernel, strip_minable, tdist_batch_kernel, tdist_dyn_kernel,
+    tdist_msg_kernel, tdist_strip_kernel,
 };
 
 /// Which sigmoid evaluation the embedding kernels use for SOP.
@@ -71,6 +73,45 @@ pub type FrRowKernel = fn(&[f32], &[usize], &[f32], &Dense, &mut [f32], f32);
 pub type SpmmRowKernel = fn(&[usize], &[f32], &Dense, &mut [f32]);
 /// Row kernel signature for the t-distribution embedding pattern.
 pub type TDistRowKernel = fn(&[f32], &[usize], &[f32], &Dense, &mut [f32]);
+
+/// One short row gathered into a batch for the hybrid dispatcher's
+/// short-row class: the row's `x` slice, its neighbor list, edge values,
+/// and where in the output band the row's `z` slice lives.
+#[derive(Debug, Clone, Copy)]
+pub struct GatheredRow<'a> {
+    /// Feature row `x_u` of the batched row.
+    pub xu: &'a [f32],
+    /// Neighbor column ids of the row.
+    pub cols: &'a [usize],
+    /// Edge values aligned with `cols`.
+    pub vals: &'a [f32],
+    /// Row index *within the output band* (`z` offset is `band_row * d`).
+    pub band_row: usize,
+}
+
+/// Batched short-row kernel for the embedding pattern: several gathered
+/// rows share one SIMD sweep over a common message buffer.
+pub type EmbedBatchKernel = fn(&[GatheredRow<'_>], &Dense, &mut [f32], &SigmoidKind);
+/// Batched short-row kernel for the FR pattern.
+pub type FrBatchKernel = fn(&[GatheredRow<'_>], &Dense, &mut [f32], f32);
+/// Batched short-row kernel for the t-distribution pattern.
+pub type TDistBatchKernel = fn(&[GatheredRow<'_>], &Dense, &mut [f32]);
+/// Batched short-row kernel for the SpMM pattern.
+pub type SpmmBatchKernel = fn(&[GatheredRow<'_>], &Dense, &mut [f32]);
+
+/// Message-fill kernel for the embedding pattern (mega-row phase A):
+/// computes `h[i] = σ(x_u · y_{cols[i]})` for a column slice.
+pub type EmbedMsgKernel = fn(&[f32], &[usize], &Dense, &SigmoidKind, &mut [f32]);
+/// Message-fill kernel for the FR pattern.
+pub type FrMsgKernel = fn(&[f32], &[usize], &Dense, f32, &mut [f32]);
+/// Message-fill kernel for the t-distribution pattern.
+pub type TDistMsgKernel = fn(&[f32], &[usize], &Dense, &mut [f32]);
+/// Column-span sweep kernel (mega-row phase B): folds *all* neighbor
+/// messages into one VLEN-aligned span `z[span_off .. span_off + w)` of
+/// the output row, in original neighbor order. Splitting `d` into spans
+/// keeps the per-element accumulation order identical to the strip
+/// kernel while letting threads own disjoint spans.
+pub type SpanSweepKernel = fn(&[usize], &[f32], &Dense, &mut [f32], usize);
 
 // ---------------------------------------------------------------------------
 // Dynamic-dimension kernels (8-lane strips, z_u in memory)

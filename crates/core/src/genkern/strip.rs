@@ -33,7 +33,11 @@ use crate::simd::Avx2Isa;
 use crate::simd::NeonIsa;
 use crate::simd::{axpy_body, dot_body, sqdist_body, Backend, ScalarIsa, SimdIsa, VLEN};
 
-use super::{EmbedRowKernel, FrRowKernel, SigmoidKind, SpmmRowKernel, TDistRowKernel};
+use super::{
+    EmbedBatchKernel, EmbedMsgKernel, EmbedRowKernel, FrBatchKernel, FrMsgKernel, FrRowKernel,
+    GatheredRow, SigmoidKind, SpanSweepKernel, SpmmBatchKernel, SpmmRowKernel, TDistBatchKernel,
+    TDistMsgKernel, TDistRowKernel,
+};
 
 /// Neighbors whose messages are buffered per strip-mining chunk: a
 /// 32-deep reuse of each `z_u` panel load while the chunk's `y` rows
@@ -51,8 +55,11 @@ pub fn strip_minable(d: usize) -> bool {
 // ISA-generic bodies
 // ---------------------------------------------------------------------------
 
-/// `z_u += Σ_i h[i] · y_{cols[i]}` swept in register-resident panels:
-/// the strip-mined MOP+AOP core shared by every pattern.
+/// `Σ_i h[i] · y_{cols[i]}` swept into `z_u` in register-resident
+/// panels: the strip-mined MOP+AOP core shared by every pattern.
+/// `LOAD_Z` picks whether the accumulators start from the current
+/// `z_u` (accumulate) or from `+0.0` (overwrite) — see the two
+/// wrappers below.
 ///
 /// The dimension is consumed as a cascade of panel groups — 12, 8, 6,
 /// 4, 2, then 1 eight-lane panels per pass — so the serving dims get
@@ -60,7 +67,12 @@ pub fn strip_minable(d: usize) -> bool {
 /// 6-panel pass) with many independent accumulator registers, while
 /// any `d ≡ 0 (mod 8)` still tiles exactly.
 #[inline(always)]
-fn panel_accumulate<I: SimdIsa>(cols: &[usize], h: &[f32], y: &Dense, zu: &mut [f32]) {
+fn panel_core<I: SimdIsa, const LOAD_Z: bool>(
+    cols: &[usize],
+    h: &[f32],
+    y: &Dense,
+    zu: &mut [f32],
+) {
     let d = zu.len();
     debug_assert_eq!(d % VLEN, 0);
     assert_eq!(y.ncols(), d, "panel kernel: y width {} != output width {d}", y.ncols());
@@ -80,8 +92,10 @@ fn panel_accumulate<I: SimdIsa>(cols: &[usize], h: &[f32], y: &Dense, zu: &mut [
             ($panels:literal) => {
                 while p + $panels * VLEN <= d {
                     let mut acc = [I::zero(); $panels];
-                    for (q, a) in acc.iter_mut().enumerate() {
-                        *a = I::loadu(zp.add(p + q * VLEN));
+                    if LOAD_Z {
+                        for (q, a) in acc.iter_mut().enumerate() {
+                            *a = I::loadu(zp.add(p + q * VLEN));
+                        }
                     }
                     for (i, &v) in cols.iter().enumerate() {
                         let hv = I::splat(h[i]);
@@ -109,6 +123,26 @@ fn panel_accumulate<I: SimdIsa>(cols: &[usize], h: &[f32], y: &Dense, zu: &mut [
         panel_pass!(1);
     }
     debug_assert_eq!(p, d);
+}
+
+/// `z_u += Σ_i h[i] · y_{cols[i]}` — accumulate into the existing
+/// output row (the strip kernels' chunked fold resumes a row's partial
+/// sum across [`H_CHUNK`] chunks).
+#[inline(always)]
+fn panel_accumulate<I: SimdIsa>(cols: &[usize], h: &[f32], y: &Dense, zu: &mut [f32]) {
+    panel_core::<I, true>(cols, h, y, zu)
+}
+
+/// `z_u = Σ_i h[i] · y_{cols[i]}` — overwrite the output row, starting
+/// the accumulators at `+0.0` instead of loading `z_u`. Bit-identical
+/// to accumulating into a pre-zeroed row (a load of zeroed memory also
+/// yields `+0.0`), but skips one full row read per call — the short
+/// gather kernels' edge over the strip path, since a short row's
+/// setup traffic rivals its neighbor work. Callers must own the whole
+/// fold for the row: nothing previously stored in `zu` survives.
+#[inline(always)]
+fn panel_overwrite<I: SimdIsa>(cols: &[usize], h: &[f32], y: &Dense, zu: &mut [f32]) {
+    panel_core::<I, false>(cols, h, y, zu)
 }
 
 #[inline(always)]
@@ -191,6 +225,201 @@ fn spmm_row_strip_body<I: SimdIsa>(cols: &[usize], vals: &[f32], y: &Dense, zu: 
     // panel sweeps the entire neighbor list with its accumulators in
     // registers the whole time.
     panel_accumulate::<I>(cols, vals, y, zu);
+}
+
+// --- hybrid-execution bodies -----------------------------------------------
+//
+// Three shaped entries back the degree-classed hybrid dispatcher:
+//
+// * `*_batch_body` — the gather-style short-row kernels: several short
+//   rows per call share one message buffer and one indirect dispatch.
+//   Each row fills its message slice and immediately runs the
+//   `panel_overwrite` cascade — fused per row, because a separate
+//   whole-batch message sweep re-walks the gathered rows through their
+//   staging structs and measures slower. The output row is OVERWRITTEN,
+//   not accumulated into: each gathered row must carry its entire
+//   neighbor list and its output slice must be freshly zeroed (the
+//   hybrid sweep guarantees both). Starting the fold at `+0.0` is
+//   bit-identical to loading a zeroed row, and skipping that load is
+//   what makes the gather path cheaper than strip for rows whose setup
+//   traffic rivals their neighbor work.
+// * `*_msg_body` — phase A of the split-mega-row kernel: fill the
+//   messages for a slice of a mega row's neighbors. Each message is an
+//   independent reduction, so slices can be filled by different threads
+//   with no effect on the result.
+// * `span_sweep_body` — phase B: accumulate *every* neighbor, in
+//   original row order, into one VLEN-aligned column span of `z_u`.
+//   Threads split the row by output columns, not by neighbors, so the
+//   per-element fold order is fixed by the span plan — bit-identical to
+//   the strip kernel's chunked fold regardless of thread count.
+
+/// Every gathered row must fit the shared message buffer on its own:
+/// the batch bodies fill and fold one row at a time, so the buffer
+/// bounds the per-row degree, not the batch total.
+#[inline(always)]
+fn assert_batch_fits(rows: &[GatheredRow<'_>]) {
+    for r in rows {
+        assert!(
+            r.cols.len() <= H_CHUNK,
+            "gathered row stages {} neighbors, message buffer holds {H_CHUNK}",
+            r.cols.len()
+        );
+    }
+}
+
+#[inline(always)]
+fn row_slice(band: &mut [f32], band_row: usize, d: usize) -> &mut [f32] {
+    &mut band[band_row * d..(band_row + 1) * d]
+}
+
+#[inline(always)]
+fn embed_batch_body<I: SimdIsa>(
+    rows: &[GatheredRow<'_>],
+    y: &Dense,
+    band: &mut [f32],
+    sk: &SigmoidKind,
+) {
+    let d = y.ncols();
+    assert_strip_dim(d);
+    assert_batch_fits(rows);
+    let mut h = [0f32; H_CHUNK];
+    for row in rows {
+        for (i, &v) in row.cols.iter().enumerate() {
+            h[i] = sk.eval(dot_body::<I>(row.xu, y.row(v)));
+        }
+        panel_overwrite::<I>(row.cols, &h[..row.cols.len()], y, row_slice(band, row.band_row, d));
+    }
+}
+
+#[inline(always)]
+fn fr_batch_body<I: SimdIsa>(rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32], alpha: f32) {
+    let d = y.ncols();
+    assert_strip_dim(d);
+    assert_batch_fits(rows);
+    let mut h = [0f32; H_CHUNK];
+    for row in rows {
+        for (i, &v) in row.cols.iter().enumerate() {
+            h[i] = alpha * sqdist_body::<I>(row.xu, y.row(v)).sqrt();
+        }
+        panel_overwrite::<I>(row.cols, &h[..row.cols.len()], y, row_slice(band, row.band_row, d));
+    }
+}
+
+#[inline(always)]
+fn tdist_batch_body<I: SimdIsa>(rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32]) {
+    let d = y.ncols();
+    assert_strip_dim(d);
+    assert_batch_fits(rows);
+    let mut h = [0f32; H_CHUNK];
+    for row in rows {
+        for (i, &v) in row.cols.iter().enumerate() {
+            h[i] = 1.0 / (1.0 + sqdist_body::<I>(row.xu, y.row(v)));
+        }
+        panel_overwrite::<I>(row.cols, &h[..row.cols.len()], y, row_slice(band, row.band_row, d));
+    }
+}
+
+#[inline(always)]
+fn spmm_batch_body<I: SimdIsa>(rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32]) {
+    let d = y.ncols();
+    assert_strip_dim(d);
+    // No SDDMM reduction: the edge weights are the messages already.
+    for row in rows {
+        panel_overwrite::<I>(row.cols, row.vals, y, row_slice(band, row.band_row, d));
+    }
+}
+
+#[inline(always)]
+fn embed_msg_body<I: SimdIsa>(
+    xu: &[f32],
+    cols: &[usize],
+    y: &Dense,
+    sk: &SigmoidKind,
+    h: &mut [f32],
+) {
+    assert_eq!(cols.len(), h.len(), "message slice length != neighbor slice length");
+    for (hi, &v) in h.iter_mut().zip(cols) {
+        *hi = sk.eval(dot_body::<I>(xu, y.row(v)));
+    }
+}
+
+#[inline(always)]
+fn fr_msg_body<I: SimdIsa>(xu: &[f32], cols: &[usize], y: &Dense, alpha: f32, h: &mut [f32]) {
+    assert_eq!(cols.len(), h.len(), "message slice length != neighbor slice length");
+    for (hi, &v) in h.iter_mut().zip(cols) {
+        *hi = alpha * sqdist_body::<I>(xu, y.row(v)).sqrt();
+    }
+}
+
+#[inline(always)]
+fn tdist_msg_body<I: SimdIsa>(xu: &[f32], cols: &[usize], y: &Dense, h: &mut [f32]) {
+    assert_eq!(cols.len(), h.len(), "message slice length != neighbor slice length");
+    for (hi, &v) in h.iter_mut().zip(cols) {
+        *hi = 1.0 / (1.0 + sqdist_body::<I>(xu, y.row(v)));
+    }
+}
+
+/// `z_span += Σ_i h[i] · y_{cols[i]}[span_off..span_off + w]` — the
+/// column-span sweep of the split-mega-row kernel. Folds **all**
+/// neighbors, in row-storage order, into one VLEN-aligned span of the
+/// output row, so the per-element accumulation chain matches the strip
+/// kernel's exactly and is independent of how many spans (threads) the
+/// row was split into.
+#[inline(always)]
+fn span_sweep_body<I: SimdIsa>(
+    cols: &[usize],
+    h: &[f32],
+    y: &Dense,
+    z_span: &mut [f32],
+    span_off: usize,
+) {
+    let w = z_span.len();
+    let d = y.ncols();
+    assert!(
+        w.is_multiple_of(VLEN) && span_off.is_multiple_of(VLEN) && span_off + w <= d,
+        "span [{span_off}, {span_off}+{w}) not a VLEN-aligned slice of row width {d}"
+    );
+    assert!(h.len() >= cols.len(), "span kernel: fewer messages than neighbors");
+    if let Some(&vmax) = cols.iter().max() {
+        assert!(vmax < y.nrows(), "span kernel: column {vmax} out of range");
+    }
+    let yp = y.as_slice().as_ptr();
+    let zp = z_span.as_mut_ptr();
+    let mut p = 0;
+    // Safety: every pointer offset is `v * d + span_off + p + lanes`
+    // with `v < y.nrows()` (checked above) and `span_off + p + lanes
+    // <= d`, hence in bounds of `y`'s backing slice; z offsets stay
+    // below `z_span.len()`; `h[i]` is a checked index.
+    unsafe {
+        macro_rules! span_pass {
+            ($panels:literal) => {
+                while p + $panels * VLEN <= w {
+                    let mut acc = [I::zero(); $panels];
+                    for (q, a) in acc.iter_mut().enumerate() {
+                        *a = I::loadu(zp.add(p + q * VLEN));
+                    }
+                    for (i, &v) in cols.iter().enumerate() {
+                        let hv = I::splat(h[i]);
+                        let base = yp.add(v * d + span_off + p);
+                        for (q, a) in acc.iter_mut().enumerate() {
+                            *a = I::fma(*a, hv, I::loadu(base.add(q * VLEN)));
+                        }
+                    }
+                    for (q, a) in acc.iter().enumerate() {
+                        I::storeu(zp.add(p + q * VLEN), *a);
+                    }
+                    p += $panels * VLEN;
+                }
+            };
+        }
+        span_pass!(12);
+        span_pass!(8);
+        span_pass!(6);
+        span_pass!(4);
+        span_pass!(2);
+        span_pass!(1);
+    }
+    debug_assert_eq!(p, w);
 }
 
 #[inline(always)]
@@ -299,6 +528,24 @@ isa_entries!(tdist_row_strip_body => tdist_row_strip_scalar, tdist_row_strip_avx
 isa_entries!(spmm_row_strip_body => spmm_row_strip_scalar, spmm_row_strip_avx2, spmm_row_strip_neon;
     (cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]));
 
+isa_entries!(embed_batch_body => embed_batch_scalar, embed_batch_avx2, embed_batch_neon;
+    (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32], sk: &SigmoidKind));
+isa_entries!(fr_batch_body => fr_batch_scalar, fr_batch_avx2, fr_batch_neon;
+    (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32], alpha: f32));
+isa_entries!(tdist_batch_body => tdist_batch_scalar, tdist_batch_avx2, tdist_batch_neon;
+    (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32]));
+isa_entries!(spmm_batch_body => spmm_batch_scalar, spmm_batch_avx2, spmm_batch_neon;
+    (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32]));
+
+isa_entries!(embed_msg_body => embed_msg_scalar, embed_msg_avx2, embed_msg_neon;
+    (xu: &[f32], cols: &[usize], y: &Dense, sk: &SigmoidKind, h: &mut [f32]));
+isa_entries!(fr_msg_body => fr_msg_scalar, fr_msg_avx2, fr_msg_neon;
+    (xu: &[f32], cols: &[usize], y: &Dense, alpha: f32, h: &mut [f32]));
+isa_entries!(tdist_msg_body => tdist_msg_scalar, tdist_msg_avx2, tdist_msg_neon;
+    (xu: &[f32], cols: &[usize], y: &Dense, h: &mut [f32]));
+isa_entries!(span_sweep_body => span_sweep_scalar, span_sweep_avx2, span_sweep_neon;
+    (cols: &[usize], h: &[f32], y: &Dense, z_span: &mut [f32], span_off: usize));
+
 isa_entries!(embed_row_dyn_body => embed_row_dyn_scalar, embed_row_dyn_avx2, embed_row_dyn_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32], sk: &SigmoidKind));
 isa_entries!(fr_row_dyn_body => fr_row_dyn_scalar, fr_row_dyn_avx2, fr_row_dyn_neon;
@@ -351,6 +598,59 @@ pub fn tdist_strip_kernel(b: Backend) -> TDistRowKernel {
 /// [`embed_strip_kernel`] for the contract).
 pub fn spmm_strip_kernel(b: Backend) -> SpmmRowKernel {
     select!(b => spmm_row_strip_scalar, spmm_row_strip_avx2, spmm_row_strip_neon)
+}
+
+/// The gather-style short-row embedding batch kernel compiled for `b`
+/// (hybrid execution's short class).
+///
+/// # Panics
+/// Panics when `b` is not available on this CPU. The returned kernel
+/// panics when `d` is not a positive multiple of 8 or the batch stages
+/// more than [`H_CHUNK`] neighbors in total.
+pub fn embed_batch_kernel(b: Backend) -> EmbedBatchKernel {
+    select!(b => embed_batch_scalar, embed_batch_avx2, embed_batch_neon)
+}
+
+/// The short-row FR batch kernel compiled for `b` (see
+/// [`embed_batch_kernel`] for the contract).
+pub fn fr_batch_kernel(b: Backend) -> FrBatchKernel {
+    select!(b => fr_batch_scalar, fr_batch_avx2, fr_batch_neon)
+}
+
+/// The short-row t-distribution batch kernel compiled for `b` (see
+/// [`embed_batch_kernel`] for the contract).
+pub fn tdist_batch_kernel(b: Backend) -> TDistBatchKernel {
+    select!(b => tdist_batch_scalar, tdist_batch_avx2, tdist_batch_neon)
+}
+
+/// The short-row SpMM batch kernel compiled for `b` (no message
+/// buffer, so the batch size is unconstrained).
+pub fn spmm_batch_kernel(b: Backend) -> SpmmBatchKernel {
+    select!(b => spmm_batch_scalar, spmm_batch_avx2, spmm_batch_neon)
+}
+
+/// The mega-row embedding message-fill kernel compiled for `b`
+/// (phase A of the split-mega-row pass; each neighbor slice is an
+/// independent fill).
+pub fn embed_msg_kernel(b: Backend) -> EmbedMsgKernel {
+    select!(b => embed_msg_scalar, embed_msg_avx2, embed_msg_neon)
+}
+
+/// The mega-row FR message-fill kernel compiled for `b`.
+pub fn fr_msg_kernel(b: Backend) -> FrMsgKernel {
+    select!(b => fr_msg_scalar, fr_msg_avx2, fr_msg_neon)
+}
+
+/// The mega-row t-distribution message-fill kernel compiled for `b`.
+pub fn tdist_msg_kernel(b: Backend) -> TDistMsgKernel {
+    select!(b => tdist_msg_scalar, tdist_msg_avx2, tdist_msg_neon)
+}
+
+/// The mega-row column-span sweep kernel compiled for `b` (phase B of
+/// the split-mega-row pass; pattern-independent — the messages were
+/// already computed).
+pub fn span_sweep_kernel(b: Backend) -> SpanSweepKernel {
+    select!(b => span_sweep_scalar, span_sweep_avx2, span_sweep_neon)
 }
 
 /// The dynamic-dimension embedding kernel compiled for `b` (any `d`).
@@ -477,5 +777,103 @@ mod tests {
         let mut z = vec![0.75f32; 16];
         spmm_strip_kernel(active_backend())(&[], &[], &y, &mut z);
         assert!(z.iter().all(|&v| v == 0.75));
+    }
+
+    #[test]
+    fn gather_batch_bit_identical_to_strip_per_row() {
+        // Short rows (degree 1..6); the batch kernel must reproduce the
+        // per-row strip kernel bit for bit, since hybrid's short class
+        // claims bit-identity to the uniform path.
+        let n = 24;
+        let a = chain(n, 5);
+        for d in [48usize, 96] {
+            let x = feats(n, d, 0.2);
+            let y = feats(n, d, 0.8);
+            for &b in Backend::ALL {
+                if !b.is_available() {
+                    continue;
+                }
+                let rows_in_batch = [2usize, 5, 9, 11];
+                let mut band = vec![0f32; rows_in_batch.len() * d];
+                let batch: Vec<GatheredRow<'_>> = rows_in_batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &u)| GatheredRow {
+                        xu: x.row(u),
+                        cols: a.row(u).0,
+                        vals: a.row(u).1,
+                        band_row: i,
+                    })
+                    .collect();
+                embed_batch_kernel(b)(&batch, &y, &mut band, &SigmoidKind::Exact);
+                for (i, &u) in rows_in_batch.iter().enumerate() {
+                    let mut z_strip = vec![0f32; d];
+                    let (cols, vals) = a.row(u);
+                    embed_strip_kernel(b)(
+                        x.row(u),
+                        cols,
+                        vals,
+                        &y,
+                        &mut z_strip,
+                        &SigmoidKind::Exact,
+                    );
+                    assert_eq!(&band[i * d..(i + 1) * d], &z_strip[..], "embed {b} d={d} row {u}");
+                }
+                // SpMM batch too.
+                let mut band = vec![0f32; rows_in_batch.len() * d];
+                spmm_batch_kernel(b)(&batch, &y, &mut band);
+                for (i, &u) in rows_in_batch.iter().enumerate() {
+                    let mut z_strip = vec![0f32; d];
+                    let (cols, vals) = a.row(u);
+                    spmm_strip_kernel(b)(cols, vals, &y, &mut z_strip);
+                    assert_eq!(&band[i * d..(i + 1) * d], &z_strip[..], "spmm {b} d={d} row {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn msg_fill_plus_span_sweep_bit_identical_to_strip() {
+        // A heavy row (degree > H_CHUNK exercises the strip kernel's
+        // chunked fold) computed as mega phases A + B must match the
+        // strip kernel bit for bit, for any span split.
+        let n = 90;
+        let a = chain(n, 80);
+        for d in [48usize, 96] {
+            let x = feats(n, d, 0.3);
+            let y = feats(n, d, 0.7);
+            let (cols, vals) = a.row(7);
+            for &b in Backend::ALL {
+                if !b.is_available() {
+                    continue;
+                }
+                let mut z_strip = vec![0f32; d];
+                embed_strip_kernel(b)(x.row(7), cols, vals, &y, &mut z_strip, &SigmoidKind::Exact);
+                // Phase A: messages filled in two independent slices.
+                let mut h = vec![0f32; cols.len()];
+                let split = cols.len() / 3;
+                let (h0, h1) = h.split_at_mut(split);
+                embed_msg_kernel(b)(x.row(7), &cols[..split], &y, &SigmoidKind::Exact, h0);
+                embed_msg_kernel(b)(x.row(7), &cols[split..], &y, &SigmoidKind::Exact, h1);
+                // Phase B: every VLEN-aligned span split must agree.
+                for spans in [vec![d], vec![d / 2, d / 2], vec![VLEN; d / VLEN]] {
+                    let mut z = vec![0f32; d];
+                    let mut off = 0;
+                    for w in spans {
+                        span_sweep_kernel(b)(cols, &h, &y, &mut z[off..off + w], off);
+                        off += w;
+                    }
+                    assert_eq!(z, z_strip, "embed mega {b} d={d}");
+                }
+                // SpMM: the values are the messages.
+                let mut z_strip = vec![0f32; d];
+                spmm_strip_kernel(b)(cols, vals, &y, &mut z_strip);
+                let mut z = vec![0f32; d];
+                let (lo, hi) = z.split_at_mut(d / 2);
+                span_sweep_kernel(b)(cols, vals, &y, lo, 0);
+                span_sweep_kernel(b)(cols, vals, &y, hi, d / 2);
+                assert_eq!(z, z_strip, "spmm mega {b} d={d}");
+            }
+        }
     }
 }

@@ -58,6 +58,7 @@ pub mod dispatch;
 pub mod driver;
 pub mod generic;
 pub mod genkern;
+pub mod hybrid;
 pub mod part;
 pub mod plan;
 pub mod profile;
@@ -67,6 +68,7 @@ pub mod simd;
 pub use autotune::{global_tuner, Tuner};
 pub use dispatch::{fusedmm_opt, fusedmm_opt_with, specialize, Blocking, Specialized};
 pub use generic::{fusedmm_generic, fusedmm_generic_opts, fusedmm_reference};
+pub use hybrid::HybridConfig;
 pub use part::{Partition, PartitionStrategy};
 pub use plan::{Plan, PlanCache, PlanTag};
 pub use profile::{kernel_profiles, reset_kernel_profiles, KernelProfile};

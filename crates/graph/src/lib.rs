@@ -16,12 +16,15 @@
 //! * [`datasets`] — a registry mapping each Table V graph to a synthetic
 //!   stand-in with matched vertex count (optionally scaled down),
 //!   matched average degree, and a power-law tail;
-//! * [`stats`] — degree statistics used by tests and harness output.
+//! * [`stats`] — degree statistics used by tests and harness output;
+//! * [`reordering`] — degree-sort and RCM-style vertex orderings that
+//!   improve locality on skewed graphs without changing results.
 
 pub mod datasets;
 pub mod erdos;
 pub mod features;
 pub mod planted;
+pub mod reordering;
 pub mod rmat;
 pub mod stats;
 
@@ -29,5 +32,6 @@ pub use datasets::{Dataset, DatasetSpec};
 pub use erdos::erdos_renyi;
 pub use features::random_features;
 pub use planted::{planted_partition, PlantedGraph};
+pub use reordering::{Permutation, Reordering};
 pub use rmat::{rmat, RmatConfig};
 pub use stats::GraphStats;

@@ -30,7 +30,7 @@ impl GraphStats {
     /// Compute statistics for a CSR adjacency matrix.
     pub fn compute(a: &Csr) -> Self {
         let n = a.nrows();
-        let degrees: Vec<usize> = (0..n).map(|u| a.row_nnz(u)).collect();
+        let degrees = a.row_degrees();
         let nnz = a.nnz();
         let mean = if n == 0 { 0.0 } else { nnz as f64 / n as f64 };
         let var = if n == 0 {
@@ -60,21 +60,11 @@ impl GraphStats {
 /// Histogram of degrees in log-2 buckets (bucket `i` counts vertices
 /// with degree in `[2^i, 2^{i+1})`; bucket 0 also counts degree 1,
 /// degree 0 is excluded). Power-law graphs show a long, slowly decaying
-/// tail across buckets.
+/// tail across buckets. Thin wrapper over
+/// [`Csr::degree_histogram_log2`], the shared degree-scan helper also
+/// used by the hybrid-kernel row classifier and the metrics registry.
 pub fn degree_histogram_log2(a: &Csr) -> Vec<usize> {
-    let mut hist: Vec<usize> = Vec::new();
-    for u in 0..a.nrows() {
-        let d = a.row_nnz(u);
-        if d == 0 {
-            continue;
-        }
-        let bucket = (usize::BITS - 1 - d.leading_zeros()) as usize;
-        if bucket >= hist.len() {
-            hist.resize(bucket + 1, 0);
-        }
-        hist[bucket] += 1;
-    }
-    hist
+    a.degree_histogram_log2()
 }
 
 #[cfg(test)]

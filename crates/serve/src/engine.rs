@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use fusedmm_cache::{CacheConfig, CacheMetrics, MissRoute};
 use fusedmm_core::{Blocking, Plan};
+use fusedmm_graph::Reordering;
 use fusedmm_ops::OpSet;
 use fusedmm_perf::gauge::Gauge;
 use fusedmm_perf::hist::{HistogramSnapshot, LatencyHistogram};
@@ -24,6 +25,7 @@ use fusedmm_perf::registry::{MetricsRegistry, Sample};
 use fusedmm_perf::trace::{SpanCtx, SpanKind, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
+use fusedmm_sparse::Permutation;
 
 use crate::admit::{Admission, AdmissionPolicy};
 use crate::batcher::{dedup_union, group_by_epoch, scatter_rows, BatchQueue, Pending};
@@ -73,6 +75,15 @@ pub struct EngineConfig {
     /// disabled); pass `Some(Arc::new(FaultPlan::disabled()))` to make
     /// an engine immune regardless of the environment.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Reorder the graph at load time (degree sort / RCM BFS — see
+    /// [`Reordering`]) to improve locality and band balance on skewed
+    /// graphs. External vertex ids are unchanged: requests are
+    /// translated at the serving boundary and responses come back in
+    /// request order, bit-identical to an unreordered engine. Only
+    /// valid with engine-owned features ([`Engine::new`] /
+    /// [`ShardedEngine::new`](crate::ShardedEngine::new)): an external
+    /// [`FeatureStore`] cannot be assumed to be in permuted row order.
+    pub reordering: Option<Reordering>,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +96,7 @@ impl Default for EngineConfig {
             tracer: None,
             admission: None,
             fault: None,
+            reordering: None,
         }
     }
 }
@@ -177,6 +189,13 @@ struct EngineShared {
     /// only; a sharded front end owns one shared cache instead and its
     /// band engines run uncached).
     cache: Option<Arc<EmbedCache>>,
+    /// The load-time reordering's permutation (whole-graph engines
+    /// only). When set, `a` and every feature epoch live in internal
+    /// (permuted) row order; the request path translates external ids
+    /// on entry and `infer_full` scatters its rows back on exit, so
+    /// callers never see internal ids. Band engines under a sharded
+    /// front end carry `None` — the front end owns the translation.
+    perm: Option<Arc<Permutation>>,
     ops: OpSet,
     plan: Plan,
     queue: BatchQueue,
@@ -288,7 +307,15 @@ impl Engine {
         assert_eq!(x.nrows(), a.nrows(), "X must have one row per vertex");
         assert_eq!(y.nrows(), a.ncols(), "Y must have one row per vertex");
         assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
-        Engine::with_store(a, Arc::new(FeatureStore::new(x, y)), ops, config)
+        match config.reordering {
+            Some(r) => {
+                let perm = Arc::new(r.compute(&a));
+                let a = perm.permute_csr(&a);
+                let store = Arc::new(FeatureStore::with_permutation(x, y, Arc::clone(&perm)));
+                Engine::build(a, store, ops, config, Some(perm))
+            }
+            None => Engine::build(a, Arc::new(FeatureStore::new(x, y)), ops, config, None),
+        }
     }
 
     /// Like [`Engine::new`], but borrowing features through an existing
@@ -296,12 +323,33 @@ impl Engine {
     /// updates (or several engines sharing one model) uses.
     ///
     /// # Panics
-    /// Panics when the store's shapes are inconsistent with `a`.
+    /// Panics when the store's shapes are inconsistent with `a`, or
+    /// when [`EngineConfig::reordering`] is set — an external store
+    /// cannot be assumed to hold features in the permuted row order
+    /// (use [`Engine::new`], which owns the features end-to-end).
     pub fn with_store(
         a: Csr,
         store: Arc<FeatureStore>,
         ops: OpSet,
         config: EngineConfig,
+    ) -> Engine {
+        assert!(
+            config.reordering.is_none(),
+            "EngineConfig::reordering requires engine-owned features (Engine::new): an external \
+             FeatureStore is not in permuted row order"
+        );
+        Engine::build(a, store, ops, config, None)
+    }
+
+    /// Shared tail of [`Engine::new`] / [`Engine::with_store`]: `a`
+    /// and the store's epochs are already in the same (possibly
+    /// permuted) row order.
+    fn build(
+        a: Csr,
+        store: Arc<FeatureStore>,
+        ops: OpSet,
+        config: EngineConfig,
+        perm: Option<Arc<Permutation>>,
     ) -> Engine {
         assert_eq!(store.x_rows(), a.nrows(), "store X must have one row per vertex");
         let d = store.d();
@@ -316,7 +364,7 @@ impl Engine {
             store.subscribe(Arc::clone(&cache) as _);
             cache
         });
-        Engine::for_band(a, BandId { start: 0, shard: None }, store, cache, ops, plan, config)
+        Engine::for_band(a, BandId { start: 0, shard: None }, store, cache, ops, plan, config, perm)
     }
 
     /// Construct an engine over one PART1D row band: `a` holds global
@@ -325,6 +373,7 @@ impl Engine {
     /// [`ShardedEngine`](crate::ShardedEngine); the plan is supplied by
     /// the caller (shards share a tagged
     /// [`PlanCache`](fusedmm_core::PlanCache)).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn for_band(
         a: Csr,
         band: BandId,
@@ -333,8 +382,14 @@ impl Engine {
         ops: OpSet,
         plan: Plan,
         config: EngineConfig,
+        perm: Option<Arc<Permutation>>,
     ) -> Engine {
         let band_start = band.start;
+        assert!(
+            perm.is_none() || band_start == 0,
+            "a reordering permutation belongs to whole-graph engines; band engines serve \
+             internal ids"
+        );
         assert!(
             store.x_rows() >= band_start + a.nrows(),
             "store X ({} rows) must cover the band ending at {}",
@@ -356,6 +411,7 @@ impl Engine {
             shard: band.shard,
             store,
             cache,
+            perm,
             ops,
             plan,
             queue: BatchQueue::new(),
@@ -484,6 +540,19 @@ impl Engine {
             })));
         }
         self.check_nodes(nodes.iter().copied())?;
+        // Reordered engines translate external ids to internal rows
+        // once, here; everything downstream — cache keys, coalescing,
+        // the kernels — runs on internal ids, and the response is
+        // positional (row i answers `nodes[i]`), so no reverse map is
+        // needed on the way out.
+        let mapped: Vec<usize>;
+        let nodes: &[usize] = match &self.shared.perm {
+            Some(p) => {
+                mapped = p.map_to_new(nodes);
+                &mapped
+            }
+            None => nodes,
+        };
         // Admission runs before this request acquires the in-flight
         // gauge, so it never counts itself toward the cap it is being
         // judged against.
@@ -785,6 +854,25 @@ impl Engine {
     /// needs no batching to be cheap.
     pub fn score_edges(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError> {
         let epoch = self.shared.store.snapshot();
+        let mapped: Vec<(usize, usize)>;
+        let pairs: &[(usize, usize)] = match &self.shared.perm {
+            Some(p) => {
+                // Validate in the external id space before translating
+                // (`to_new` indexes by id); a reordered engine is
+                // square, so one bound covers sources and targets.
+                let n = p.len();
+                for &(u, v) in pairs {
+                    for node in [u, v] {
+                        if node >= n {
+                            return Err(ServeError::NodeOutOfRange { node, nvertices: n });
+                        }
+                    }
+                }
+                mapped = pairs.iter().map(|&(u, v)| (p.to_new(u), p.to_new(v))).collect();
+                &mapped
+            }
+            None => pairs,
+        };
         self.score_edges_pinned(pairs, &epoch)
     }
 
@@ -819,7 +907,13 @@ impl Engine {
     /// batch call (one band of it, for a shard engine).
     pub fn infer_full(&self) -> Dense {
         let epoch = self.shared.store.snapshot();
-        self.infer_pinned(&epoch)
+        let z = self.infer_pinned(&epoch);
+        // Scatter the internal-order rows back so row u answers
+        // external vertex u, as on an unreordered engine.
+        match &self.shared.perm {
+            Some(p) => p.unpermute_rows(&z),
+            None => z,
+        }
     }
 
     /// [`Engine::infer_full`] against an explicitly pinned epoch.
@@ -883,7 +977,19 @@ impl Engine {
         let shared = Arc::clone(&self.shared);
         let labels: Vec<(String, String)> =
             labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        // The adjacency is frozen at load: snapshot its degree shape
+        // once and republish with every scrape. Bucket i counts rows
+        // with degree in [2^i, 2^{i+1}) — the skew signal behind the
+        // hybrid kernel's class split.
+        let degree_hist = self.shared.a.degree_histogram_log2();
         registry.register(move |out| {
+            for (bucket, &rows) in degree_hist.iter().enumerate() {
+                out.push(apply_labels(
+                    Sample::gauge("fusedmm_degree_histogram_rows", rows as f64)
+                        .label("bucket".to_string(), bucket.to_string()),
+                    &labels,
+                ));
+            }
             let l = |s: Sample| apply_labels(s, &labels);
             out.push(l(Sample::histogram(
                 "fusedmm_embed_latency_seconds",
@@ -1709,6 +1815,124 @@ mod tests {
         let resp = eng.embed_begin_opts(&[1, 2], opts).unwrap().wait().unwrap();
         assert_eq!(resp.served_degraded, vec![true, true]);
         assert_eq!(resp.rows.as_slice(), &[0.0; 8]);
+    }
+
+    /// A deliberately skewed graph: vertex 0 is a hub wired to
+    /// everyone, the rest form a sparse ring.
+    fn skewed(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for v in 1..n {
+            c.push(0, v, 0.5 + (v as f32) * 0.01);
+            c.push(v, 0, 1.0);
+            c.push(v, (v % (n - 1)) + 1, 0.7);
+        }
+        c.to_csr(Dedup::Sum)
+    }
+
+    #[test]
+    fn reordered_engine_is_bit_identical_and_keeps_external_ids() {
+        let (n, d) = (48, 16);
+        let a = skewed(n);
+        let feats = Dense::from_fn(n, d, |r, k| ((r * 3 + k * 7) as f32 * 0.05).sin());
+        let cfg = EngineConfig {
+            coalesce_window: Duration::ZERO,
+            blocking: Some(Blocking::Auto),
+            ..EngineConfig::default()
+        };
+        let plain = Engine::new(a.clone(), feats.clone(), feats.clone(), OpSet::gcn(), cfg.clone());
+        let nodes = [5usize, 0, 47, 5, 13];
+        let pairs = [(0usize, 7usize), (13, 0), (47, 46)];
+        let base_embed = plain.embed(&nodes).unwrap();
+        let base_scores = plain.score_edges(&pairs).unwrap();
+        let base_full = plain.infer_full();
+        for r in [Reordering::DegreeSort, Reordering::RcmBfs] {
+            let cfg = EngineConfig { reordering: Some(r), ..cfg.clone() };
+            let eng = Engine::new(a.clone(), feats.clone(), feats.clone(), OpSet::gcn(), cfg);
+            assert_eq!(eng.embed(&nodes).unwrap(), base_embed, "{r:?} embed differs");
+            assert_eq!(eng.score_edges(&pairs).unwrap(), base_scores, "{r:?} scores differ");
+            assert_eq!(
+                eng.infer_full().as_slice(),
+                base_full.as_slice(),
+                "{r:?} infer_full differs"
+            );
+            // External id space is unchanged, including its bounds.
+            assert_eq!(eng.embed(&[n]), Err(ServeError::NodeOutOfRange { node: n, nvertices: n }));
+            assert!(matches!(
+                eng.score_edges(&[(0, n)]),
+                Err(ServeError::NodeOutOfRange { node, .. }) if node == n
+            ));
+        }
+    }
+
+    #[test]
+    fn reordered_engine_store_writes_use_external_ids() {
+        // Ring graph: z_u = y_{u+1} under GCN, so served values reveal
+        // exactly which external row a write landed on.
+        let n = 10;
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let feats = Dense::from_fn(n, 4, |r, k| (r * 4 + k) as f32);
+        let eng = Engine::new(
+            a,
+            feats.clone(),
+            feats,
+            OpSet::gcn(),
+            EngineConfig {
+                coalesce_window: Duration::ZERO,
+                blocking: Some(Blocking::Auto),
+                reordering: Some(Reordering::RcmBfs),
+                ..EngineConfig::default()
+            },
+        );
+        let patch = Dense::filled(1, 4, -1.0);
+        eng.store().delta_update(&[5], &patch, &patch);
+        assert_eq!(eng.embed(&[4]).unwrap().row(0), &[-1.0; 4], "external row 5 was patched");
+        assert_eq!(eng.embed(&[0]).unwrap().row(0), &[4.0, 5.0, 6.0, 7.0], "row 1 untouched");
+        // A publish in external order serves externally-correct rows.
+        let x2 = Dense::from_fn(n, 4, |r, k| (100 * r + k) as f32);
+        eng.store().publish(x2.clone(), x2);
+        assert_eq!(eng.embed(&[3]).unwrap().row(0), &[400.0, 401.0, 402.0, 403.0]);
+    }
+
+    #[test]
+    fn reordered_engine_with_cache_is_bit_identical() {
+        let (n, d) = (40, 8);
+        let a = skewed(n);
+        let feats = Dense::from_fn(n, d, |r, k| ((r + k * 5) as f32 * 0.07).cos());
+        let cfg = EngineConfig {
+            coalesce_window: Duration::ZERO,
+            blocking: Some(Blocking::Auto),
+            cache: Some(CacheConfig::default()),
+            reordering: Some(Reordering::DegreeSort),
+            ..EngineConfig::default()
+        };
+        let plain = Engine::new(
+            a.clone(),
+            feats.clone(),
+            feats.clone(),
+            OpSet::sigmoid_embedding(None),
+            EngineConfig { cache: None, reordering: None, ..cfg.clone() },
+        );
+        let eng = Engine::new(a, feats.clone(), feats, OpSet::sigmoid_embedding(None), cfg);
+        let nodes = [0usize, 17, 3, 17, 39];
+        let cold = eng.embed(&nodes).unwrap();
+        assert_eq!(cold, plain.embed(&nodes).unwrap(), "cold reordered cache differs");
+        assert_eq!(eng.embed(&nodes).unwrap(), cold, "warm reordered cache differs");
+        let m = eng.cache_metrics().unwrap();
+        assert_eq!(m.hits, 5, "warm pass hits every row under translated keys");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine-owned features")]
+    fn with_store_rejects_reordering() {
+        let a = skewed(8);
+        let store = Arc::new(FeatureStore::new(Dense::zeros(8, 4), Dense::zeros(8, 4)));
+        let cfg =
+            EngineConfig { reordering: Some(Reordering::DegreeSort), ..EngineConfig::default() };
+        let _ = Engine::with_store(a, store, OpSet::gcn(), cfg);
     }
 
     #[test]

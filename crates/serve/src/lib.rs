@@ -33,6 +33,11 @@
 //!   plan) per shard against the shared store, and scatters/gathers
 //!   requests in request order — bit-identical to a single engine, and
 //!   the step toward multi-machine serving;
+//! * graph reordering ([`EngineConfig::reordering`]) — engines can
+//!   renumber a skewed graph at load time ([`Reordering::DegreeSort`] /
+//!   [`Reordering::RcmBfs`]) for locality and band balance, translating
+//!   ids at the serving boundary so external vertex ids never change
+//!   and every response stays bit-identical to unreordered serving;
 //! * result caching ([`cache`]) — with [`EngineConfig::cache`] set,
 //!   hot rows are served from an epoch-aware
 //!   [`ResultCache`](fusedmm_cache::ResultCache): a
@@ -135,6 +140,9 @@ pub use admit::AdmissionPolicy;
 pub use cache::EmbedCache;
 pub use fault::{quiet_injected_panics, FaultPlan, InjectedFault};
 pub use observe::register_kernel_profiles;
+// The graph crate's reordering strategies are part of this crate's
+// public surface (EngineConfig::reordering).
+pub use fusedmm_graph::Reordering;
 // The cache crate's config/metrics are part of this crate's public
 // surface (EngineConfig::cache, EngineMetrics::cache).
 pub use fusedmm_cache::{CacheConfig, CacheMetrics};

@@ -33,6 +33,7 @@ use fusedmm_perf::registry::{MetricsRegistry, Sample};
 use fusedmm_perf::trace::{SpanCtx, SpanKind, Tracer};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
+use fusedmm_sparse::Permutation;
 
 use crate::admit::{Admission, AdmissionPolicy};
 use crate::batcher::dedup_union;
@@ -94,6 +95,19 @@ pub struct ShardedEngine {
     /// `boundaries[s]..boundaries[s + 1]` is shard `s`'s global row
     /// band (the PART1D cut).
     boundaries: Vec<usize>,
+    /// The load-time reordering's permutation, when one was configured.
+    /// The cut, the bands, the shared cache, and the store's epochs all
+    /// live in internal (permuted) row order; the front end translates
+    /// external ids on entry (before ownership routing) and scatters
+    /// `infer_full` rows back on exit.
+    perm: Option<Arc<Permutation>>,
+    /// Max row degree per band, recorded at partition time — the skew
+    /// signal behind the `fusedmm_partition_max_row_degree` gauge (a
+    /// band with one mega-row dominates its siblings' critical path).
+    band_max_degree: Vec<usize>,
+    /// Log2 degree histogram of the (possibly permuted) adjacency,
+    /// frozen at load; republished with every metrics scrape.
+    degree_hist: Vec<usize>,
     /// Gather progress per shard: time from fan-out start until shard
     /// `s`'s rows were merged into the response. Tickets gather lazily,
     /// so this traces response assembly from the caller's perspective
@@ -115,6 +129,12 @@ impl ShardedEngine {
     /// one band engine per (possibly empty) band, all sharing a fresh
     /// [`FeatureStore`] seeded with `x`/`y` as epoch 0.
     ///
+    /// With [`EngineConfig::reordering`] set, the graph is renumbered
+    /// *before* the PART1D cut — degree-sorting a skewed graph makes
+    /// the bands internally regular (each band holds rows of similar
+    /// degree) — while the request API keeps speaking external ids,
+    /// bit-identical to an unreordered deployment.
+    ///
     /// # Panics
     /// Panics when shapes are inconsistent or `nshards == 0`.
     pub fn new(
@@ -128,12 +148,33 @@ impl ShardedEngine {
         assert_eq!(x.nrows(), a.nrows(), "X must have one row per vertex");
         assert_eq!(y.nrows(), a.ncols(), "Y must have one row per vertex");
         assert_eq!(x.ncols(), y.ncols(), "X and Y must share the embedding dimension");
-        ShardedEngine::with_store(a, Arc::new(FeatureStore::new(x, y)), ops, nshards, config)
+        match config.reordering {
+            Some(r) => {
+                let perm = Arc::new(r.compute(&a));
+                let a = perm.permute_csr(&a);
+                let store = Arc::new(FeatureStore::with_permutation(x, y, Arc::clone(&perm)));
+                ShardedEngine::build(a, store, ops, nshards, config, Some(perm))
+            }
+            None => ShardedEngine::build(
+                a,
+                Arc::new(FeatureStore::new(x, y)),
+                ops,
+                nshards,
+                config,
+                None,
+            ),
+        }
     }
 
     /// Like [`ShardedEngine::new`] but borrowing features through an
     /// existing store — e.g. one already being published to by a
     /// training loop, or shared with other engines.
+    ///
+    /// # Panics
+    /// Panics when the store's shapes are inconsistent with `a`, or
+    /// when [`EngineConfig::reordering`] is set — an external store
+    /// cannot be assumed to hold features in the permuted row order
+    /// (use [`ShardedEngine::new`]).
     pub fn with_store(
         a: Csr,
         store: Arc<FeatureStore>,
@@ -141,9 +182,28 @@ impl ShardedEngine {
         nshards: usize,
         config: EngineConfig,
     ) -> ShardedEngine {
+        assert!(
+            config.reordering.is_none(),
+            "EngineConfig::reordering requires engine-owned features (ShardedEngine::new): an \
+             external FeatureStore is not in permuted row order"
+        );
+        ShardedEngine::build(a, store, ops, nshards, config, None)
+    }
+
+    /// Shared tail of `new` / `with_store`: `a` and the store's epochs
+    /// are already in the same (possibly permuted) row order.
+    fn build(
+        a: Csr,
+        store: Arc<FeatureStore>,
+        ops: OpSet,
+        nshards: usize,
+        config: EngineConfig,
+        perm: Option<Arc<Permutation>>,
+    ) -> ShardedEngine {
         assert_eq!(store.x_rows(), a.nrows(), "store X must have one row per vertex");
         assert_eq!(store.y_rows(), a.ncols(), "store Y must have one row per vertex");
         let part = Partition::part1d(&a, nshards, PartitionStrategy::NnzBalanced);
+        let degree_hist = a.degree_histogram_log2();
         let d = store.d();
         let plans = PlanCache::new();
         // The front end owns the (global-id) result cache; bands run
@@ -173,6 +233,8 @@ impl ShardedEngine {
             tracer: Some(Arc::clone(&tracer)),
             admission: Some(AdmissionPolicy::unlimited()),
             fault: Some(Arc::clone(&fault_cfg)),
+            // The graph is already permuted; bands serve internal ids.
+            reordering: None,
             ..config.clone()
         };
         let shards: Vec<Engine> = (0..part.len())
@@ -190,6 +252,7 @@ impl ShardedEngine {
                     ops.clone(),
                     plan,
                     band_config.clone(),
+                    None,
                 )
             })
             .collect();
@@ -206,6 +269,9 @@ impl ShardedEngine {
             fault: Some(fault_cfg).filter(|f| f.is_active()),
             stopped: AtomicBool::new(false),
             boundaries: part.boundaries().to_vec(),
+            perm,
+            band_max_degree: part.max_row_degrees().to_vec(),
+            degree_hist,
             fanout,
             plans,
             started: Instant::now(),
@@ -301,6 +367,19 @@ impl ShardedEngine {
             return Err(ServeError::EngineShutdown);
         }
         self.check_nodes(nodes)?;
+        // A reordered deployment translates external ids to internal
+        // rows once, here — before ownership routing, cache probing,
+        // and the fan-out, which all run on internal ids. The response
+        // is positional (row i answers `nodes[i]`), so nothing maps
+        // back.
+        let mapped: Vec<usize>;
+        let nodes: &[usize] = match &self.perm {
+            Some(p) => {
+                mapped = p.map_to_new(nodes);
+                &mapped
+            }
+            None => nodes,
+        };
         if nodes.is_empty() {
             self.stats.ready();
             return Ok(Ticket::ready(Ok(EmbedResponse {
@@ -563,6 +642,17 @@ impl ShardedEngine {
                 return Err(ServeError::NodeOutOfRange { node: v, nvertices: n });
             }
         }
+        // Translate to internal ids after validation (a reordered
+        // deployment is square, so both endpoints map through the same
+        // permutation) — ownership routing below runs on internal rows.
+        let mapped: Vec<(usize, usize)>;
+        let pairs: &[(usize, usize)] = match &self.perm {
+            Some(p) => {
+                mapped = pairs.iter().map(|&(u, v)| (p.to_new(u), p.to_new(v))).collect();
+                &mapped
+            }
+            None => pairs,
+        };
         let epoch = self.store.snapshot();
         // Per shard: the original pair indices and the pairs themselves.
         type ShardPairs = (Vec<usize>, Vec<(usize, usize)>);
@@ -615,7 +705,19 @@ impl ShardedEngine {
                 });
             }
         });
-        out
+        // Scatter the stacked internal-order rows back so row u
+        // answers external vertex u, as on an unreordered deployment.
+        match &self.perm {
+            Some(p) => p.unpermute_rows(&out),
+            None => out,
+        }
+    }
+
+    /// Max row degree per band, recorded when the PART1D cut was made —
+    /// the operator-facing skew signal (also exported as the
+    /// shard-labeled `fusedmm_partition_max_row_degree` gauge).
+    pub fn band_max_degrees(&self) -> &[usize] {
+        &self.band_max_degree
     }
 
     /// Point-in-time metrics: per-shard engine metrics plus the merged
@@ -665,7 +767,25 @@ impl ShardedEngine {
         let cache = self.cache.clone();
         let store = Arc::clone(&self.store);
         let nshards = self.shards.len();
+        let band_max_degree = self.band_max_degree.clone();
+        let degree_hist = self.degree_hist.clone();
         registry.register(move |out| {
+            // Static graph-shape gauges: per-band max row degree (the
+            // skew each shard's critical path carries) and the log2
+            // degree histogram (bucket i counts rows with degree in
+            // [2^i, 2^{i+1})).
+            for (s, &deg) in band_max_degree.iter().enumerate() {
+                out.push(
+                    Sample::gauge("fusedmm_partition_max_row_degree", deg as f64)
+                        .label("shard", s.to_string()),
+                );
+            }
+            for (bucket, &rows) in degree_hist.iter().enumerate() {
+                out.push(
+                    Sample::gauge("fusedmm_degree_histogram_rows", rows as f64)
+                        .label("bucket", bucket.to_string()),
+                );
+            }
             out.push(Sample::histogram(
                 "fusedmm_frontend_hit_latency_seconds",
                 hit_latency.snapshot(),
@@ -1128,6 +1248,116 @@ mod tests {
         assert!(m.panics_caught >= 1, "at least one band launch panicked");
         assert_eq!(m.requests_harvested, 2);
         assert_eq!(m.requests_failed, 0);
+    }
+
+    #[test]
+    fn reordered_sharded_engine_is_bit_identical_and_keeps_external_ids() {
+        use fusedmm_graph::Reordering;
+        let n = 80;
+        let d = 12;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, k| ((r * 3 + k) as f32 * 0.05).sin());
+        let y = Dense::from_fn(n, d, |r, k| ((r + k * 2) as f32 * 0.04).cos());
+        let ops = OpSet::sigmoid_embedding(None);
+        let plain = ShardedEngine::new(a.clone(), x.clone(), y.clone(), ops.clone(), 3, config());
+        let nodes = [79usize, 0, 40, 79, 13, 41, 7];
+        let pairs = [(0usize, 7usize), (79, 0), (40, 41)];
+        let base_embed = plain.embed(&nodes).unwrap();
+        let base_scores = plain.score_edges(&pairs).unwrap();
+        let base_full = plain.infer_full();
+        for r in [Reordering::DegreeSort, Reordering::RcmBfs] {
+            let cfg = EngineConfig { reordering: Some(r), ..config() };
+            let eng = ShardedEngine::new(a.clone(), x.clone(), y.clone(), ops.clone(), 3, cfg);
+            assert_eq!(eng.embed(&nodes).unwrap(), base_embed, "{r:?} embed differs");
+            assert_eq!(eng.score_edges(&pairs).unwrap(), base_scores, "{r:?} scores differ");
+            assert_eq!(
+                eng.infer_full().as_slice(),
+                base_full.as_slice(),
+                "{r:?} infer_full differs"
+            );
+            assert_eq!(
+                eng.embed(&[n]),
+                Err(ServeError::NodeOutOfRange { node: n, nvertices: n }),
+                "{r:?} changed the external id space"
+            );
+        }
+    }
+
+    #[test]
+    fn reordered_sharded_store_writes_use_external_ids() {
+        use fusedmm_graph::Reordering;
+        // Ring graph: z_u = y_{u+1} under GCN.
+        let n = 30;
+        let mut c = Coo::new(n, n);
+        for u in 0..n {
+            c.push(u, (u + 1) % n, 1.0);
+        }
+        let a = c.to_csr(Dedup::Sum);
+        let feats = Dense::from_fn(n, 4, |r, k| (r * 4 + k) as f32);
+        let eng = ShardedEngine::new(
+            a,
+            feats.clone(),
+            feats,
+            OpSet::gcn(),
+            3,
+            EngineConfig { reordering: Some(Reordering::DegreeSort), ..config() },
+        );
+        let patch = Dense::filled(1, 4, -1.0);
+        eng.store().delta_update(&[20], &patch, &patch);
+        assert_eq!(eng.embed(&[19]).unwrap().row(0), &[-1.0; 4], "external row 20 was patched");
+        assert_eq!(eng.embed(&[0]).unwrap().row(0), &[4.0, 5.0, 6.0, 7.0], "row 1 untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine-owned features")]
+    fn sharded_with_store_rejects_reordering() {
+        use fusedmm_graph::Reordering;
+        let a = graph(12);
+        let store = Arc::new(FeatureStore::new(Dense::zeros(12, 4), Dense::zeros(12, 4)));
+        let cfg = EngineConfig { reordering: Some(Reordering::DegreeSort), ..config() };
+        let _ = ShardedEngine::with_store(a, store, OpSet::gcn(), 2, cfg);
+    }
+
+    #[test]
+    fn partition_skew_gauges_are_exported() {
+        let n = 90;
+        let a = graph(n);
+        let nonisolated = a.row_degrees().iter().filter(|&&d| d > 0).count();
+        let eng = ShardedEngine::new(
+            a,
+            Dense::zeros(n, 4),
+            Dense::zeros(n, 4),
+            OpSet::gcn(),
+            4,
+            config(),
+        );
+        let registry = MetricsRegistry::new();
+        eng.register_metrics(&registry);
+        let snap = registry.snapshot();
+        for (s, &deg) in eng.band_max_degrees().iter().enumerate() {
+            let tag = s.to_string();
+            let v = snap
+                .gauge_value("fusedmm_partition_max_row_degree", &[("shard", &tag)])
+                .expect("per-band max-degree gauge");
+            assert_eq!(v, deg as f64, "shard {s} gauge disagrees with the partition record");
+            assert!(deg >= 1, "every band of this graph holds at least one edge");
+        }
+        // Histogram buckets (unlabeled by shard) cover every
+        // non-isolated row exactly once.
+        let mut total = 0.0;
+        for bucket in 0..64 {
+            let tag = bucket.to_string();
+            if let Some(v) = snap.gauge_value("fusedmm_degree_histogram_rows", &[("bucket", &tag)])
+            {
+                // Skip the per-shard copies: count only the front-end
+                // (shard-unlabeled) samples.
+                let s = snap.get("fusedmm_degree_histogram_rows", &[("bucket", &tag)]).unwrap();
+                if s.labels.iter().all(|(k, _)| k != "shard") {
+                    total += v;
+                }
+            }
+        }
+        assert_eq!(total, nonisolated as f64, "histogram covers every non-isolated row once");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::{Mutex, RwLock};
 
 use fusedmm_sparse::dense::Dense;
+use fusedmm_sparse::Permutation;
 
 /// One immutable published generation of the feature matrices.
 #[derive(Debug)]
@@ -103,6 +104,13 @@ pub struct FeatureStore {
     x_rows: usize,
     y_rows: usize,
     d: usize,
+    /// When the engine serves a reordered graph, epochs hold features
+    /// in *internal* (permuted) row order while the write path keeps
+    /// speaking external vertex ids: `publish` permutes incoming
+    /// matrices, `delta_update` translates row ids. Listeners are
+    /// notified with internal ids — they key on the same rows the
+    /// kernels read.
+    perm: Option<Arc<Permutation>>,
 }
 
 impl std::fmt::Debug for FeatureStore {
@@ -133,7 +141,31 @@ impl FeatureStore {
             x_rows,
             y_rows,
             d,
+            perm: None,
         }
+    }
+
+    /// Wrap load-time features given in **external** row order as
+    /// epoch 0 of a store whose epochs live in the permuted (internal)
+    /// order. Writers keep using external ids — see the `perm` field
+    /// docs. Built by engines configured with a reordering; snapshots
+    /// hand the kernels rows in the same order as the permuted matrix.
+    ///
+    /// # Panics
+    /// Panics when the dimensions disagree or either matrix's row count
+    /// differs from the permutation length.
+    pub fn with_permutation(x: Dense, y: Dense, perm: Arc<Permutation>) -> FeatureStore {
+        assert_eq!(x.nrows(), perm.len(), "X rows != permutation length");
+        assert_eq!(y.nrows(), perm.len(), "Y rows != permutation length");
+        let mut store = FeatureStore::new(perm.permute_rows(&x), perm.permute_rows(&y));
+        store.perm = Some(perm);
+        store
+    }
+
+    /// The permutation separating external ids from epoch row order,
+    /// when this store backs a reordered engine.
+    pub fn permutation(&self) -> Option<&Arc<Permutation>> {
+        self.perm.as_ref()
     }
 
     /// Register an epoch-transition observer (see [`EpochListener`] for
@@ -207,6 +239,10 @@ impl FeatureStore {
     /// Panics when the shapes differ from the load-time shapes.
     pub fn publish(&self, x: Dense, y: Dense) -> u64 {
         self.check_shapes(&x, &y);
+        let (x, y) = match &self.perm {
+            Some(p) => (p.permute_rows(&x), p.permute_rows(&y)),
+            None => (x, y),
+        };
         let _w = self.writer.lock();
         // Writers are serialized, so the next epoch number is stable
         // from here until `install`; announce it before any reader can
@@ -234,6 +270,16 @@ impl FeatureStore {
             assert!(u < self.x_rows, "patched X row {u} out of range for {} rows", self.x_rows);
             assert!(u < self.y_rows, "patched Y row {u} out of range for {} rows", self.y_rows);
         }
+        // External row ids become epoch (internal) rows here; listeners
+        // and the patch loop below agree on the translated set.
+        let mapped: Vec<usize>;
+        let rows: &[usize] = match &self.perm {
+            Some(p) => {
+                mapped = p.map_to_new(rows);
+                &mapped
+            }
+            None => rows,
+        };
         let _w = self.writer.lock();
         let base = self.snapshot();
         let mut x = base.x.clone();
@@ -393,6 +439,34 @@ mod tests {
         s.publish(Dense::filled(4, 2, 2.0), Dense::filled(4, 2, 2.0));
         assert_eq!(calls.load(Ordering::Relaxed), 1, "dead listener was notified");
         assert_eq!(s.listeners.read().len(), 0, "dead listener slot was pruned");
+    }
+
+    #[test]
+    fn permuted_store_speaks_external_ids_on_the_write_path() {
+        // new_of_old = [2, 0, 1, 3]: external row 0 lives at internal 2.
+        let perm = Arc::new(Permutation::from_new_of_old(vec![2, 0, 1, 3]));
+        let x = Dense::from_fn(4, 2, |r, c| (10 * r + c) as f32);
+        let y = Dense::from_fn(4, 2, |r, c| (100 * r + c) as f32);
+        let s = FeatureStore::with_permutation(x.clone(), y.clone(), Arc::clone(&perm));
+        // Epoch 0 is stored internally: internal row to_new(u) is
+        // external row u.
+        let ep = s.snapshot();
+        for u in 0..4 {
+            assert_eq!(ep.x().row(perm.to_new(u)), x.row(u));
+            assert_eq!(ep.y().row(perm.to_new(u)), y.row(u));
+        }
+        // publish() takes external-order matrices too.
+        let x1 = Dense::from_fn(4, 2, |r, c| (7 * r + c) as f32);
+        s.publish(x1.clone(), y.clone());
+        assert_eq!(s.snapshot().x().row(perm.to_new(3)), x1.row(3));
+        // delta_update() takes external row ids; internal rows move.
+        let px = Dense::filled(1, 2, 5.5);
+        s.delta_update(&[0], &px, &px);
+        let ep = s.snapshot();
+        assert_eq!(ep.x().row(perm.to_new(0)), &[5.5; 2]);
+        assert_eq!(ep.y().row(perm.to_new(0)), &[5.5; 2]);
+        // Untouched external row 1 still holds its published value.
+        assert_eq!(ep.x().row(perm.to_new(1)), x1.row(1));
     }
 
     #[test]

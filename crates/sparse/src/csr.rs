@@ -11,13 +11,36 @@ use crate::csc::Csc;
 use crate::error::SparseError;
 
 /// An `m × n` sparse matrix in CSR form with `f32` values.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Csr {
     nrows: usize,
     ncols: usize,
     rowptr: Vec<usize>,
     colidx: Vec<usize>,
     values: Vec<f32>,
+    /// Whether every row's column indices are strictly ascending.
+    /// [`Csr::permute_symmetric`] preserves the *original* neighbor
+    /// order (for bit-identical accumulation) and so may produce
+    /// unsorted rows; [`Csr::get`] falls back to a linear scan then.
+    sorted_cols: bool,
+}
+
+/// Two matrices are equal when their shape and stored entries match;
+/// the internal sortedness flag is derived state and excluded.
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+            && self.values == other.values
+    }
+}
+
+/// True when every row of (`rowptr`, `colidx`) has strictly ascending
+/// column indices.
+fn cols_sorted(rowptr: &[usize], colidx: &[usize]) -> bool {
+    rowptr.windows(2).all(|w| colidx[w[0]..w[1]].windows(2).all(|c| c[0] < c[1]))
 }
 
 impl Csr {
@@ -66,12 +89,20 @@ impl Csr {
                 });
             }
         }
-        Ok(Csr { nrows, ncols, rowptr, colidx, values })
+        let sorted_cols = cols_sorted(&rowptr, &colidx);
+        Ok(Csr { nrows, ncols, rowptr, colidx, values, sorted_cols })
     }
 
     /// An empty matrix with no stored entries.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Csr { nrows, ncols, rowptr: vec![0; nrows + 1], colidx: Vec::new(), values: Vec::new() }
+        Csr {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+            sorted_cols: true,
+        }
     }
 
     /// Compress a COO matrix, merging duplicates and sorting each row's
@@ -126,7 +157,14 @@ impl Csr {
             }
             out_rowptr[r + 1] = out_col.len();
         }
-        Csr { nrows, ncols, rowptr: out_rowptr, colidx: out_col, values: out_val }
+        Csr {
+            nrows,
+            ncols,
+            rowptr: out_rowptr,
+            colidx: out_col,
+            values: out_val,
+            sorted_cols: true,
+        }
     }
 
     /// Number of rows (`m`).
@@ -184,10 +222,16 @@ impl Csr {
         })
     }
 
-    /// Look up a single entry (binary search within the row).
+    /// Look up a single entry — binary search when the row's columns
+    /// are sorted (the common case), linear scan when a symmetric
+    /// permutation left them in original-neighbor order.
     pub fn get(&self, row: usize, col: usize) -> Option<f32> {
         let (cols, vals) = self.row(row);
-        cols.binary_search(&col).ok().map(|i| vals[i])
+        if self.sorted_cols {
+            cols.binary_search(&col).ok().map(|i| vals[i])
+        } else {
+            cols.iter().position(|&c| c == col).map(|i| vals[i])
+        }
     }
 
     /// Average number of nonzeros per row (the graph's average degree δ).
@@ -201,7 +245,32 @@ impl Csr {
 
     /// Maximum row nnz (maximum degree).
     pub fn max_degree(&self) -> usize {
-        (0..self.nrows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+        self.rowptr.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+    }
+
+    /// Every row's nnz (out-degree) as one vector — the shared scan
+    /// behind degree classification, truncation, reordering, and the
+    /// degree histogram.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        self.rowptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Degree histogram over log2 buckets: slot `i` counts the rows
+    /// with degree in `[2^i, 2^{i+1})`. Degree-0 rows are excluded
+    /// (isolated vertices are reported separately by graph stats).
+    pub fn degree_histogram_log2(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for d in self.row_degrees() {
+            if d == 0 {
+                continue;
+            }
+            let bucket = (usize::BITS - 1 - d.leading_zeros()) as usize;
+            if bucket >= hist.len() {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
     }
 
     /// Convert back to COO triples.
@@ -257,13 +326,17 @@ impl Csr {
         );
         let lo = self.rowptr[rows.start];
         let hi = self.rowptr[rows.end];
-        let rowptr = self.rowptr[rows.start..=rows.end].iter().map(|&p| p - lo).collect();
+        let rowptr: Vec<usize> =
+            self.rowptr[rows.start..=rows.end].iter().map(|&p| p - lo).collect();
+        let colidx = self.colidx[lo..hi].to_vec();
+        let sorted_cols = self.sorted_cols || cols_sorted(&rowptr, &colidx);
         Csr {
             nrows: rows.len(),
             ncols: self.ncols,
             rowptr,
-            colidx: self.colidx[lo..hi].to_vec(),
+            colidx,
             values: self.values[lo..hi].to_vec(),
+            sorted_cols,
         }
     }
 
@@ -318,9 +391,10 @@ impl Csr {
         let mut colidx = Vec::with_capacity(self.nnz().min(self.nrows.saturating_mul(k)));
         let mut values = Vec::with_capacity(colidx.capacity());
         let mut order: Vec<usize> = Vec::new();
+        let degrees = self.row_degrees();
         for u in 0..self.nrows {
             let (cols, vals) = self.row(u);
-            if cols.len() <= k {
+            if degrees[u] <= k {
                 colidx.extend_from_slice(cols);
                 values.extend_from_slice(vals);
             } else {
@@ -344,7 +418,42 @@ impl Csr {
             }
             rowptr.push(colidx.len());
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, values }
+        let sorted_cols = self.sorted_cols || cols_sorted(&rowptr, &colidx);
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, values, sorted_cols }
+    }
+
+    /// Symmetric permutation `P·A·Pᵀ` of a square matrix: new row `i`
+    /// is old row `old_of_new[i]` with every column `c` relabeled to
+    /// `new_of_old[c]`.
+    ///
+    /// Each row keeps its **original neighbor order** — columns are
+    /// deliberately *not* re-sorted, so the kernels fold a permuted
+    /// row's neighbors in exactly the order of the unpermuted matrix
+    /// and the output is bit-identical under the permutation. The
+    /// resulting rows may therefore be column-unsorted; [`Csr::get`]
+    /// handles that transparently.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square or either permutation
+    /// array's length differs from the dimension. The two arrays are
+    /// trusted to be mutually inverse bijections (the `Permutation`
+    /// type in this crate guarantees it).
+    pub fn permute_symmetric(&self, new_of_old: &[usize], old_of_new: &[usize]) -> Csr {
+        assert_eq!(self.nrows, self.ncols, "symmetric permutation needs a square matrix");
+        assert_eq!(new_of_old.len(), self.nrows, "permutation length != dimension");
+        assert_eq!(old_of_new.len(), self.nrows, "inverse permutation length != dimension");
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for &u in old_of_new {
+            let (cols, vals) = self.row(u);
+            colidx.extend(cols.iter().map(|&c| new_of_old[c]));
+            values.extend_from_slice(vals);
+            rowptr.push(colidx.len());
+        }
+        let sorted_cols = cols_sorted(&rowptr, &colidx);
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, values, sorted_cols }
     }
 }
 
@@ -580,5 +689,46 @@ mod tests {
         // k == 0 empties every row but keeps the shape.
         let z = a.top_k_by_weight(0);
         assert_eq!((z.nrows(), z.ncols(), z.nnz()), (3, 5, 0));
+    }
+
+    #[test]
+    fn row_degrees_and_histogram() {
+        let m = small();
+        assert_eq!(m.row_degrees(), vec![2, 0, 2]);
+        // Two rows of degree 2 land in bucket 1 = [2, 4); degree-0
+        // row excluded.
+        assert_eq!(m.degree_histogram_log2(), vec![0, 2]);
+        assert_eq!(Csr::empty(3, 3).degree_histogram_log2(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn permute_symmetric_relabels_and_preserves_neighbor_order() {
+        // Symmetric 3-path 0—1, 1—2 plus self loop on 0.
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 5.0);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0);
+        c.push(1, 2, 2.0);
+        c.push(2, 1, 2.0);
+        let a = c.to_csr(Dedup::Sum);
+        // Reverse order: old 0↔2.
+        let new_of_old = [2usize, 1, 0];
+        let old_of_new = [2usize, 1, 0];
+        let p = a.permute_symmetric(&new_of_old, &old_of_new);
+        // Every entry survives under relabeling.
+        assert_eq!(p.nnz(), a.nnz());
+        for (r, cset, v) in a.iter() {
+            assert_eq!(p.get(new_of_old[r], new_of_old[cset]), Some(v));
+        }
+        // New row 2 is old row 0 with neighbors in *original* order
+        // (old cols [0, 1] → new cols [2, 1]: descending, unsorted).
+        assert_eq!(p.row(2).0, &[2, 1]);
+        assert_eq!(p.row(2).1, &[5.0, 1.0]);
+        // Unsorted lookup still works (linear-scan path).
+        assert_eq!(p.get(2, 1), Some(1.0));
+        assert_eq!(p.get(2, 0), None);
+        // Identity permutation is a no-op and stays sorted.
+        let id = [0usize, 1, 2];
+        assert_eq!(a.permute_symmetric(&id, &id), a);
     }
 }

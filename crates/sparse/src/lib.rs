@@ -12,6 +12,8 @@
 //! * [`Csr`] — the kernel input format, with O(1) row access;
 //! * [`Csc`] — column-compressed form, used for transpose-side access;
 //! * [`Dense`] — row-major dense matrices over 64-byte-aligned storage;
+//! * [`Permutation`] — vertex renumbering with O(1) forward and inverse
+//!   maps, applied symmetrically to [`Csr`] by graph-reordering passes;
 //! * row slicing ([`mod@slice`]) to extract the minibatch submatrices the
 //!   paper's problem setting describes (a rectangular slice of the
 //!   adjacency matrix plus the matching rows of `X`);
@@ -28,6 +30,7 @@ pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod io;
+pub mod perm;
 pub mod slice;
 
 pub use aligned::AlignedVec;
@@ -36,6 +39,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::Dense;
 pub use error::SparseError;
+pub use perm::Permutation;
 
 /// Number of bytes the paper charges per stored nonzero of `A`
 /// (8-byte index + 4-byte single-precision value).

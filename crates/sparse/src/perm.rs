@@ -1,0 +1,179 @@
+//! Vertex permutations — the substrate of graph reordering.
+//!
+//! A [`Permutation`] pairs a bijection `new_of_old` with its inverse
+//! `old_of_new`, so both directions of the rename are O(1). Reordering
+//! algorithms (degree sort, RCM — see `fusedmm-graph`) produce one;
+//! [`Csr::permute_symmetric`] and the row-permutation helpers here
+//! apply it as a pure transformation. Serving engines keep the
+//! permutation at the scatter/gather boundary so external vertex ids
+//! never change.
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+
+/// A bijection on `0..n` stored together with its inverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<usize>,
+    old_of_new: Vec<usize>,
+}
+
+impl Permutation {
+    /// Build from the forward map `new_of_old` (old id → new id),
+    /// validating it is a bijection on `0..len`.
+    ///
+    /// # Panics
+    /// Panics when the map is not a permutation.
+    pub fn from_new_of_old(new_of_old: Vec<usize>) -> Self {
+        let n = new_of_old.len();
+        let mut old_of_new = vec![usize::MAX; n];
+        for (old, &new) in new_of_old.iter().enumerate() {
+            assert!(new < n, "permutation image {new} out of range for {n} ids");
+            assert!(old_of_new[new] == usize::MAX, "permutation maps two ids to {new}");
+            old_of_new[new] = old;
+        }
+        Permutation { new_of_old, old_of_new }
+    }
+
+    /// Build from the inverse map `old_of_new` (new id → old id).
+    ///
+    /// # Panics
+    /// Panics when the map is not a permutation.
+    pub fn from_old_of_new(old_of_new: Vec<usize>) -> Self {
+        let inv = Permutation::from_new_of_old(old_of_new);
+        Permutation { new_of_old: inv.old_of_new, old_of_new: inv.new_of_old }
+    }
+
+    /// The identity on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let id: Vec<usize> = (0..n).collect();
+        Permutation { new_of_old: id.clone(), old_of_new: id }
+    }
+
+    /// Number of ids the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True when the permutation acts on zero ids.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// Forward map: the new id of old id `old`.
+    pub fn to_new(&self, old: usize) -> usize {
+        self.new_of_old[old]
+    }
+
+    /// Inverse map: the old id of new id `new`.
+    pub fn to_old(&self, new: usize) -> usize {
+        self.old_of_new[new]
+    }
+
+    /// The full forward map (old id → new id).
+    pub fn new_of_old(&self) -> &[usize] {
+        &self.new_of_old
+    }
+
+    /// The full inverse map (new id → old id).
+    pub fn old_of_new(&self) -> &[usize] {
+        &self.old_of_new
+    }
+
+    /// Map a batch of old ids to new ids.
+    pub fn map_to_new(&self, ids: &[usize]) -> Vec<usize> {
+        ids.iter().map(|&u| self.new_of_old[u]).collect()
+    }
+
+    /// Map a batch of new ids back to old ids.
+    pub fn map_to_old(&self, ids: &[usize]) -> Vec<usize> {
+        ids.iter().map(|&u| self.old_of_new[u]).collect()
+    }
+
+    /// Apply as a symmetric permutation `P·A·Pᵀ` (see
+    /// [`Csr::permute_symmetric`] — per-row neighbor order is
+    /// preserved for bit-identical accumulation).
+    pub fn permute_csr(&self, a: &Csr) -> Csr {
+        a.permute_symmetric(&self.new_of_old, &self.old_of_new)
+    }
+
+    /// Reorder the rows of a dense matrix into the new id space:
+    /// `out.row(to_new(u)) == m.row(u)`.
+    pub fn permute_rows(&self, m: &Dense) -> Dense {
+        assert_eq!(m.nrows(), self.len(), "row count != permutation length");
+        let mut out = Dense::zeros(m.nrows(), m.ncols());
+        for (i, &old) in self.old_of_new.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(m.row(old));
+        }
+        out
+    }
+
+    /// Reorder the rows of a dense matrix back into the old id space:
+    /// `out.row(u) == m.row(to_new(u))`. Inverse of
+    /// [`Permutation::permute_rows`].
+    pub fn unpermute_rows(&self, m: &Dense) -> Dense {
+        assert_eq!(m.nrows(), self.len(), "row count != permutation length");
+        let mut out = Dense::zeros(m.nrows(), m.ncols());
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out.row_mut(old).copy_from_slice(m.row(new));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_inverse_round_trip() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1, 3]);
+        for old in 0..4 {
+            assert_eq!(p.to_old(p.to_new(old)), old);
+        }
+        for new in 0..4 {
+            assert_eq!(p.to_new(p.to_old(new)), new);
+        }
+        let ids = [3usize, 1, 1, 0];
+        assert_eq!(p.map_to_old(&p.map_to_new(&ids)), ids);
+    }
+
+    #[test]
+    fn from_old_of_new_inverts() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1]);
+        let q = Permutation::from_old_of_new(p.old_of_new().to_vec());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(5);
+        assert_eq!(p.len(), 5);
+        for i in 0..5 {
+            assert_eq!(p.to_new(i), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_image() {
+        let _ = Permutation::from_new_of_old(vec![0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "maps two ids")]
+    fn rejects_duplicate_image() {
+        let _ = Permutation::from_new_of_old(vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn permute_rows_then_unpermute_is_identity() {
+        let p = Permutation::from_new_of_old(vec![1, 3, 0, 2]);
+        let m = Dense::from_fn(4, 3, |r, c| (10 * r + c) as f32);
+        let pm = p.permute_rows(&m);
+        for old in 0..4 {
+            assert_eq!(pm.row(p.to_new(old)), m.row(old));
+        }
+        assert_eq!(p.unpermute_rows(&pm).as_slice(), m.as_slice());
+    }
+}

@@ -47,8 +47,9 @@ pub use fusedmm_sparse as sparse;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use fusedmm_core::{
-        cpu_features, fusedmm, fusedmm_generic, fusedmm_opt, fusedmm_reference, fusedmm_rows,
-        Backend, Blocking, PartitionStrategy, Plan, PlanCache,
+        cpu_features, fusedmm, fusedmm_generic, fusedmm_opt, fusedmm_opt_with, fusedmm_reference,
+        fusedmm_rows, kernel_profiles, reset_kernel_profiles, Backend, Blocking, HybridConfig,
+        PartitionStrategy, Plan, PlanCache,
     };
     pub use fusedmm_graph::datasets::Dataset;
     pub use fusedmm_graph::erdos::erdos_renyi;
@@ -59,11 +60,11 @@ pub mod prelude {
     pub use fusedmm_serve::{
         quiet_injected_panics, register_kernel_profiles, wait_any, AdmissionPolicy, CacheConfig,
         CacheMetrics, EmbedOptions, EmbedResponse, Engine, EngineConfig, FaultPlan, FeatureStore,
-        MetricsRegistry, MetricsSnapshot, Quality, ServeError, ShardedEngine, ShardedMetrics,
-        Ticket, Tracer,
+        MetricsRegistry, MetricsSnapshot, Quality, Reordering, ServeError, ShardedEngine,
+        ShardedMetrics, Ticket, Tracer,
     };
     pub use fusedmm_sparse::coo::Dedup;
-    pub use fusedmm_sparse::{Coo, Csc, Csr, Dense};
+    pub use fusedmm_sparse::{Coo, Csc, Csr, Dense, Permutation};
 }
 
 #[cfg(test)]
