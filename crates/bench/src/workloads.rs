@@ -144,6 +144,22 @@ pub fn describe(w: &Workload) -> String {
     )
 }
 
+/// The deterministic workload the rpc smoke demo builds on **both**
+/// sides of the process boundary (`fusedmm-shard-worker` and
+/// `fusedmm-rpc-smoke`): an RMAT graph plus feature matrices, fully
+/// seeded, so coordinator and worker processes agree bit-for-bit
+/// without shipping the graph over the wire. Knobs: `FUSEDMM_RPC_N`
+/// (vertices, default 400), `FUSEDMM_RPC_D` (dimension, default 16).
+pub fn rpc_demo_workload() -> (Csr, Dense, Dense) {
+    let n = env_usize("FUSEDMM_RPC_N", 400);
+    let d = env_usize("FUSEDMM_RPC_D", 16);
+    let adj =
+        fusedmm_graph::rmat::rmat(&fusedmm_graph::rmat::RmatConfig::new(n, 4 * n).with_seed(11));
+    let x = random_features(adj.nrows(), d, 0.5, 1);
+    let y = random_features(adj.ncols(), d, 0.5, 2);
+    (adj, x, y)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,6 +60,9 @@ pub enum SpanKind {
     CacheFill,
     /// A harvest call that resolved the ticket.
     Harvest,
+    /// One remote shard part's round trip: request frame sent →
+    /// response frame resolved (multi-process serving).
+    Rpc,
 }
 
 impl SpanKind {
@@ -73,6 +76,7 @@ impl SpanKind {
             SpanKind::Kernel => "kernel",
             SpanKind::CacheFill => "cache_fill",
             SpanKind::Harvest => "harvest",
+            SpanKind::Rpc => "rpc",
         }
     }
 
@@ -85,6 +89,7 @@ impl SpanKind {
             4 => SpanKind::Kernel,
             5 => SpanKind::CacheFill,
             6 => SpanKind::Harvest,
+            7 => SpanKind::Rpc,
             _ => return None,
         })
     }

@@ -1,0 +1,156 @@
+//! Length-prefixed binary framing over any byte stream.
+//!
+//! The wire unit is a *frame*:
+//!
+//! ```text
+//! [len: u32 LE] [request_id: u64 LE] [kind: u8] [payload: len - 9 bytes]
+//! ```
+//!
+//! `len` counts everything after itself (header + payload), so a
+//! reader can pull exactly one frame off the stream without knowing
+//! any message schema — the schema lives one layer up, in
+//! [`proto`](crate::proto). Frames work over any `Read`/`Write` pair:
+//! unix sockets today, TCP tomorrow, `Vec<u8>` in tests.
+//!
+//! `request_id` correlates replies with requests so responses may
+//! complete out of order; `kind` tags the payload schema (including
+//! the typed error frame) so a reply's success/failure is visible
+//! before decoding.
+
+use std::io::{self, Read, Write};
+
+/// Frame header bytes after the length word: request id + kind.
+pub const HEADER: usize = 8 + 1;
+
+/// Hard ceiling on one frame's `len` word (1 GiB). Anything larger is
+/// rejected *before* allocation — a garbage length must not become an
+/// allocation request.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// One wire frame, header decoded, payload raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Correlates a reply with its request. Requests mint fresh ids;
+    /// replies echo them. Streamed records (the epoch log) use id 0.
+    pub request_id: u64,
+    /// Payload schema tag — see the `KIND_*` constants in
+    /// [`proto`](crate::proto).
+    pub kind: u8,
+    /// Schema-tagged payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including EOF mid-frame).
+    Io(io::Error),
+    /// The stream ended cleanly on a frame boundary — not an error for
+    /// a serve loop, but distinct from a mid-frame truncation.
+    Closed,
+    /// The length word exceeds [`MAX_FRAME`] or undercuts the header.
+    BadLength(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Closed => write!(f, "stream closed"),
+            FrameError::BadLength(len) => write!(f, "frame length {len} out of bounds"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame. The caller owns flushing (batch several frames,
+/// then flush once).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let len = HEADER + frame.payload.len();
+    assert!(len <= MAX_FRAME as usize, "frame payload exceeds MAX_FRAME");
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&frame.request_id.to_le_bytes())?;
+    w.write_all(&[frame.kind])?;
+    w.write_all(&frame.payload)?;
+    Ok(())
+}
+
+/// Read exactly one frame. A clean EOF *before* the length word is
+/// [`FrameError::Closed`]; an EOF anywhere inside a frame is an i/o
+/// error (the peer died mid-send).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len < HEADER as u32 || len > MAX_FRAME {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut id_bytes = [0u8; 8];
+    r.read_exact(&mut id_bytes)?;
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut payload = vec![0u8; len as usize - HEADER];
+    r.read_exact(&mut payload)?;
+    Ok(Frame { request_id: u64::from_le_bytes(id_bytes), kind: kind[0], payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        let frames = [
+            Frame { request_id: 0, kind: 1, payload: vec![] },
+            Frame { request_id: u64::MAX, kind: 255, payload: vec![7; 300] },
+            Frame { request_id: 42, kind: 3, payload: (0..=255).collect() },
+        ];
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&[0; 64]);
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::BadLength(_))));
+        // Undersized too: a length that can't even hold the header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::BadLength(3))));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_io_not_panic() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame { request_id: 9, kind: 2, payload: vec![1, 2, 3, 4] })
+            .unwrap();
+        for cut in 1..buf.len() {
+            let r = read_frame(&mut &buf[..cut]);
+            if cut < 4 {
+                // A partial length word is indistinguishable from a
+                // clean close to `read_exact`; either way, no frame.
+                assert!(matches!(r, Err(FrameError::Closed)), "cut at {cut}");
+            } else {
+                assert!(matches!(r, Err(FrameError::Io(_))), "cut at {cut}");
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The coordinator's replicated epoch log: every feature write as an
+//! ordered, replayable record stream, with snapshot compaction so a
+//! late joiner catches up in O(state), not O(history).
+//!
+//! The coordinator [`ship`](EpochLog::ship)s each
+//! [`EpochRecord`] here before any worker sees it; the per-worker
+//! connection managers read [`catch_up`](EpochLog::catch_up) slices
+//! when a worker (re)connects. The log folds records into a rolling
+//! base snapshot once the tail grows past the compaction cap, so its
+//! memory footprint is bounded by `2 × state + cap × record` no matter
+//! how many epochs have ever been minted.
+
+use std::collections::VecDeque;
+
+use fusedmm_serve::remote::EpochRecord;
+use fusedmm_sparse::Dense;
+use parking_lot::Mutex;
+
+/// Records kept in the tail before folding into the base snapshot.
+/// Catch-up for a worker lagging within the tail replays deltas
+/// (cheap); one lagging past it gets the snapshot (complete).
+const COMPACT_AFTER: usize = 64;
+
+struct Inner {
+    /// Full state at `base_epoch` — what a fresh joiner receives.
+    base: Option<(u64, Dense, Dense)>,
+    /// Records minted after `base_epoch`, epoch-ordered.
+    tail: VecDeque<EpochRecord>,
+}
+
+/// The append-only (logically) epoch log. Thread-safe; `ship` and
+/// `catch_up` may race freely — a record is either in the slice a
+/// reconnecting worker receives or ordered after it on the live
+/// stream, never both, provided the caller serializes per-connection
+/// delivery (the client's per-worker queue lock does).
+pub struct EpochLog {
+    inner: Mutex<Inner>,
+}
+
+impl EpochLog {
+    /// An empty log (no epochs shipped yet).
+    pub fn new() -> EpochLog {
+        EpochLog { inner: Mutex::new(Inner { base: None, tail: VecDeque::new() }) }
+    }
+
+    /// Append one record, folding the tail into the base snapshot when
+    /// it grows past the compaction cap.
+    pub fn ship(&self, record: &EpochRecord) {
+        let mut inner = self.inner.lock();
+        match record {
+            EpochRecord::Snapshot { epoch, x, y } => {
+                // A snapshot *is* a base: everything before it is
+                // subsumed.
+                inner.base = Some((*epoch, x.clone(), y.clone()));
+                inner.tail.clear();
+            }
+            other => inner.tail.push_back(other.clone()),
+        }
+        if inner.tail.len() > COMPACT_AFTER {
+            inner.compact();
+        }
+    }
+
+    /// The latest epoch in the log, or `None` before the first ship.
+    pub fn latest(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner.tail.back().map(EpochRecord::epoch).or(inner.base.as_ref().map(|b| b.0))
+    }
+
+    /// The record slice that brings a worker to the head of the log:
+    /// `from = None` (a fresh replica, or one lagging past the base)
+    /// gets the base snapshot plus the tail; `from = Some(e)` with `e`
+    /// at or after the base epoch gets only the tail records minting
+    /// epochs `> e`. Empty when the worker is already current (or the
+    /// log is).
+    pub fn catch_up(&self, from: Option<u64>) -> Vec<EpochRecord> {
+        let inner = self.inner.lock();
+        let base_epoch = inner.base.as_ref().map(|b| b.0);
+        match (from, base_epoch) {
+            (Some(e), Some(b)) if e >= b => {
+                inner.tail.iter().filter(|r| r.epoch() > e).cloned().collect()
+            }
+            (Some(e), None) => inner.tail.iter().filter(|r| r.epoch() > e).cloned().collect(),
+            (_, Some(_)) => {
+                let (epoch, x, y) = inner.base.as_ref().expect("checked");
+                let mut out =
+                    vec![EpochRecord::Snapshot { epoch: *epoch, x: x.clone(), y: y.clone() }];
+                out.extend(inner.tail.iter().cloned());
+                out
+            }
+            (None, None) => inner.tail.iter().cloned().collect(),
+        }
+    }
+}
+
+impl Default for EpochLog {
+    fn default() -> EpochLog {
+        EpochLog::new()
+    }
+}
+
+impl Inner {
+    /// Fold the whole tail into the base snapshot. Requires a base (a
+    /// delta tail without a base can't be folded — keep it).
+    fn compact(&mut self) {
+        let Some((epoch, x, y)) = self.base.take() else {
+            return;
+        };
+        let (mut epoch, mut x, mut y) = (epoch, x, y);
+        for record in self.tail.drain(..) {
+            match record {
+                EpochRecord::Publish { epoch: e, x: nx, y: ny }
+                | EpochRecord::Snapshot { epoch: e, x: nx, y: ny } => {
+                    epoch = e;
+                    x = nx;
+                    y = ny;
+                }
+                EpochRecord::Delta { epoch: e, rows, x_rows, y_rows } => {
+                    epoch = e;
+                    for (i, &r) in rows.iter().enumerate() {
+                        x.row_mut(r).copy_from_slice(x_rows.row(i));
+                        y.row_mut(r).copy_from_slice(y_rows.row(i));
+                    }
+                }
+            }
+        }
+        self.base = Some((epoch, x, y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: u64, fill: f32) -> EpochRecord {
+        EpochRecord::Snapshot { epoch, x: Dense::filled(4, 2, fill), y: Dense::filled(4, 2, fill) }
+    }
+
+    fn delta(epoch: u64, row: usize, fill: f32) -> EpochRecord {
+        EpochRecord::Delta {
+            epoch,
+            rows: vec![row],
+            x_rows: Dense::filled(1, 2, fill),
+            y_rows: Dense::filled(1, 2, fill),
+        }
+    }
+
+    #[test]
+    fn fresh_gets_snapshot_plus_tail_lagging_gets_tail() {
+        let log = EpochLog::new();
+        log.ship(&snap(0, 0.0));
+        log.ship(&delta(1, 0, 1.0));
+        log.ship(&delta(2, 1, 2.0));
+        assert_eq!(log.latest(), Some(2));
+
+        let fresh = log.catch_up(None);
+        assert_eq!(fresh.len(), 3);
+        assert!(matches!(fresh[0], EpochRecord::Snapshot { epoch: 0, .. }));
+        assert_eq!(fresh[2].epoch(), 2);
+
+        let lagging = log.catch_up(Some(1));
+        assert_eq!(lagging.len(), 1);
+        assert_eq!(lagging[0].epoch(), 2);
+
+        assert!(log.catch_up(Some(2)).is_empty());
+    }
+
+    #[test]
+    fn compaction_folds_deltas_into_the_base() {
+        let log = EpochLog::new();
+        log.ship(&snap(0, 0.0));
+        for e in 1..=(COMPACT_AFTER as u64 + 10) {
+            log.ship(&delta(e, (e as usize) % 4, e as f32));
+        }
+        let records = log.catch_up(None);
+        // Post-compaction: one snapshot base plus a short tail, and
+        // the fold applied every delta.
+        let EpochRecord::Snapshot { epoch, x, .. } = &records[0] else {
+            panic!("compacted log starts with a snapshot");
+        };
+        assert!(*epoch >= COMPACT_AFTER as u64, "base advanced past the fold");
+        assert!(records.len() <= COMPACT_AFTER + 1);
+        // Row touched by the last folded delta carries its fill.
+        let last_folded = *epoch;
+        assert_eq!(x.row((last_folded as usize) % 4)[0], last_folded as f32);
+        assert_eq!(log.latest(), Some(COMPACT_AFTER as u64 + 10));
+    }
+
+    #[test]
+    fn catch_up_from_before_the_base_falls_back_to_snapshot() {
+        let log = EpochLog::new();
+        log.ship(&snap(10, 1.0));
+        log.ship(&delta(11, 0, 2.0));
+        let records = log.catch_up(Some(3));
+        assert!(matches!(records[0], EpochRecord::Snapshot { epoch: 10, .. }));
+        assert_eq!(records.len(), 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! The message schema over [`frame`](crate::frame): a hand-rolled
+//! little-endian codec, no external serializer.
+//!
+//! Every message encodes to one frame payload tagged by a `KIND_*`
+//! byte. `f32` matrices cross the wire as raw little-endian bit
+//! patterns (`to_le_bytes`/`from_le_bytes`), so a row decoded on the
+//! other side is **bit-identical** to the row encoded — the
+//! multi-process bit-identity guarantee rests on this, not on any
+//! decimal round-trip.
+//!
+//! Decoding is total: any byte slice produces either a message or a
+//! typed [`DecodeError`], never a panic and never an
+//! attacker-controlled allocation (element counts are validated
+//! against the bytes actually present before any `Vec` is sized).
+
+use std::time::{Duration, Instant};
+
+use fusedmm_serve::remote::EpochRecord;
+use fusedmm_serve::Quality;
+use fusedmm_sparse::Dense;
+
+/// Protocol revision, checked at handshake. Bump on any wire change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Handshake: worker → coordinator, first frame on every connection.
+pub const KIND_HELLO: u8 = 1;
+/// One embed part: coordinator → worker.
+pub const KIND_EMBED: u8 = 2;
+/// Embed reply: the part's rows.
+pub const KIND_EMBED_OK: u8 = 3;
+/// Typed failure reply to an embed or score request.
+pub const KIND_PART_ERR: u8 = 4;
+/// One score part: coordinator → worker.
+pub const KIND_SCORE: u8 = 5;
+/// Score reply: the part's scores.
+pub const KIND_SCORE_OK: u8 = 6;
+/// One replicated epoch-log record: coordinator → worker.
+pub const KIND_EPOCH: u8 = 7;
+/// Worker's applied-epoch acknowledgement (drives the lag gauge).
+pub const KIND_EPOCH_ACK: u8 = 8;
+
+/// Why a payload failed to decode. Produced, never panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the field being read.
+    Eof,
+    /// The payload has bytes left after a complete message.
+    Trailing,
+    /// A tag byte (`what` names the field) held an unknown value.
+    BadTag(&'static str, u64),
+    /// A length field promises more elements than the payload holds.
+    BadCount(&'static str),
+    /// A string field is not UTF-8.
+    BadUtf8,
+    /// The frame's kind byte names no known message.
+    UnknownKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Eof => write!(f, "payload truncated"),
+            DecodeError::Trailing => write!(f, "trailing bytes after message"),
+            DecodeError::BadTag(what, tag) => write!(f, "bad {what} tag {tag}"),
+            DecodeError::BadCount(what) => write!(f, "{what} count exceeds payload"),
+            DecodeError::BadUtf8 => write!(f, "string is not utf-8"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+        }
+    }
+}
+
+/// The typed failure a worker reports for one part — the wire image of
+/// the worker-side error taxonomy. The coordinator maps it onto the
+/// front end's `PartOutcome`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The piece expired past its deadline.
+    Expired,
+    /// The band engine failed the piece (panicked launch, shutdown).
+    Panicked,
+    /// The request pinned an epoch outside the replica's history.
+    EpochUnavailable,
+    /// Anything else, with a human-readable detail string.
+    Other(String),
+}
+
+/// One decoded message. `encode` and [`decode`] are exact inverses for
+/// every value (see the round-trip proptests in `tests/rpc.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker self-description, first frame after accept: which shard
+    /// it hosts, its band, its dimensions, its current epoch,
+    /// whether its features are boot placeholders (`fresh`), and the
+    /// SIMD backend label it serves with.
+    Hello {
+        /// [`PROTO_VERSION`] of the sender.
+        proto_version: u32,
+        /// The shard index this worker hosts.
+        shard: u32,
+        /// First global row of the worker's band.
+        band_start: u64,
+        /// Rows in the band.
+        band_len: u64,
+        /// Rows of the global Y column space.
+        y_rows: u64,
+        /// Embedding dimension.
+        d: u32,
+        /// The replica's current epoch.
+        epoch: u64,
+        /// True when the replica holds boot placeholders (needs a
+        /// snapshot regardless of its epoch number).
+        fresh: bool,
+        /// SIMD backend label (`active_backend().label()`), reported
+        /// so a heterogeneous deployment is visible at connect time.
+        backend: String,
+    },
+    /// One embed part at a pinned epoch.
+    Embed {
+        /// The epoch the coordinator pinned.
+        epoch: u64,
+        /// Serving tier for the part.
+        quality: Quality,
+        /// Deadline as *remaining* microseconds at send time (wall
+        /// clocks don't cross process boundaries), `None` = no
+        /// deadline.
+        deadline_us: Option<u64>,
+        /// Global node ids (within the worker's band).
+        nodes: Vec<u64>,
+    },
+    /// Embed reply: one row per requested node, request order.
+    EmbedOk {
+        /// The computed rows.
+        rows: Dense,
+    },
+    /// Typed failure reply (embed or score).
+    PartErr {
+        /// What failed.
+        err: WireError,
+    },
+    /// One score part at a pinned epoch.
+    Score {
+        /// The epoch the coordinator pinned.
+        epoch: u64,
+        /// `(u, v)` pairs; sources within the worker's band.
+        pairs: Vec<(u64, u64)>,
+    },
+    /// Score reply, request order.
+    ScoreOk {
+        /// One score per pair.
+        scores: Vec<f32>,
+    },
+    /// One replicated epoch-log record.
+    Epoch(EpochRecord),
+    /// The worker applied the log through `epoch`.
+    EpochAck {
+        /// The replica's epoch after applying.
+        epoch: u64,
+    },
+}
+
+impl Msg {
+    /// The frame kind byte for this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => KIND_HELLO,
+            Msg::Embed { .. } => KIND_EMBED,
+            Msg::EmbedOk { .. } => KIND_EMBED_OK,
+            Msg::PartErr { .. } => KIND_PART_ERR,
+            Msg::Score { .. } => KIND_SCORE,
+            Msg::ScoreOk { .. } => KIND_SCORE_OK,
+            Msg::Epoch(_) => KIND_EPOCH,
+            Msg::EpochAck { .. } => KIND_EPOCH_ACK,
+        }
+    }
+
+    /// Encode to a frame payload (pair with [`Msg::kind`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Hello {
+                proto_version,
+                shard,
+                band_start,
+                band_len,
+                y_rows,
+                d,
+                epoch,
+                fresh,
+                backend,
+            } => {
+                put_u32(&mut out, *proto_version);
+                put_u32(&mut out, *shard);
+                put_u64(&mut out, *band_start);
+                put_u64(&mut out, *band_len);
+                put_u64(&mut out, *y_rows);
+                put_u32(&mut out, *d);
+                put_u64(&mut out, *epoch);
+                out.push(u8::from(*fresh));
+                put_str(&mut out, backend);
+            }
+            Msg::Embed { epoch, quality, deadline_us, nodes } => {
+                put_u64(&mut out, *epoch);
+                put_quality(&mut out, *quality);
+                put_u64(&mut out, deadline_us.map_or(u64::MAX, |us| us.min(u64::MAX - 1)));
+                put_u64(&mut out, nodes.len() as u64);
+                for &n in nodes {
+                    put_u64(&mut out, n);
+                }
+            }
+            Msg::EmbedOk { rows } => put_dense(&mut out, rows),
+            Msg::PartErr { err } => match err {
+                WireError::Expired => out.push(0),
+                WireError::Panicked => out.push(1),
+                WireError::EpochUnavailable => out.push(2),
+                WireError::Other(detail) => {
+                    out.push(3);
+                    put_str(&mut out, detail);
+                }
+            },
+            Msg::Score { epoch, pairs } => {
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, pairs.len() as u64);
+                for &(u, v) in pairs {
+                    put_u64(&mut out, u);
+                    put_u64(&mut out, v);
+                }
+            }
+            Msg::ScoreOk { scores } => {
+                put_u64(&mut out, scores.len() as u64);
+                for &s in scores {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            Msg::Epoch(record) => match record {
+                EpochRecord::Publish { epoch, x, y } => {
+                    out.push(0);
+                    put_u64(&mut out, *epoch);
+                    put_dense(&mut out, x);
+                    put_dense(&mut out, y);
+                }
+                EpochRecord::Delta { epoch, rows, x_rows, y_rows } => {
+                    out.push(1);
+                    put_u64(&mut out, *epoch);
+                    put_u64(&mut out, rows.len() as u64);
+                    for &r in rows {
+                        put_u64(&mut out, r as u64);
+                    }
+                    put_dense(&mut out, x_rows);
+                    put_dense(&mut out, y_rows);
+                }
+                EpochRecord::Snapshot { epoch, x, y } => {
+                    out.push(2);
+                    put_u64(&mut out, *epoch);
+                    put_dense(&mut out, x);
+                    put_dense(&mut out, y);
+                }
+            },
+            Msg::EpochAck { epoch } => put_u64(&mut out, *epoch),
+        }
+        out
+    }
+
+    /// The remote deadline reconstructed locally: `deadline_us`
+    /// remaining at send time becomes `now + remaining` at receipt
+    /// (transit time eats into the budget on the sender's clock, which
+    /// is the conservative direction).
+    pub fn deadline_from_us(deadline_us: Option<u64>) -> Option<Instant> {
+        deadline_us.map(|us| Instant::now() + Duration::from_micros(us))
+    }
+}
+
+/// Decode one frame payload of the given kind.
+pub fn decode(kind: u8, payload: &[u8]) -> Result<Msg, DecodeError> {
+    let mut rd = Rd { b: payload, pos: 0 };
+    let msg = match kind {
+        KIND_HELLO => Msg::Hello {
+            proto_version: rd.u32()?,
+            shard: rd.u32()?,
+            band_start: rd.u64()?,
+            band_len: rd.u64()?,
+            y_rows: rd.u64()?,
+            d: rd.u32()?,
+            epoch: rd.u64()?,
+            fresh: match rd.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::BadTag("fresh", t as u64)),
+            },
+            backend: rd.str()?,
+        },
+        KIND_EMBED => Msg::Embed {
+            epoch: rd.u64()?,
+            quality: rd.quality()?,
+            deadline_us: match rd.u64()? {
+                u64::MAX => None,
+                us => Some(us),
+            },
+            nodes: rd.u64_vec("nodes")?,
+        },
+        KIND_EMBED_OK => Msg::EmbedOk { rows: rd.dense()? },
+        KIND_PART_ERR => Msg::PartErr {
+            err: match rd.u8()? {
+                0 => WireError::Expired,
+                1 => WireError::Panicked,
+                2 => WireError::EpochUnavailable,
+                3 => WireError::Other(rd.str()?),
+                t => return Err(DecodeError::BadTag("part error", t as u64)),
+            },
+        },
+        KIND_SCORE => {
+            let epoch = rd.u64()?;
+            let n = rd.count("pairs", 16)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((rd.u64()?, rd.u64()?));
+            }
+            Msg::Score { epoch, pairs }
+        }
+        KIND_SCORE_OK => {
+            let n = rd.count("scores", 4)?;
+            let mut scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                scores.push(rd.f32()?);
+            }
+            Msg::ScoreOk { scores }
+        }
+        KIND_EPOCH => Msg::Epoch(match rd.u8()? {
+            0 => EpochRecord::Publish { epoch: rd.u64()?, x: rd.dense()?, y: rd.dense()? },
+            1 => {
+                let epoch = rd.u64()?;
+                let rows = rd.u64_vec("delta rows")?.into_iter().map(|r| r as usize).collect();
+                EpochRecord::Delta { epoch, rows, x_rows: rd.dense()?, y_rows: rd.dense()? }
+            }
+            2 => EpochRecord::Snapshot { epoch: rd.u64()?, x: rd.dense()?, y: rd.dense()? },
+            t => return Err(DecodeError::BadTag("epoch record", t as u64)),
+        }),
+        KIND_EPOCH_ACK => Msg::EpochAck { epoch: rd.u64()? },
+        k => return Err(DecodeError::UnknownKind(k)),
+    };
+    if rd.pos != payload.len() {
+        return Err(DecodeError::Trailing);
+    }
+    Ok(msg)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_quality(out: &mut Vec<u8>, q: Quality) {
+    match q {
+        Quality::Exact => out.push(0),
+        Quality::TopKNeighbors(k) => {
+            out.push(1);
+            put_u32(out, k as u32);
+        }
+        Quality::CachedOnly => out.push(2),
+    }
+}
+
+fn put_dense(out: &mut Vec<u8>, m: &Dense) {
+    put_u32(out, m.nrows() as u32);
+    put_u32(out, m.ncols() as u32);
+    for &v in m.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Rd<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Eof)?;
+        if end > self.b.len() {
+            return Err(DecodeError::Eof);
+        }
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// An element count, validated against the bytes remaining
+    /// (`elem_size` bytes per element) *before* any allocation — a
+    /// garbage count must not size a `Vec`.
+    fn count(&mut self, what: &'static str, elem_size: usize) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        let remaining = (self.b.len() - self.pos) as u64;
+        if n.checked_mul(elem_size as u64).is_none_or(|bytes| bytes > remaining) {
+            return Err(DecodeError::BadCount(what));
+        }
+        Ok(n as usize)
+    }
+
+    fn u64_vec(&mut self, what: &'static str) -> Result<Vec<u64>, DecodeError> {
+        let n = self.count(what, 8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.count("string", 1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn quality(&mut self) -> Result<Quality, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Quality::Exact),
+            1 => Ok(Quality::TopKNeighbors(self.u32()? as usize)),
+            2 => Ok(Quality::CachedOnly),
+            t => Err(DecodeError::BadTag("quality", t as u64)),
+        }
+    }
+
+    fn dense(&mut self) -> Result<Dense, DecodeError> {
+        let nrows = self.u32()? as usize;
+        let ncols = self.u32()? as usize;
+        let n = nrows
+            .checked_mul(ncols)
+            .filter(|&n| n.checked_mul(4).is_some_and(|b| b <= self.b.len() - self.pos))
+            .ok_or(DecodeError::BadCount("dense"))?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f32()?);
+        }
+        Dense::from_rows(nrows, ncols, &data).map_err(|_| DecodeError::BadCount("dense"))
+    }
+}

@@ -41,6 +41,14 @@ pub struct FaultPlan {
     /// Abort (instead of complete) fills landing in this cache lock
     /// stripe (`node % segments`).
     poison_segment: Option<usize>,
+    /// RPC transport hook: deliberately sever a worker connection on
+    /// every n-th request frame (sequence numbers from 1), exercising
+    /// the coordinator's reconnect + epoch-log catch-up path.
+    drop_conn_every: Option<u64>,
+    /// RPC transport hook: stall this long before writing each frame,
+    /// widening the window where disconnects and epoch records race
+    /// in-flight requests.
+    delay_frame: Option<Duration>,
 }
 
 impl FaultPlan {
@@ -52,8 +60,9 @@ impl FaultPlan {
     }
 
     /// Parse a comma-separated spec:
-    /// `panic_every=<n>,delay_fill_us=<micros>,poison_segment=<s>`
-    /// (each key optional).
+    /// `panic_every=<n>,delay_fill_us=<micros>,poison_segment=<s>,`
+    /// `drop_conn_every=<n>,delay_frame_us=<micros>` (each key
+    /// optional).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -73,6 +82,13 @@ impl FaultPlan {
                 }
                 "delay_fill_us" => plan.delay_fill = Some(Duration::from_micros(parsed)),
                 "poison_segment" => plan.poison_segment = Some(parsed as usize),
+                "drop_conn_every" => {
+                    if parsed == 0 {
+                        return Err("drop_conn_every must be >= 1".into());
+                    }
+                    plan.drop_conn_every = Some(parsed);
+                }
+                "delay_frame_us" => plan.delay_frame = Some(Duration::from_micros(parsed)),
                 other => return Err(format!("unknown fault plan key `{other}`")),
             }
         }
@@ -96,7 +112,11 @@ impl FaultPlan {
 
     /// True when any fault is scheduled.
     pub fn is_active(&self) -> bool {
-        self.panic_every.is_some() || self.delay_fill.is_some() || self.poison_segment.is_some()
+        self.panic_every.is_some()
+            || self.delay_fill.is_some()
+            || self.poison_segment.is_some()
+            || self.drop_conn_every.is_some()
+            || self.delay_frame.is_some()
     }
 
     /// Dispatcher hook: panic if launch `seq` is scheduled to fail.
@@ -116,6 +136,18 @@ impl FaultPlan {
     /// Cache-fill hook: the poisoned lock stripe, if any.
     pub(crate) fn poisoned_segment(&self) -> Option<usize> {
         self.poison_segment
+    }
+
+    /// RPC transport hook: sever the connection on every n-th request
+    /// frame, when scheduled. Public — the transport crate sits above
+    /// this one.
+    pub fn conn_drop_every(&self) -> Option<u64> {
+        self.drop_conn_every
+    }
+
+    /// RPC transport hook: how long to stall before each frame write.
+    pub fn frame_delay(&self) -> Option<Duration> {
+        self.delay_frame
     }
 }
 
@@ -143,16 +175,23 @@ mod tests {
 
     #[test]
     fn parse_full_spec() {
-        let plan = FaultPlan::parse("panic_every=3, delay_fill_us=200,poison_segment=1").unwrap();
+        let plan = FaultPlan::parse(
+            "panic_every=3, delay_fill_us=200,poison_segment=1,drop_conn_every=5,delay_frame_us=50",
+        )
+        .unwrap();
         assert_eq!(
             plan,
             FaultPlan {
                 panic_every: Some(3),
                 delay_fill: Some(Duration::from_micros(200)),
                 poison_segment: Some(1),
+                drop_conn_every: Some(5),
+                delay_frame: Some(Duration::from_micros(50)),
             }
         );
         assert!(plan.is_active());
+        assert_eq!(plan.conn_drop_every(), Some(5));
+        assert_eq!(plan.frame_delay(), Some(Duration::from_micros(50)));
     }
 
     #[test]
@@ -160,6 +199,7 @@ mod tests {
         assert!(FaultPlan::parse("panic_every").is_err());
         assert!(FaultPlan::parse("panic_every=zero").is_err());
         assert!(FaultPlan::parse("panic_every=0").is_err());
+        assert!(FaultPlan::parse("drop_conn_every=0").is_err());
         assert!(FaultPlan::parse("warp_core_breach=1").is_err());
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::disabled());
     }

@@ -130,6 +130,7 @@ pub mod cache;
 pub mod engine;
 pub mod fault;
 pub mod observe;
+pub mod remote;
 pub mod score;
 pub mod shard;
 pub mod store;
@@ -152,6 +153,10 @@ pub use fusedmm_perf::registry::{MetricsRegistry, MetricsSnapshot, Sample};
 pub use fusedmm_perf::trace::Tracer;
 
 pub use engine::{Engine, EngineConfig, EngineMetrics, ServeError};
+pub use remote::{
+    EpochRecord, PartOutcome, PartSlot, RemoteMetrics, RemoteShardedEngine, ShardTransport,
+    WorkerEngine, WorkerError,
+};
 pub use score::{score_edges, score_edges_banded};
 pub use shard::{ShardedEngine, ShardedMetrics};
 pub use store::{EpochListener, FeatureEpoch, FeatureStore};

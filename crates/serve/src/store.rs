@@ -293,6 +293,79 @@ impl FeatureStore {
         self.install(x, y)
     }
 
+    /// Replication seam: install whole matrices **as** epoch `epoch`,
+    /// which may jump ahead of (or equal) the current number — a
+    /// replica applying a coordinator's snapshot record lands directly
+    /// on the coordinator's epoch numbering instead of minting its own.
+    /// Listeners are notified with the applied epoch (`on_publish`),
+    /// under the same before-the-swap ordering contract as
+    /// [`publish`](Self::publish).
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch, on a permuted store (replicas hold
+    /// internal-order features; the coordinator translates ids before
+    /// shipping), or when `epoch` would move the store backwards.
+    pub(crate) fn publish_at(&self, epoch: u64, x: Dense, y: Dense) {
+        self.check_shapes(&x, &y);
+        assert!(self.perm.is_none(), "replica stores hold internal-order features");
+        let _w = self.writer.lock();
+        let current = self.current.read().epoch;
+        assert!(epoch >= current, "epoch log regressed: applying {epoch} over {current}");
+        self.for_each_listener(|l| l.on_publish(epoch));
+        let mut cur = self.current.write();
+        *cur = Arc::new(FeatureEpoch { epoch, x, y });
+        drop(cur);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replication seam: apply a coordinator's delta record **as**
+    /// epoch `epoch`. Unlike [`publish_at`](Self::publish_at) the base
+    /// matters — a patch only reproduces the coordinator's matrices
+    /// when applied to the epoch right before it — so the record must
+    /// be the immediate successor of the replica's current epoch.
+    /// `rows` are internal row ids (the coordinator ships them
+    /// pre-translated); listeners see exactly that set (`on_delta`).
+    ///
+    /// # Panics
+    /// Panics on shape/range mismatches, a permuted store, or a gap in
+    /// the log (`epoch != current + 1`).
+    pub(crate) fn delta_update_at(
+        &self,
+        epoch: u64,
+        rows: &[usize],
+        x_rows_new: &Dense,
+        y_rows_new: &Dense,
+    ) {
+        assert!(self.perm.is_none(), "replica stores hold internal-order features");
+        assert_eq!(x_rows_new.nrows(), rows.len(), "one X patch row per updated row id");
+        assert_eq!(y_rows_new.nrows(), rows.len(), "one Y patch row per updated row id");
+        assert_eq!(x_rows_new.ncols(), self.d, "X patch dimension mismatch");
+        assert_eq!(y_rows_new.ncols(), self.d, "Y patch dimension mismatch");
+        for &u in rows {
+            assert!(u < self.x_rows, "patched X row {u} out of range for {} rows", self.x_rows);
+            assert!(u < self.y_rows, "patched Y row {u} out of range for {} rows", self.y_rows);
+        }
+        let _w = self.writer.lock();
+        let base = self.snapshot();
+        assert_eq!(
+            epoch,
+            base.epoch + 1,
+            "epoch log gap: delta record {epoch} cannot apply over {}",
+            base.epoch
+        );
+        let mut x = base.x.clone();
+        let mut y = base.y.clone();
+        for (i, &u) in rows.iter().enumerate() {
+            x.row_mut(u).copy_from_slice(x_rows_new.row(i));
+            y.row_mut(u).copy_from_slice(y_rows_new.row(i));
+        }
+        self.for_each_listener(|l| l.on_delta(epoch, rows));
+        let mut cur = self.current.write();
+        *cur = Arc::new(FeatureEpoch { epoch, x, y });
+        drop(cur);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Swap in the next epoch (writer lock held by the caller, the
     /// epoch already announced to listeners).
     fn install(&self, x: Dense, y: Dense) -> u64 {

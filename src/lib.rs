@@ -16,6 +16,8 @@
 //!   classification;
 //! * [`serve`] — the online serving engine: plan cache, row-subset
 //!   kernels, micro-batched embedding refresh, edge scoring;
+//! * [`rpc`] — multi-process shard serving: framed socket transport,
+//!   worker serve loop, coordinator client, replicated epoch log;
 //! * [`perf`] — timing, latency histograms, memory tracking, STREAM
 //!   bandwidth, roofline, the metrics registry, and the request
 //!   tracer.
@@ -41,6 +43,7 @@ pub use fusedmm_core as kernel;
 pub use fusedmm_graph as graph;
 pub use fusedmm_ops as ops;
 pub use fusedmm_perf as perf;
+pub use fusedmm_rpc as rpc;
 pub use fusedmm_serve as serve;
 pub use fusedmm_sparse as sparse;
 
@@ -57,6 +60,11 @@ pub mod prelude {
     pub use fusedmm_graph::planted::planted_partition;
     pub use fusedmm_graph::rmat::{rmat, RmatConfig};
     pub use fusedmm_ops::{AOp, MOp, Mlp, OpSet, Pattern, ROp, SOp, SigmoidLut, VOp};
+    pub use fusedmm_rpc::{RpcConfig, RpcTransport, WorkerServer};
+    pub use fusedmm_serve::remote::{
+        EpochRecord, PartOutcome, PartSlot, RemoteShardedEngine, ShardTransport, WorkerEngine,
+        WorkerError,
+    };
     pub use fusedmm_serve::{
         quiet_injected_panics, register_kernel_profiles, wait_any, AdmissionPolicy, CacheConfig,
         CacheMetrics, EmbedOptions, EmbedResponse, Engine, EngineConfig, FaultPlan, FeatureStore,

@@ -10,6 +10,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fusedmm::kernel::Partition;
 use fusedmm::prelude::*;
 
 /// A config immune to the chaos environment: unlimited admission, no
@@ -98,6 +99,106 @@ fn sharded_deadline_expiry_is_typed_and_counted() {
     let m = eng.metrics();
     assert_eq!(m.requests_failed, 1);
     assert!(m.expired_dropped >= 1, "a band dispatcher dropped the expired piece");
+}
+
+/// Transport chaos: serve through real unix sockets whose coordinator
+/// side severs the connection every Nth request frame and delays every
+/// frame write — every request must resolve (typed `PartFailed` while
+/// the link is down, never a hang), the front-end ledger must
+/// reconcile exactly, every successful Exact response must stay
+/// bit-identical to the fault-free in-process engine, and the
+/// transport must keep reconnecting (with epoch-log catch-up) for the
+/// whole run.
+#[test]
+fn transport_disconnect_chaos_resolves_every_request_and_reconciles() {
+    let (n, d, nshards) = (96, 8, 2);
+    let a = rmat(&RmatConfig::new(n, 3 * n).with_seed(9));
+    let x = random_features(n, d, 0.5, 1);
+    let y = random_features(n, d, 0.5, 2);
+    let ops = OpSet::sigmoid_embedding(None);
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let paths: Vec<std::path::PathBuf> =
+        (0..nshards).map(|s| dir.join(format!("fusedmm-chaos-{pid}-{s}.sock"))).collect();
+    let servers: Vec<_> = (0..nshards)
+        .map(|s| {
+            let band = Partition::part1d(&a, nshards, PartitionStrategy::NnzBalanced).rows(s);
+            let engine = WorkerEngine::new(
+                &a,
+                band,
+                s,
+                Dense::zeros(n, d),
+                Dense::zeros(n, d),
+                ops.clone(),
+                EngineConfig { cache: Some(CacheConfig::default()), ..fault_free_config() },
+            );
+            WorkerServer::serve_unix(Arc::new(engine), &paths[s]).expect("bind chaos worker")
+        })
+        .collect();
+
+    let mut rpc_config = RpcConfig::new(paths.clone());
+    rpc_config.fault =
+        Some(Arc::new(FaultPlan::parse("drop_conn_every=5,delay_frame_us=200").unwrap()));
+    let transport = RpcTransport::connect(rpc_config).expect("connect chaos workers");
+    let remote =
+        RemoteShardedEngine::new(x.clone(), y.clone(), transport.clone(), fault_free_config());
+    let fault_free = ShardedEngine::new(a, x, y, ops, nshards, fault_free_config());
+
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for i in 0..40usize {
+        // A delta every 10th request keeps the replicated log moving
+        // while connections churn — reconnects must catch up.
+        if i % 10 == 5 {
+            let rows = vec![i % n, (i * 3 + 1) % n];
+            let patch = Dense::from_fn(rows.len(), d, |r, k| (i + r * 3 + k) as f32 * 0.01);
+            let re = remote.delta_update(&rows, &patch, &patch);
+            let le = fault_free.store().delta_update(&rows, &patch, &patch);
+            assert_eq!(re, le, "both sides mint the same epoch");
+        }
+        let nodes = vec![(i * 17) % n, (i * 5 + 3) % n, (i * 29 + 7) % n];
+        match remote.embed(&nodes) {
+            Ok(rows) => {
+                assert_eq!(
+                    rows,
+                    fault_free.embed(&nodes).unwrap(),
+                    "request {i}: surviving Exact response bit-identical"
+                );
+                ok += 1;
+            }
+            // The link was down or died mid-request: typed, not hung.
+            Err(ServeError::PartFailed { .. }) => {
+                failed += 1;
+                // Give the manager a beat to re-establish the link.
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Err(e) => panic!("request {i}: unexpected error under transport chaos: {e}"),
+        }
+    }
+    assert!(ok > 0, "some requests survive the chaos (got {ok} ok / {failed} failed)");
+    assert!(failed > 0, "drop_conn_every=5 fails some requests (got {ok} ok / {failed} failed)");
+    let reconnects: u64 = (0..nshards).map(|s| transport.reconnects(s)).sum();
+    assert!(reconnects > 0, "severed links were re-established");
+
+    let m = remote.metrics();
+    assert_eq!(m.requests_begun, 40);
+    assert_eq!(
+        m.requests_begun,
+        m.requests_harvested
+            + m.requests_degraded
+            + m.requests_shed
+            + m.requests_failed
+            + m.requests_abandoned,
+        "remote ledger reconciles exactly under transport chaos: {m}"
+    );
+    assert_eq!(m.requests_harvested, ok);
+    assert_eq!(m.requests_failed, failed);
+
+    drop(remote);
+    drop(servers);
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 proptest! {
