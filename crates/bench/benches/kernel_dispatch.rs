@@ -4,16 +4,22 @@
 //! The const-generic register-blocked kernels only exist for
 //! `GENERATED_DIMS`; the dimensions real embedding services run
 //! (d = 48/96/192/384) used to fall back to the dynamic-strip kernel.
-//! This bench measures what the strip-mined family (8-lane panels,
-//! register-resident accumulators across the neighbor loop) buys over
-//! that fallback, per pattern — the acceptance gate is `strip_mined`
+//! This bench measures what the strip-mined family (vector-width
+//! panels, register-resident accumulators across the neighbor loop)
+//! buys over that fallback, per pattern, and what the plan-time
+//! `specialized` table (tuner-chosen panel count and h-chunk, masked
+//! tails) buys on top — the acceptance gates are `strip_mined`
 //! beating `dyn_strips` at d = 96 and d = 192 on the SpMM and
-//! sigmoid-embedding patterns. The `register_blocked` row appears only
+//! sigmoid-embedding patterns, and `specialized` matching or beating
+//! `dyn_strips` at every probed d (strictly at the odd d = 100, where
+//! the strip family does not apply and dyn strips pay an unfused
+//! scalar tail per neighbor). The `register_blocked` row appears only
 //! at generated dimensions for context.
 //!
 //! The header line records the detected CPU features and chosen
-//! backend; set `FUSEDMM_FORCE_SCALAR=1` to measure the portable
-//! fallback on the same machine.
+//! backend (on an AVX-512 machine the 16-lane kernels); set
+//! `FUSEDMM_FORCE_SCALAR=1` or `FUSEDMM_FORCE_BACKEND=avx2` to
+//! measure the narrower paths on the same machine.
 //!
 //! Run: `cargo bench --bench kernel_dispatch`
 
@@ -22,14 +28,15 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use fusedmm_bench::workloads::kernel_workload_scaled;
-use fusedmm_core::genkern::GENERATED_DIMS;
-use fusedmm_core::{cpu_features, fusedmm_opt_with, Blocking, PartitionStrategy};
+use fusedmm_core::genkern::{strip_minable, GENERATED_DIMS};
+use fusedmm_core::{cpu_features, fusedmm_opt_with, global_tuner, Blocking, PartitionStrategy};
 use fusedmm_graph::datasets::Dataset;
 use fusedmm_ops::OpSet;
 
 // 48/96/192/384 are the strip-only serving dims; 64 is a generated
-// dimension, included so the register_blocked row appears for context.
-const DIMS: [usize; 5] = [48, 64, 96, 192, 384];
+// dimension, included so the register_blocked row appears for context;
+// 100 is odd, so only the dyn and specialized levels accept it.
+const DIMS: [usize; 6] = [48, 64, 96, 100, 192, 384];
 
 fn bench_pattern(c: &mut Criterion, pattern_name: &str, ops: &OpSet) {
     for &d in &DIMS {
@@ -40,8 +47,14 @@ fn bench_pattern(c: &mut Criterion, pattern_name: &str, ops: &OpSet) {
         g.warm_up_time(Duration::from_millis(500));
         g.measurement_time(Duration::from_millis(4000));
         g.sample_size(48);
+        // The tuner probes the shape grid once per (pattern, d) and
+        // caches; the bench then measures the winning shape.
+        let spec = global_tuner().spec_for(ops, d);
         let mut levels =
-            vec![("dyn_strips", Blocking::DynStrips), ("strip_mined", Blocking::StripMined)];
+            vec![("dyn_strips", Blocking::DynStrips), ("specialized", Blocking::Specialized(spec))];
+        if strip_minable(d) {
+            levels.push(("strip_mined", Blocking::StripMined));
+        }
         if GENERATED_DIMS.contains(&d) {
             levels.push(("register_blocked", Blocking::RegisterBlocked));
         }

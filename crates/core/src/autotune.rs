@@ -5,10 +5,13 @@
 //! tune at run time instead: the first `fusedmm` call for a given
 //! (pattern, d) measures each candidate blocking — dynamic strips,
 //! strip-mined (when `d ≡ 0 (mod 8)`), register-blocked (when a const
-//! specialization exists) — on a small synthetic probe and caches the
-//! winner for the rest of the process — the ATLAS philosophy the paper
-//! cites, applied lazily. The SIMD backend is fixed per process, so
-//! the (pattern, d) key implicitly tunes per (pattern, d, ISA).
+//! specialization exists), and the best plan-time specialized shape
+//! from the generated dispatch table ([`Tuner::spec_for`] probes the
+//! candidate panel/chunk grid first) — on a small synthetic probe and
+//! caches the winner for the rest of the process — the ATLAS
+//! philosophy the paper cites, applied lazily. The SIMD backend is
+//! fixed per process, so the (pattern, d) key implicitly tunes per
+//! (pattern, d, ISA).
 
 use std::time::Instant;
 
@@ -21,14 +24,16 @@ use fusedmm_sparse::coo::{Coo, Dedup};
 use fusedmm_sparse::csr::Csr;
 use fusedmm_sparse::dense::Dense;
 
-use crate::dispatch::{fusedmm_opt_with, specialize, Blocking};
-use crate::genkern::{strip_minable, GENERATED_DIMS};
+use crate::dispatch::{fusedmm_opt_with, specialize, Blocking, Specialized};
+use crate::genkern::{candidate_specs, strip_minable, KernelSpec, GENERATED_DIMS};
 use crate::part::PartitionStrategy;
+use crate::simd::active_backend;
 
 /// Cached tuning decisions, keyed by (pattern, dimension).
 #[derive(Debug, Default)]
 pub struct Tuner {
     cache: RwLock<HashMap<(Pattern, usize), Blocking>>,
+    spec_cache: RwLock<HashMap<(Pattern, usize), KernelSpec>>,
 }
 
 /// Probe graph size used for tuning runs. Small enough to be
@@ -67,6 +72,53 @@ impl Tuner {
     /// Forget all decisions (used by tests).
     pub fn clear(&self) {
         self.cache.write().clear();
+        self.spec_cache.write().clear();
+    }
+
+    /// The best specialized kernel shape for `ops` at dimension `d` on
+    /// the active backend, probing the candidate grid (see
+    /// [`candidate_specs`]) on first use and caching the winner. This
+    /// is the shape a `Blocking::Specialized` plan (and the hybrid
+    /// dispatcher's degree-class kernels) will run.
+    pub fn spec_for(&self, ops: &OpSet, d: usize) -> KernelSpec {
+        let key = (ops.pattern, d);
+        if let Some(&s) = self.spec_cache.read().get(&key) {
+            return s;
+        }
+        let chosen = self.measure_spec(ops, d);
+        self.spec_cache.write().insert(key, chosen);
+        chosen
+    }
+
+    fn measure_spec(&self, ops: &OpSet, d: usize) -> KernelSpec {
+        let Some(sp) = specialize(ops) else {
+            return KernelSpec::FALLBACK;
+        };
+        // Patterns with an SDDMM reduction also probe the message
+        // chunk depth; pure SpMM has no message buffer.
+        let sddmm = !matches!(sp, Specialized::Spmm);
+        let candidates = candidate_specs(active_backend().lanes(), d, sddmm);
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        let a = probe_graph();
+        let x = probe_features(PROBE_VERTICES, d, 1);
+        let y = probe_features(PROBE_VERTICES, d, 2);
+        let mut best = (KernelSpec::FALLBACK, f64::INFINITY);
+        for s in candidates {
+            let b = Blocking::Specialized(s);
+            let _ = fusedmm_opt_with(&a, &x, &y, ops, b, None, PartitionStrategy::NnzBalanced);
+            let mut t_min = f64::INFINITY;
+            for _ in 0..PROBE_REPS {
+                let t0 = Instant::now();
+                let _ = fusedmm_opt_with(&a, &x, &y, ops, b, None, PartitionStrategy::NnzBalanced);
+                t_min = t_min.min(t0.elapsed().as_secs_f64());
+            }
+            if t_min < best.1 {
+                best = (s, t_min);
+            }
+        }
+        best.0
     }
 
     fn measure(&self, ops: &OpSet, d: usize) -> Blocking {
@@ -80,6 +132,9 @@ impl Tuner {
         if GENERATED_DIMS.contains(&d) {
             candidates.push(Blocking::RegisterBlocked);
         }
+        // The specialized table covers any d >= 1; enter its best
+        // probed shape as one candidate against the fixed levels.
+        candidates.push(Blocking::Specialized(self.spec_for(ops, d)));
         let mut best = (Blocking::DynStrips, f64::INFINITY);
         for b in candidates {
             // Warm-up then timed repetitions, keeping the minimum (least
@@ -154,12 +209,26 @@ mod tests {
     }
 
     #[test]
-    fn ungeneratable_dim_picks_dyn() {
+    fn ungeneratable_dim_picks_dyn_or_specialized() {
         let tuner = Tuner::new();
         let ops = OpSet::gcn();
-        // 100 is neither in GENERATED_DIMS nor a multiple of 8, so only
-        // DynStrips is a candidate.
-        assert_eq!(tuner.choose(&ops, 100), Blocking::DynStrips);
+        // 100 is neither in GENERATED_DIMS nor a multiple of 8: the
+        // candidates are DynStrips and the specialized table (whose
+        // masked-tail panels cover odd dims).
+        let b = tuner.choose(&ops, 100);
+        assert!(matches!(b, Blocking::DynStrips | Blocking::Specialized(_)), "{b:?}");
+    }
+
+    #[test]
+    fn spec_for_is_cached_and_on_grid() {
+        let tuner = Tuner::new();
+        let ops = OpSet::sigmoid_embedding(None);
+        let s1 = tuner.spec_for(&ops, 100);
+        let s2 = tuner.spec_for(&ops, 100);
+        assert_eq!(s1, s2);
+        assert!(KernelSpec::new(s1.main_panels() as u8, s1.h_chunk() as u16).is_some());
+        tuner.clear();
+        assert_eq!(tuner.cached_len(), 0);
     }
 
     #[test]
@@ -167,9 +236,12 @@ mod tests {
         let tuner = Tuner::new();
         let ops = OpSet::gcn();
         // 96 is a multiple of 8 but has no const specialization:
-        // candidates are DynStrips and StripMined.
+        // candidates are DynStrips, StripMined, and the spec table.
         let b = tuner.choose(&ops, 96);
-        assert!(matches!(b, Blocking::DynStrips | Blocking::StripMined), "{b:?}");
+        assert!(
+            matches!(b, Blocking::DynStrips | Blocking::StripMined | Blocking::Specialized(_)),
+            "{b:?}"
+        );
     }
 
     #[test]
@@ -179,7 +251,10 @@ mod tests {
         let b = tuner.choose(&ops, 64);
         assert!(matches!(
             b,
-            Blocking::DynStrips | Blocking::StripMined | Blocking::RegisterBlocked
+            Blocking::DynStrips
+                | Blocking::StripMined
+                | Blocking::RegisterBlocked
+                | Blocking::Specialized(_)
         ));
         assert_ne!(b, Blocking::Generic);
     }

@@ -15,9 +15,10 @@ use fusedmm_sparse::dense::Dense;
 use crate::driver::parallel_row_bands;
 use crate::generic::{fusedmm_generic_opts, validate_shapes};
 use crate::genkern::{
-    embed_dyn_kernel, embed_kernel_for, embed_strip_kernel, fr_dyn_kernel, fr_kernel_for,
-    fr_strip_kernel, spmm_dyn_kernel, spmm_kernel_for, spmm_strip_kernel, strip_minable,
-    tdist_dyn_kernel, tdist_kernel_for, tdist_strip_kernel, SigmoidKind, GENERATED_DIMS,
+    embed_dyn_kernel, embed_kernel_for, embed_spec_kernel, embed_strip_kernel, fr_dyn_kernel,
+    fr_kernel_for, fr_spec_kernel, fr_strip_kernel, spmm_dyn_kernel, spmm_kernel_for,
+    spmm_spec_kernel, spmm_strip_kernel, strip_minable, tdist_dyn_kernel, tdist_kernel_for,
+    tdist_spec_kernel, tdist_strip_kernel, KernelSpec, SigmoidKind, GENERATED_DIMS,
 };
 use crate::part::PartitionStrategy;
 use crate::simd::active_backend;
@@ -49,6 +50,13 @@ pub enum Blocking {
     /// Force the dynamic 8-lane strip kernel (no register blocking) —
     /// used by the register-blocking ablation.
     DynStrips,
+    /// Run one plan-time specialized shape from the generated dispatch
+    /// table (see [`crate::genkern::table`]): the strip passes
+    /// monomorphized over a panel/chunk grid, valid for **any**
+    /// `d ≥ 1` — odd dimensions end in a fused masked-tail panel
+    /// instead of falling back to the unfused dyn path. Plans built by
+    /// the measuring autotuner carry the probed best shape here.
+    Specialized(KernelSpec),
     /// Force the generic five-step kernel even for recognized patterns —
     /// the paper's unoptimized "FusedMM" row.
     Generic,
@@ -68,16 +76,19 @@ pub enum Blocking {
 enum Level {
     Const,
     Strip,
+    Spec(KernelSpec),
     Dyn,
 }
 
 impl Level {
     /// The `blocking` label the kernel profile table reports (the
     /// unspecialized path reports `generic` without resolving a level).
+    /// Specialized launches report their shape, e.g. `"spec-m12-h32"`.
     fn label(self) -> &'static str {
         match self {
             Level::Const => "const",
             Level::Strip => "strip",
+            Level::Spec(s) => s.label(),
             Level::Dyn => "dyn",
         }
     }
@@ -94,6 +105,7 @@ fn resolve_level(blocking: Blocking, d: usize) -> Level {
             Level::Strip
         }
         Blocking::DynStrips => Level::Dyn,
+        Blocking::Specialized(s) => Level::Spec(s),
         Blocking::Auto | Blocking::Generic | Blocking::Hybrid(_) => {
             if d <= REGISTER_BLOCK_MAX_DIM && GENERATED_DIMS.contains(&d) {
                 Level::Const
@@ -177,11 +189,17 @@ pub fn fusedmm_opt_with(
     let level = resolve_level(blocking, d);
     let backend = active_backend();
     if let Blocking::Hybrid(cfg) = blocking {
-        // The shaped degree-class kernels are strip-family; at const-
-        // or dyn-resolved dimensions the hybrid request falls through
-        // to the uniform path below (identical by construction).
-        if level == Level::Strip {
-            return crate::hybrid::execute(a, x, y, ops, &spec, cfg, partitions, strategy, backend);
+        // The shaped degree-class kernels run the specialized table's
+        // shapes, so hybrid engages at strip dimensions *and* — via the
+        // table's masked-tail panels — at dimensions that resolve to
+        // the dyn level (odd d). Only a const-resolved dimension falls
+        // through to the uniform path below (identical by
+        // construction).
+        if matches!(level, Level::Strip | Level::Dyn) {
+            let kspec = crate::autotune::global_tuner().spec_for(ops, d);
+            return crate::hybrid::execute(
+                a, x, y, ops, &spec, cfg, partitions, strategy, backend, kspec,
+            );
         }
     }
     let mut z = Dense::zeros(a.nrows(), d);
@@ -198,6 +216,7 @@ pub fn fusedmm_opt_with(
                     embed_dyn_kernel(backend)
                 }),
                 Level::Strip => embed_strip_kernel(backend),
+                Level::Spec(s) => embed_spec_kernel(backend, s),
                 Level::Dyn => embed_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
@@ -217,6 +236,7 @@ pub fn fusedmm_opt_with(
                     fr_dyn_kernel(backend)
                 }),
                 Level::Strip => fr_strip_kernel(backend),
+                Level::Spec(s) => fr_spec_kernel(backend, s),
                 Level::Dyn => fr_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
@@ -236,6 +256,7 @@ pub fn fusedmm_opt_with(
                     tdist_dyn_kernel(backend)
                 }),
                 Level::Strip => tdist_strip_kernel(backend),
+                Level::Spec(s) => tdist_spec_kernel(backend, s),
                 Level::Dyn => tdist_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {
@@ -255,6 +276,7 @@ pub fn fusedmm_opt_with(
                     spmm_dyn_kernel(backend)
                 }),
                 Level::Strip => spmm_strip_kernel(backend),
+                Level::Spec(s) => spmm_spec_kernel(backend, s),
                 Level::Dyn => spmm_dyn_kernel(backend),
             };
             parallel_row_bands(a, &mut z, partitions, strategy, |rows, band| {

@@ -11,26 +11,32 @@
 //! dimension), and the portable [`crate::simd`] layer supplies the ISA
 //! abstraction.
 //!
-//! Three blocking levels exist per pattern:
+//! Four blocking levels exist per pattern:
 //!
 //! * `*_row_dyn` — dimension known only at run time; processes the row
 //!   in 8-lane strips, `z_u` accumulates in memory (one load+store per
 //!   strip per neighbor);
 //! * [`strip`] — strip-mined kernels for any `d ≡ 0 (mod 8)`: the
-//!   dimension is tiled into 8-lane panels whose accumulators stay in
-//!   registers across the neighbor loop, covering the serving-typical
-//!   d = 48/96/192/384 the const list misses;
+//!   dimension is tiled into register-wide panels whose accumulators
+//!   stay in registers across the neighbor loop, covering the
+//!   serving-typical d = 48/96/192/384 the const list misses;
+//! * [`table`] — **plan-time specialized** kernels: the strip passes
+//!   instantiated over a const-generic grid of panel/chunk shapes
+//!   ([`table::KernelSpec`]), covering *any* `d ≥ 1` via a fused
+//!   masked-tail panel and letting the autotuner pick the best shape
+//!   per `(pattern, d, backend)` when a plan is built;
 //! * `*_row_const::<D>` — dimension fixed at compile time; `x_u` and
 //!   `z_u` live in fixed-size stack arrays that LLVM promotes to
 //!   registers, giving the paper's register-blocking (the win measured
 //!   by the `register_blocking` ablation bench).
 //!
-//! The dyn and strip families are additionally monomorphized per SIMD
-//! [`Backend`](crate::simd::Backend) (AVX2+FMA / NEON / scalar) in
-//! [`strip`]; the const family relies on LLVM autovectorization of the
-//! portable [`crate::simd`] layer.
+//! The dyn, strip, and table families are additionally monomorphized
+//! per SIMD [`Backend`](crate::simd::Backend) (AVX-512 / AVX2+FMA /
+//! NEON / scalar); the const family relies on LLVM autovectorization
+//! of the portable [`crate::simd`] layer.
 
 pub mod strip;
+pub mod table;
 
 use std::sync::Arc;
 
@@ -44,6 +50,11 @@ pub use strip::{
     fr_dyn_kernel, fr_msg_kernel, fr_strip_kernel, span_sweep_kernel, spmm_batch_kernel,
     spmm_dyn_kernel, spmm_strip_kernel, strip_minable, tdist_batch_kernel, tdist_dyn_kernel,
     tdist_msg_kernel, tdist_strip_kernel,
+};
+pub use table::{
+    candidate_specs, embed_spec_batch_kernel, embed_spec_kernel, fr_spec_batch_kernel,
+    fr_spec_kernel, span_spec_kernel, spmm_spec_batch_kernel, spmm_spec_kernel,
+    tdist_spec_batch_kernel, tdist_spec_kernel, KernelSpec,
 };
 
 /// Which sigmoid evaluation the embedding kernels use for SOP.

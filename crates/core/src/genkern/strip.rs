@@ -1,15 +1,17 @@
 //! ISA-specialized dynamic and strip-mined row kernels.
 //!
 //! Two kernel families live here, both written once as ISA-generic
-//! bodies and monomorphized per [`Backend`] (AVX2+FMA / NEON / scalar)
-//! behind `#[target_feature]` entry functions:
+//! bodies and monomorphized per [`Backend`] (AVX-512 / AVX2+FMA / NEON
+//! / scalar) behind `#[target_feature]` entry functions:
 //!
 //! * `*_row_dyn_*` — the dynamic-dimension kernels: per neighbor, a
 //!   full-row reduction (dot / squared distance) followed by a full-row
 //!   axpy, with `z_u` living in memory. Works for any `d`.
 //! * `*_row_strip_*` — **strip-mined** kernels for any `d ≡ 0 (mod 8)`:
-//!   the feature dimension is tiled into 8-lane panels (up to twelve
-//!   panels — 96 lanes — per pass), and each panel's `z_u` accumulator
+//!   the feature dimension is tiled into register-wide panels (up to
+//!   twelve panels per pass on 8-lane ISAs; up to twenty-four 16-lane
+//!   panels — 384 lanes — on AVX-512, which has 32 zmm registers to
+//!   fill), and each panel's `z_u` accumulator
 //!   stays **register-resident across the neighbor loop**, recovering
 //!   the paper's register-blocking win at dimensions the const-generic
 //!   kernels don't cover (48, 96, 192, 384, ...). The GE-SpMM
@@ -24,14 +26,23 @@
 //! chunk, while `h_v` stays in a stack buffer. Pure SpMM has no
 //! reduction, so its panels run over the entire neighbor list in one
 //! pass — `z_u` is written to memory exactly once per panel.
+//!
+//! On ISAs wider than `VLEN` (AVX-512: `I::LANES = 16`) a dimension
+//! that is a multiple of 8 but not of 16 ends in a **masked tail
+//! pass**: one fused, mask-predicated panel covers the last 8 columns
+//! via `SimdIsa::loadu_partial`/`storeu_partial`. The fold order per
+//! element is unchanged, so results stay bit-identical to the 8-lane
+//! backends. (A finer shape grid over the same passes — including
+//! arbitrary odd `d` — lives in [`super::table`], selected at plan
+//! time.)
 
 use fusedmm_sparse::dense::Dense;
 
-#[cfg(target_arch = "x86_64")]
-use crate::simd::Avx2Isa;
 #[cfg(target_arch = "aarch64")]
 use crate::simd::NeonIsa;
-use crate::simd::{axpy_body, dot_body, sqdist_body, Backend, ScalarIsa, SimdIsa, VLEN};
+#[cfg(target_arch = "x86_64")]
+use crate::simd::{Avx2Isa, Avx512Isa};
+use crate::simd::{Backend, ScalarIsa, SimdIsa, VLEN};
 
 use super::{
     EmbedBatchKernel, EmbedMsgKernel, EmbedRowKernel, FrBatchKernel, FrMsgKernel, FrRowKernel,
@@ -84,36 +95,43 @@ fn panel_core<I: SimdIsa, const LOAD_Z: bool>(
     let zp = zu.as_mut_ptr();
     let mut p = 0;
     // Safety: every pointer offset below is `v * d + p + lanes` with
-    // `v < y.nrows()` (checked above) and `p + lanes <= d`, hence in
-    // bounds of `y`'s backing slice; z offsets stay below `zu.len()`;
-    // `h[i]` is a checked index.
+    // `v < y.nrows()` (checked above) and `p + lanes <= d` (the masked
+    // tail reads/writes only `d - p` lanes), hence in bounds of `y`'s
+    // backing slice; z offsets stay below `zu.len()`; `h[i]` is a
+    // checked index.
     unsafe {
         macro_rules! panel_pass {
             ($panels:literal) => {
-                while p + $panels * VLEN <= d {
+                while p + $panels * I::LANES <= d {
                     let mut acc = [I::zero(); $panels];
                     if LOAD_Z {
                         for (q, a) in acc.iter_mut().enumerate() {
-                            *a = I::loadu(zp.add(p + q * VLEN));
+                            *a = I::loadu(zp.add(p + q * I::LANES));
                         }
                     }
                     for (i, &v) in cols.iter().enumerate() {
                         let hv = I::splat(h[i]);
                         let base = yp.add(v * d + p);
                         for (q, a) in acc.iter_mut().enumerate() {
-                            *a = I::fma(*a, hv, I::loadu(base.add(q * VLEN)));
+                            *a = I::fma(*a, hv, I::loadu(base.add(q * I::LANES)));
                         }
                     }
                     for (q, a) in acc.iter().enumerate() {
-                        I::storeu(zp.add(p + q * VLEN), *a);
+                        I::storeu(zp.add(p + q * I::LANES), *a);
                     }
-                    p += $panels * VLEN;
+                    p += $panels * I::LANES;
                 }
             };
         }
-        // 12 panels = 96 lanes: d = 96/192/288/384 in single sweeps
-        // (12 accumulators + broadcast still fit 16 ymm registers —
-        // FMA folds the y load into a memory operand).
+        if I::LANES > VLEN {
+            // 24 panels on a 16-lane ISA = 384 lanes: the top serving
+            // dim in one sweep, using 24 of AVX-512's 32 zmm registers
+            // (broadcast + y loads as memory operands fill the rest).
+            panel_pass!(24);
+        }
+        // 12 panels = 96 lanes on 8-lane ISAs: d = 96/192/288/384 in
+        // single sweeps (12 accumulators + broadcast still fit 16 ymm
+        // registers — FMA folds the y load into a memory operand).
         panel_pass!(12);
         panel_pass!(8);
         // 6 panels = 48 lanes: one sweep for the d = 48 serving dim.
@@ -121,8 +139,21 @@ fn panel_core<I: SimdIsa, const LOAD_Z: bool>(
         panel_pass!(4);
         panel_pass!(2);
         panel_pass!(1);
+        // Masked tail: on ISAs wider than VLEN the cascade can leave a
+        // sub-register remainder (d ≡ 8 (mod 16) on AVX-512). One
+        // fused predicated panel finishes it; lanes past the remainder
+        // load as +0.0 and contribute h·0, and the masked store leaves
+        // memory past `d` untouched.
+        if p < d {
+            let r = d - p;
+            let mut acc = if LOAD_Z { I::loadu_partial(zp.add(p), r) } else { I::zero() };
+            for (i, &v) in cols.iter().enumerate() {
+                let hv = I::splat(h[i]);
+                acc = I::fma(acc, hv, I::loadu_partial(yp.add(v * d + p), r));
+            }
+            I::storeu_partial(zp.add(p), acc, r);
+        }
     }
-    debug_assert_eq!(p, d);
 }
 
 /// `z_u += Σ_i h[i] · y_{cols[i]}` — accumulate into the existing
@@ -168,7 +199,7 @@ fn embed_row_strip_body<I: SimdIsa>(
     while start < cols.len() {
         let chunk = &cols[start..(start + H_CHUNK).min(cols.len())];
         for (i, &v) in chunk.iter().enumerate() {
-            h[i] = sk.eval(dot_body::<I>(xu, y.row(v)));
+            h[i] = sk.eval(I::dot(xu, y.row(v)));
         }
         panel_accumulate::<I>(chunk, &h, y, zu);
         start += chunk.len();
@@ -190,7 +221,7 @@ fn fr_row_strip_body<I: SimdIsa>(
     while start < cols.len() {
         let chunk = &cols[start..(start + H_CHUNK).min(cols.len())];
         for (i, &v) in chunk.iter().enumerate() {
-            h[i] = alpha * sqdist_body::<I>(xu, y.row(v)).sqrt();
+            h[i] = alpha * I::sqdist(xu, y.row(v)).sqrt();
         }
         panel_accumulate::<I>(chunk, &h, y, zu);
         start += chunk.len();
@@ -211,7 +242,7 @@ fn tdist_row_strip_body<I: SimdIsa>(
     while start < cols.len() {
         let chunk = &cols[start..(start + H_CHUNK).min(cols.len())];
         for (i, &v) in chunk.iter().enumerate() {
-            h[i] = 1.0 / (1.0 + sqdist_body::<I>(xu, y.row(v)));
+            h[i] = 1.0 / (1.0 + I::sqdist(xu, y.row(v)));
         }
         panel_accumulate::<I>(chunk, &h, y, zu);
         start += chunk.len();
@@ -285,7 +316,7 @@ fn embed_batch_body<I: SimdIsa>(
     let mut h = [0f32; H_CHUNK];
     for row in rows {
         for (i, &v) in row.cols.iter().enumerate() {
-            h[i] = sk.eval(dot_body::<I>(row.xu, y.row(v)));
+            h[i] = sk.eval(I::dot(row.xu, y.row(v)));
         }
         panel_overwrite::<I>(row.cols, &h[..row.cols.len()], y, row_slice(band, row.band_row, d));
     }
@@ -299,7 +330,7 @@ fn fr_batch_body<I: SimdIsa>(rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f3
     let mut h = [0f32; H_CHUNK];
     for row in rows {
         for (i, &v) in row.cols.iter().enumerate() {
-            h[i] = alpha * sqdist_body::<I>(row.xu, y.row(v)).sqrt();
+            h[i] = alpha * I::sqdist(row.xu, y.row(v)).sqrt();
         }
         panel_overwrite::<I>(row.cols, &h[..row.cols.len()], y, row_slice(band, row.band_row, d));
     }
@@ -313,7 +344,7 @@ fn tdist_batch_body<I: SimdIsa>(rows: &[GatheredRow<'_>], y: &Dense, band: &mut 
     let mut h = [0f32; H_CHUNK];
     for row in rows {
         for (i, &v) in row.cols.iter().enumerate() {
-            h[i] = 1.0 / (1.0 + sqdist_body::<I>(row.xu, y.row(v)));
+            h[i] = 1.0 / (1.0 + I::sqdist(row.xu, y.row(v)));
         }
         panel_overwrite::<I>(row.cols, &h[..row.cols.len()], y, row_slice(band, row.band_row, d));
     }
@@ -339,7 +370,7 @@ fn embed_msg_body<I: SimdIsa>(
 ) {
     assert_eq!(cols.len(), h.len(), "message slice length != neighbor slice length");
     for (hi, &v) in h.iter_mut().zip(cols) {
-        *hi = sk.eval(dot_body::<I>(xu, y.row(v)));
+        *hi = sk.eval(I::dot(xu, y.row(v)));
     }
 }
 
@@ -347,7 +378,7 @@ fn embed_msg_body<I: SimdIsa>(
 fn fr_msg_body<I: SimdIsa>(xu: &[f32], cols: &[usize], y: &Dense, alpha: f32, h: &mut [f32]) {
     assert_eq!(cols.len(), h.len(), "message slice length != neighbor slice length");
     for (hi, &v) in h.iter_mut().zip(cols) {
-        *hi = alpha * sqdist_body::<I>(xu, y.row(v)).sqrt();
+        *hi = alpha * I::sqdist(xu, y.row(v)).sqrt();
     }
 }
 
@@ -355,7 +386,7 @@ fn fr_msg_body<I: SimdIsa>(xu: &[f32], cols: &[usize], y: &Dense, alpha: f32, h:
 fn tdist_msg_body<I: SimdIsa>(xu: &[f32], cols: &[usize], y: &Dense, h: &mut [f32]) {
     assert_eq!(cols.len(), h.len(), "message slice length != neighbor slice length");
     for (hi, &v) in h.iter_mut().zip(cols) {
-        *hi = 1.0 / (1.0 + sqdist_body::<I>(xu, y.row(v)));
+        *hi = 1.0 / (1.0 + I::sqdist(xu, y.row(v)));
     }
 }
 
@@ -375,8 +406,13 @@ fn span_sweep_body<I: SimdIsa>(
 ) {
     let w = z_span.len();
     let d = y.ncols();
+    // The span *offset* must stay VLEN-aligned (it fixes each thread's
+    // fold origin); the width may end unaligned only for the final
+    // span, which absorbs the row's sub-VLEN remainder at odd d.
     assert!(
-        w.is_multiple_of(VLEN) && span_off.is_multiple_of(VLEN) && span_off + w <= d,
+        span_off.is_multiple_of(VLEN)
+            && span_off + w <= d
+            && (w.is_multiple_of(VLEN) || span_off + w == d),
         "span [{span_off}, {span_off}+{w}) not a VLEN-aligned slice of row width {d}"
     );
     assert!(h.len() >= cols.len(), "span kernel: fewer messages than neighbors");
@@ -393,24 +429,27 @@ fn span_sweep_body<I: SimdIsa>(
     unsafe {
         macro_rules! span_pass {
             ($panels:literal) => {
-                while p + $panels * VLEN <= w {
+                while p + $panels * I::LANES <= w {
                     let mut acc = [I::zero(); $panels];
                     for (q, a) in acc.iter_mut().enumerate() {
-                        *a = I::loadu(zp.add(p + q * VLEN));
+                        *a = I::loadu(zp.add(p + q * I::LANES));
                     }
                     for (i, &v) in cols.iter().enumerate() {
                         let hv = I::splat(h[i]);
                         let base = yp.add(v * d + span_off + p);
                         for (q, a) in acc.iter_mut().enumerate() {
-                            *a = I::fma(*a, hv, I::loadu(base.add(q * VLEN)));
+                            *a = I::fma(*a, hv, I::loadu(base.add(q * I::LANES)));
                         }
                     }
                     for (q, a) in acc.iter().enumerate() {
-                        I::storeu(zp.add(p + q * VLEN), *a);
+                        I::storeu(zp.add(p + q * I::LANES), *a);
                     }
-                    p += $panels * VLEN;
+                    p += $panels * I::LANES;
                 }
             };
+        }
+        if I::LANES > VLEN {
+            span_pass!(24);
         }
         span_pass!(12);
         span_pass!(8);
@@ -418,8 +457,18 @@ fn span_sweep_body<I: SimdIsa>(
         span_pass!(4);
         span_pass!(2);
         span_pass!(1);
+        // Masked tail: sub-register remainder on wide ISAs, or the
+        // final span's sub-VLEN remainder at odd d.
+        if p < w {
+            let r = w - p;
+            let mut acc = I::loadu_partial(zp.add(p), r);
+            for (i, &v) in cols.iter().enumerate() {
+                let hv = I::splat(h[i]);
+                acc = I::fma(acc, hv, I::loadu_partial(yp.add(v * d + span_off + p), r));
+            }
+            I::storeu_partial(zp.add(p), acc, r);
+        }
     }
-    debug_assert_eq!(p, w);
 }
 
 #[inline(always)]
@@ -433,8 +482,8 @@ fn embed_row_dyn_body<I: SimdIsa>(
 ) {
     for &v in cols {
         let yv = y.row(v);
-        let h = sk.eval(dot_body::<I>(xu, yv));
-        axpy_body::<I>(h, yv, zu);
+        let h = sk.eval(I::dot(xu, yv));
+        I::axpy(h, yv, zu);
     }
 }
 
@@ -449,8 +498,8 @@ fn fr_row_dyn_body<I: SimdIsa>(
 ) {
     for &v in cols {
         let yv = y.row(v);
-        let h = alpha * sqdist_body::<I>(xu, yv).sqrt();
-        axpy_body::<I>(h, yv, zu);
+        let h = alpha * I::sqdist(xu, yv).sqrt();
+        I::axpy(h, yv, zu);
     }
 }
 
@@ -464,15 +513,15 @@ fn tdist_row_dyn_body<I: SimdIsa>(
 ) {
     for &v in cols {
         let yv = y.row(v);
-        let h = 1.0 / (1.0 + sqdist_body::<I>(xu, yv));
-        axpy_body::<I>(h, yv, zu);
+        let h = 1.0 / (1.0 + I::sqdist(xu, yv));
+        I::axpy(h, yv, zu);
     }
 }
 
 #[inline(always)]
 fn spmm_row_dyn_body<I: SimdIsa>(cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]) {
     for (&v, &a) in cols.iter().zip(vals) {
-        axpy_body::<I>(a, y.row(v), zu);
+        I::axpy(a, y.row(v), zu);
     }
 }
 
@@ -483,7 +532,7 @@ fn spmm_row_dyn_body<I: SimdIsa>(cols: &[usize], vals: &[f32], y: &Dense, zu: &m
 // ---------------------------------------------------------------------------
 
 macro_rules! isa_entries {
-    ($body:ident => $scalar:ident, $avx2:ident, $neon:ident; ($($a:ident: $t:ty),*)) => {
+    ($body:ident => $scalar:ident, $avx2:ident, $avx512:ident, $neon:ident; ($($a:ident: $t:ty),*)) => {
         /// Portable entry for the corresponding ISA-generic body.
         pub fn $scalar($($a: $t),*) {
             $body::<ScalarIsa>($($a),*)
@@ -503,6 +552,22 @@ macro_rules! isa_entries {
             unsafe { inner($($a),*) }
         }
 
+        #[cfg(target_arch = "x86_64")]
+        /// AVX-512F entry. Must only be called on an AVX-512F CPU —
+        /// reach it through the kernel selectors, which verify
+        /// availability. (avx2+fma are enabled too: reductions finish
+        /// with the ymm cleanup that keeps them bit-identical to the
+        /// AVX2 backend.)
+        pub fn $avx512($($a: $t),*) {
+            #[target_feature(enable = "avx512f,avx2,fma")]
+            unsafe fn inner($($a: $t),*) {
+                $body::<Avx512Isa>($($a),*)
+            }
+            // Safety: the selectors only hand this entry out after
+            // Backend::Avx512::is_available() returned true.
+            unsafe { inner($($a),*) }
+        }
+
         #[cfg(target_arch = "aarch64")]
         /// NEON entry. Must only be called on an aarch64 NEON CPU —
         /// reach it through the kernel selectors, which verify
@@ -519,40 +584,40 @@ macro_rules! isa_entries {
     };
 }
 
-isa_entries!(embed_row_strip_body => embed_row_strip_scalar, embed_row_strip_avx2, embed_row_strip_neon;
+isa_entries!(embed_row_strip_body => embed_row_strip_scalar, embed_row_strip_avx2, embed_row_strip_avx512, embed_row_strip_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32], sk: &SigmoidKind));
-isa_entries!(fr_row_strip_body => fr_row_strip_scalar, fr_row_strip_avx2, fr_row_strip_neon;
+isa_entries!(fr_row_strip_body => fr_row_strip_scalar, fr_row_strip_avx2, fr_row_strip_avx512, fr_row_strip_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32], alpha: f32));
-isa_entries!(tdist_row_strip_body => tdist_row_strip_scalar, tdist_row_strip_avx2, tdist_row_strip_neon;
+isa_entries!(tdist_row_strip_body => tdist_row_strip_scalar, tdist_row_strip_avx2, tdist_row_strip_avx512, tdist_row_strip_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]));
-isa_entries!(spmm_row_strip_body => spmm_row_strip_scalar, spmm_row_strip_avx2, spmm_row_strip_neon;
+isa_entries!(spmm_row_strip_body => spmm_row_strip_scalar, spmm_row_strip_avx2, spmm_row_strip_avx512, spmm_row_strip_neon;
     (cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]));
 
-isa_entries!(embed_batch_body => embed_batch_scalar, embed_batch_avx2, embed_batch_neon;
+isa_entries!(embed_batch_body => embed_batch_scalar, embed_batch_avx2, embed_batch_avx512, embed_batch_neon;
     (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32], sk: &SigmoidKind));
-isa_entries!(fr_batch_body => fr_batch_scalar, fr_batch_avx2, fr_batch_neon;
+isa_entries!(fr_batch_body => fr_batch_scalar, fr_batch_avx2, fr_batch_avx512, fr_batch_neon;
     (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32], alpha: f32));
-isa_entries!(tdist_batch_body => tdist_batch_scalar, tdist_batch_avx2, tdist_batch_neon;
+isa_entries!(tdist_batch_body => tdist_batch_scalar, tdist_batch_avx2, tdist_batch_avx512, tdist_batch_neon;
     (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32]));
-isa_entries!(spmm_batch_body => spmm_batch_scalar, spmm_batch_avx2, spmm_batch_neon;
+isa_entries!(spmm_batch_body => spmm_batch_scalar, spmm_batch_avx2, spmm_batch_avx512, spmm_batch_neon;
     (rows: &[GatheredRow<'_>], y: &Dense, band: &mut [f32]));
 
-isa_entries!(embed_msg_body => embed_msg_scalar, embed_msg_avx2, embed_msg_neon;
+isa_entries!(embed_msg_body => embed_msg_scalar, embed_msg_avx2, embed_msg_avx512, embed_msg_neon;
     (xu: &[f32], cols: &[usize], y: &Dense, sk: &SigmoidKind, h: &mut [f32]));
-isa_entries!(fr_msg_body => fr_msg_scalar, fr_msg_avx2, fr_msg_neon;
+isa_entries!(fr_msg_body => fr_msg_scalar, fr_msg_avx2, fr_msg_avx512, fr_msg_neon;
     (xu: &[f32], cols: &[usize], y: &Dense, alpha: f32, h: &mut [f32]));
-isa_entries!(tdist_msg_body => tdist_msg_scalar, tdist_msg_avx2, tdist_msg_neon;
+isa_entries!(tdist_msg_body => tdist_msg_scalar, tdist_msg_avx2, tdist_msg_avx512, tdist_msg_neon;
     (xu: &[f32], cols: &[usize], y: &Dense, h: &mut [f32]));
-isa_entries!(span_sweep_body => span_sweep_scalar, span_sweep_avx2, span_sweep_neon;
+isa_entries!(span_sweep_body => span_sweep_scalar, span_sweep_avx2, span_sweep_avx512, span_sweep_neon;
     (cols: &[usize], h: &[f32], y: &Dense, z_span: &mut [f32], span_off: usize));
 
-isa_entries!(embed_row_dyn_body => embed_row_dyn_scalar, embed_row_dyn_avx2, embed_row_dyn_neon;
+isa_entries!(embed_row_dyn_body => embed_row_dyn_scalar, embed_row_dyn_avx2, embed_row_dyn_avx512, embed_row_dyn_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32], sk: &SigmoidKind));
-isa_entries!(fr_row_dyn_body => fr_row_dyn_scalar, fr_row_dyn_avx2, fr_row_dyn_neon;
+isa_entries!(fr_row_dyn_body => fr_row_dyn_scalar, fr_row_dyn_avx2, fr_row_dyn_avx512, fr_row_dyn_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32], alpha: f32));
-isa_entries!(tdist_row_dyn_body => tdist_row_dyn_scalar, tdist_row_dyn_avx2, tdist_row_dyn_neon;
+isa_entries!(tdist_row_dyn_body => tdist_row_dyn_scalar, tdist_row_dyn_avx2, tdist_row_dyn_avx512, tdist_row_dyn_neon;
     (xu: &[f32], cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]));
-isa_entries!(spmm_row_dyn_body => spmm_row_dyn_scalar, spmm_row_dyn_avx2, spmm_row_dyn_neon;
+isa_entries!(spmm_row_dyn_body => spmm_row_dyn_scalar, spmm_row_dyn_avx2, spmm_row_dyn_avx512, spmm_row_dyn_neon;
     (cols: &[usize], vals: &[f32], y: &Dense, zu: &mut [f32]));
 
 // ---------------------------------------------------------------------------
@@ -560,10 +625,12 @@ isa_entries!(spmm_row_dyn_body => spmm_row_dyn_scalar, spmm_row_dyn_avx2, spmm_r
 // ---------------------------------------------------------------------------
 
 macro_rules! select {
-    ($b:expr => $scalar:ident, $avx2:ident, $neon:ident) => {{
+    ($b:expr => $scalar:ident, $avx2:ident, $avx512:ident, $neon:ident) => {{
         let b = $b;
         assert!(b.is_available(), "backend {b} not available on this CPU");
         match b {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => $avx512,
             #[cfg(target_arch = "x86_64")]
             Backend::Avx2Fma => $avx2,
             #[cfg(target_arch = "aarch64")]
@@ -579,25 +646,25 @@ macro_rules! select {
 /// Panics when `b` is not available on this CPU. The returned kernel
 /// panics when invoked with `d` not a positive multiple of 8.
 pub fn embed_strip_kernel(b: Backend) -> EmbedRowKernel {
-    select!(b => embed_row_strip_scalar, embed_row_strip_avx2, embed_row_strip_neon)
+    select!(b => embed_row_strip_scalar, embed_row_strip_avx2, embed_row_strip_avx512, embed_row_strip_neon)
 }
 
 /// The strip-mined FR kernel compiled for `b` (see
 /// [`embed_strip_kernel`] for the contract).
 pub fn fr_strip_kernel(b: Backend) -> FrRowKernel {
-    select!(b => fr_row_strip_scalar, fr_row_strip_avx2, fr_row_strip_neon)
+    select!(b => fr_row_strip_scalar, fr_row_strip_avx2, fr_row_strip_avx512, fr_row_strip_neon)
 }
 
 /// The strip-mined t-distribution kernel compiled for `b` (see
 /// [`embed_strip_kernel`] for the contract).
 pub fn tdist_strip_kernel(b: Backend) -> TDistRowKernel {
-    select!(b => tdist_row_strip_scalar, tdist_row_strip_avx2, tdist_row_strip_neon)
+    select!(b => tdist_row_strip_scalar, tdist_row_strip_avx2, tdist_row_strip_avx512, tdist_row_strip_neon)
 }
 
 /// The strip-mined SpMM kernel compiled for `b` (see
 /// [`embed_strip_kernel`] for the contract).
 pub fn spmm_strip_kernel(b: Backend) -> SpmmRowKernel {
-    select!(b => spmm_row_strip_scalar, spmm_row_strip_avx2, spmm_row_strip_neon)
+    select!(b => spmm_row_strip_scalar, spmm_row_strip_avx2, spmm_row_strip_avx512, spmm_row_strip_neon)
 }
 
 /// The gather-style short-row embedding batch kernel compiled for `b`
@@ -608,49 +675,49 @@ pub fn spmm_strip_kernel(b: Backend) -> SpmmRowKernel {
 /// panics when `d` is not a positive multiple of 8 or the batch stages
 /// more than [`H_CHUNK`] neighbors in total.
 pub fn embed_batch_kernel(b: Backend) -> EmbedBatchKernel {
-    select!(b => embed_batch_scalar, embed_batch_avx2, embed_batch_neon)
+    select!(b => embed_batch_scalar, embed_batch_avx2, embed_batch_avx512, embed_batch_neon)
 }
 
 /// The short-row FR batch kernel compiled for `b` (see
 /// [`embed_batch_kernel`] for the contract).
 pub fn fr_batch_kernel(b: Backend) -> FrBatchKernel {
-    select!(b => fr_batch_scalar, fr_batch_avx2, fr_batch_neon)
+    select!(b => fr_batch_scalar, fr_batch_avx2, fr_batch_avx512, fr_batch_neon)
 }
 
 /// The short-row t-distribution batch kernel compiled for `b` (see
 /// [`embed_batch_kernel`] for the contract).
 pub fn tdist_batch_kernel(b: Backend) -> TDistBatchKernel {
-    select!(b => tdist_batch_scalar, tdist_batch_avx2, tdist_batch_neon)
+    select!(b => tdist_batch_scalar, tdist_batch_avx2, tdist_batch_avx512, tdist_batch_neon)
 }
 
 /// The short-row SpMM batch kernel compiled for `b` (no message
 /// buffer, so the batch size is unconstrained).
 pub fn spmm_batch_kernel(b: Backend) -> SpmmBatchKernel {
-    select!(b => spmm_batch_scalar, spmm_batch_avx2, spmm_batch_neon)
+    select!(b => spmm_batch_scalar, spmm_batch_avx2, spmm_batch_avx512, spmm_batch_neon)
 }
 
 /// The mega-row embedding message-fill kernel compiled for `b`
 /// (phase A of the split-mega-row pass; each neighbor slice is an
 /// independent fill).
 pub fn embed_msg_kernel(b: Backend) -> EmbedMsgKernel {
-    select!(b => embed_msg_scalar, embed_msg_avx2, embed_msg_neon)
+    select!(b => embed_msg_scalar, embed_msg_avx2, embed_msg_avx512, embed_msg_neon)
 }
 
 /// The mega-row FR message-fill kernel compiled for `b`.
 pub fn fr_msg_kernel(b: Backend) -> FrMsgKernel {
-    select!(b => fr_msg_scalar, fr_msg_avx2, fr_msg_neon)
+    select!(b => fr_msg_scalar, fr_msg_avx2, fr_msg_avx512, fr_msg_neon)
 }
 
 /// The mega-row t-distribution message-fill kernel compiled for `b`.
 pub fn tdist_msg_kernel(b: Backend) -> TDistMsgKernel {
-    select!(b => tdist_msg_scalar, tdist_msg_avx2, tdist_msg_neon)
+    select!(b => tdist_msg_scalar, tdist_msg_avx2, tdist_msg_avx512, tdist_msg_neon)
 }
 
 /// The mega-row column-span sweep kernel compiled for `b` (phase B of
 /// the split-mega-row pass; pattern-independent — the messages were
 /// already computed).
 pub fn span_sweep_kernel(b: Backend) -> SpanSweepKernel {
-    select!(b => span_sweep_scalar, span_sweep_avx2, span_sweep_neon)
+    select!(b => span_sweep_scalar, span_sweep_avx2, span_sweep_avx512, span_sweep_neon)
 }
 
 /// The dynamic-dimension embedding kernel compiled for `b` (any `d`).
@@ -658,23 +725,23 @@ pub fn span_sweep_kernel(b: Backend) -> SpanSweepKernel {
 /// # Panics
 /// Panics when `b` is not available on this CPU.
 pub fn embed_dyn_kernel(b: Backend) -> EmbedRowKernel {
-    select!(b => embed_row_dyn_scalar, embed_row_dyn_avx2, embed_row_dyn_neon)
+    select!(b => embed_row_dyn_scalar, embed_row_dyn_avx2, embed_row_dyn_avx512, embed_row_dyn_neon)
 }
 
 /// The dynamic-dimension FR kernel compiled for `b` (any `d`).
 pub fn fr_dyn_kernel(b: Backend) -> FrRowKernel {
-    select!(b => fr_row_dyn_scalar, fr_row_dyn_avx2, fr_row_dyn_neon)
+    select!(b => fr_row_dyn_scalar, fr_row_dyn_avx2, fr_row_dyn_avx512, fr_row_dyn_neon)
 }
 
 /// The dynamic-dimension t-distribution kernel compiled for `b`
 /// (any `d`).
 pub fn tdist_dyn_kernel(b: Backend) -> TDistRowKernel {
-    select!(b => tdist_row_dyn_scalar, tdist_row_dyn_avx2, tdist_row_dyn_neon)
+    select!(b => tdist_row_dyn_scalar, tdist_row_dyn_avx2, tdist_row_dyn_avx512, tdist_row_dyn_neon)
 }
 
 /// The dynamic-dimension SpMM kernel compiled for `b` (any `d`).
 pub fn spmm_dyn_kernel(b: Backend) -> SpmmRowKernel {
-    select!(b => spmm_row_dyn_scalar, spmm_row_dyn_avx2, spmm_row_dyn_neon)
+    select!(b => spmm_row_dyn_scalar, spmm_row_dyn_avx2, spmm_row_dyn_avx512, spmm_row_dyn_neon)
 }
 
 #[cfg(test)]

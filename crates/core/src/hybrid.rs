@@ -12,14 +12,20 @@
 //!
 //! * **short** (`0 < degree < short_max`) — gathered in storage order
 //!   into batches that share one [`H_CHUNK`] message buffer and one
-//!   SIMD sweep ([`embed_batch_kernel`] family);
-//! * **strip** (everything between) — the existing strip-mined row
-//!   kernels, unchanged;
+//!   SIMD sweep (the `embed_spec_batch_kernel` family);
+//! * **strip** (everything between) — the plan-time specialized row
+//!   kernels (see [`crate::genkern::table`]), running the shape the
+//!   autotuner probed for this `(pattern, d, backend)`;
 //! * **mega** (`degree ≥ max(mega_floor, nnz/parts)`) — each row is
 //!   executed cooperatively: phase A fills the row's message vector in
 //!   parallel column chunks, phase B folds *all* messages into
 //!   VLEN-aligned output spans, one thread per span
-//!   ([`span_sweep_kernel`]).
+//!   (`span_spec_kernel`).
+//!
+//! All three class kernels come from the specialized dispatch table,
+//! whose masked-tail panels accept any `d ≥ 1` — so hybrid execution
+//! also engages at odd dimensions the strip family rejects (the final
+//! mega span absorbs the sub-VLEN remainder).
 //!
 //! Every class preserves the uniform kernels' per-output-element
 //! accumulation order — a sequential left-fold over the neighbors in
@@ -38,9 +44,10 @@ use crate::dispatch::Specialized;
 use crate::driver::parallel_row_bands;
 use crate::genkern::strip::H_CHUNK;
 use crate::genkern::{
-    embed_batch_kernel, embed_msg_kernel, embed_strip_kernel, fr_batch_kernel, fr_msg_kernel,
-    fr_strip_kernel, span_sweep_kernel, spmm_batch_kernel, spmm_strip_kernel, tdist_batch_kernel,
-    tdist_msg_kernel, tdist_strip_kernel, GatheredRow,
+    embed_msg_kernel, embed_spec_batch_kernel, embed_spec_kernel, fr_msg_kernel,
+    fr_spec_batch_kernel, fr_spec_kernel, span_spec_kernel, spmm_spec_batch_kernel,
+    spmm_spec_kernel, tdist_msg_kernel, tdist_spec_batch_kernel, tdist_spec_kernel, GatheredRow,
+    KernelSpec,
 };
 use crate::part::PartitionStrategy;
 use crate::simd::{Backend, VLEN};
@@ -87,9 +94,10 @@ impl Default for HybridConfig {
     }
 }
 
-/// Run the three degree-class passes. Only called by the dispatcher
-/// when the blocking resolved to the strip level (`d ≡ 0 (mod 8)`),
-/// which all three shaped kernel families require.
+/// Run the three degree-class passes with the kernel shape `kspec`
+/// (the autotuner's probed best for this `(pattern, d, backend)`).
+/// Called by the dispatcher when the blocking resolved to the strip
+/// or dyn level — the specialized table's kernels cover both.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute(
     a: &Csr,
@@ -101,17 +109,18 @@ pub(crate) fn execute(
     partitions: Option<usize>,
     strategy: PartitionStrategy,
     backend: Backend,
+    kspec: KernelSpec,
 ) -> Dense {
     let d = x.ncols();
     let parts = partitions.unwrap_or_else(rayon::current_num_threads).max(1);
     let short_cut = cfg.short_max.clamp(1, H_CHUNK + 1);
     let mega_min = cfg.mega_floor.max(a.nnz().div_ceil(parts)).max(short_cut);
-    let sweep = span_sweep_kernel(backend);
+    let sweep = span_spec_kernel(backend, kspec);
 
     match spec {
         Specialized::Embed(sk) => {
-            let batch = embed_batch_kernel(backend);
-            let strip = embed_strip_kernel(backend);
+            let batch = embed_spec_batch_kernel(backend, kspec);
+            let strip = embed_spec_kernel(backend, kspec);
             let msg = embed_msg_kernel(backend);
             run_passes(
                 a,
@@ -136,8 +145,8 @@ pub(crate) fn execute(
         }
         Specialized::Fr(alpha) => {
             let alpha = *alpha;
-            let batch = fr_batch_kernel(backend);
-            let strip = fr_strip_kernel(backend);
+            let batch = fr_spec_batch_kernel(backend, kspec);
+            let strip = fr_spec_kernel(backend, kspec);
             let msg = fr_msg_kernel(backend);
             run_passes(
                 a,
@@ -161,8 +170,8 @@ pub(crate) fn execute(
             )
         }
         Specialized::TDist => {
-            let batch = tdist_batch_kernel(backend);
-            let strip = tdist_strip_kernel(backend);
+            let batch = tdist_spec_batch_kernel(backend, kspec);
+            let strip = tdist_spec_kernel(backend, kspec);
             let msg = tdist_msg_kernel(backend);
             run_passes(
                 a,
@@ -186,8 +195,8 @@ pub(crate) fn execute(
             )
         }
         Specialized::Spmm => {
-            let batch = spmm_batch_kernel(backend);
-            let strip = spmm_strip_kernel(backend);
+            let batch = spmm_spec_batch_kernel(backend, kspec);
+            let strip = spmm_spec_kernel(backend, kspec);
             // SpMM's messages are the stored edge values: no phase A.
             let msg: Option<MsgFill> = None;
             run_passes(
@@ -353,6 +362,10 @@ where
         let t0 = std::time::Instant::now();
         let panels = d / VLEN;
         let nspans = parts.min(panels).max(1);
+        // At odd d the panels don't cover the row; the final span
+        // absorbs the sub-VLEN remainder (the spec sweep's masked tail
+        // finishes it, keeping the per-element fold order fixed).
+        let rem = d - panels * VLEN;
         for u in 0..a.nrows() {
             if a.row_nnz(u) < mega_min {
                 continue;
@@ -390,7 +403,10 @@ where
                 let mut rest = zu;
                 let mut off = 0usize;
                 for t in 0..nspans {
-                    let w = (panels * (t + 1) / nspans - panels * t / nspans) * VLEN;
+                    let mut w = (panels * (t + 1) / nspans - panels * t / nspans) * VLEN;
+                    if t == nspans - 1 {
+                        w += rem;
+                    }
                     if w == 0 {
                         continue;
                     }
@@ -528,6 +544,50 @@ mod tests {
         let labels: Vec<&'static str> =
             crate::profile::kernel_profiles().iter().map(|p| p.blocking).collect();
         assert!(labels.contains(&"hybrid-mega"), "mega pass not profiled: {labels:?}");
+    }
+
+    #[test]
+    fn hybrid_engages_at_odd_dims_and_matches_specialized() {
+        // Odd d resolves to the dyn level, where hybrid now runs the
+        // specialized table's kernels. All three classes preserve the
+        // per-element fold order, so the result must be bit-identical
+        // to the uniform specialized plan with the same shape.
+        let n = 96;
+        let a = skewed(n);
+        let cfg = HybridConfig { short_max: 8, mega_floor: 32 };
+        for d in [20usize, 100] {
+            let x = feats(n, d, 0.2);
+            let y = feats(n, d, 0.8);
+            for ops in [OpSet::sigmoid_embedding(None), OpSet::gcn()] {
+                let kspec = crate::autotune::global_tuner().spec_for(&ops, d);
+                for parts in [1usize, 3] {
+                    let base = fusedmm_opt_with(
+                        &a,
+                        &x,
+                        &y,
+                        &ops,
+                        Blocking::Specialized(kspec),
+                        Some(parts),
+                        PartitionStrategy::NnzBalanced,
+                    );
+                    let hybrid = fusedmm_opt_with(
+                        &a,
+                        &x,
+                        &y,
+                        &ops,
+                        Blocking::Hybrid(cfg),
+                        Some(parts),
+                        PartitionStrategy::NnzBalanced,
+                    );
+                    assert_eq!(
+                        base.as_slice(),
+                        hybrid.as_slice(),
+                        "{:?} d={d} parts={parts} not bit-identical",
+                        ops.pattern
+                    );
+                }
+            }
+        }
     }
 
     #[test]

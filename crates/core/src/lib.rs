@@ -28,9 +28,14 @@
 //!   into an explicit, reusable plan object for serving engines.
 //!
 //! Kernels execute on a SIMD backend detected once per process
-//! (AVX2+FMA on x86-64, NEON on AArch64, portable scalar otherwise —
-//! see [`crate::simd`] and [`cpu_features`]); set
-//! `FUSEDMM_FORCE_SCALAR=1` to pin the portable fallback.
+//! (AVX-512 or AVX2+FMA on x86-64, NEON on AArch64, portable scalar
+//! otherwise — see [`crate::simd`] and [`cpu_features`]); set
+//! `FUSEDMM_FORCE_SCALAR=1` to pin the portable fallback, or
+//! `FUSEDMM_FORCE_BACKEND=<name>` to request a specific one.
+//! Per-`(pattern, d)` blocking — including the plan-time kernel
+//! specialization table in [`genkern::table`] — is chosen by the
+//! [`autotune`] module; `docs/ARCHITECTURE.md` at the workspace root
+//! draws the whole dispatch stack.
 //!
 //! # Example
 //!
@@ -52,6 +57,8 @@
 //! let z = fusedmm(&a, &x, &y, &OpSet::sigmoid_embedding(None));
 //! assert_eq!(z.nrows(), 3);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod autotune;
 pub mod dispatch;

@@ -24,8 +24,12 @@ use crate::rows::{fusedmm_rows_banded, fusedmm_rows_banded_topk, fusedmm_rows_wi
 use crate::simd::{active_backend, Backend};
 
 /// A frozen kernel configuration for one (pattern, dimension): which
-/// blocking level to run, which SIMD backend executes it, and how to
-/// partition rows across threads.
+/// blocking level to run — possibly one plan-time specialized shape
+/// from the generated dispatch table
+/// ([`Blocking::Specialized`], keyed by
+/// the probed best panel/chunk grid point for this `(pattern, d,
+/// backend)`) — which SIMD backend executes it, and how to partition
+/// rows across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Plan {
     pattern: Pattern,
@@ -37,8 +41,11 @@ pub struct Plan {
 
 impl Plan {
     /// Measure (via the global autotuner) and freeze the best blocking
-    /// for `ops` at dimension `d`. The probe runs at most once per
-    /// process per (pattern, d); repeated `prepare` calls are cheap.
+    /// for `ops` at dimension `d` — the fixed const/strip/dyn levels
+    /// race against the specialized table's probed best shape, so a
+    /// prepared plan carries a monomorphized kernel selection, not
+    /// just a strategy tag. The probe runs at most once per process
+    /// per (pattern, d); repeated `prepare` calls are cheap.
     pub fn prepare(ops: &OpSet, d: usize) -> Plan {
         Plan {
             pattern: ops.pattern,
@@ -373,6 +380,26 @@ mod tests {
         assert_eq!(plan.blocking(), Blocking::StripMined);
         // Strip-mined plans execute correctly at non-generated dims.
         let (a, x, y) = setup(24, 48);
+        let z = plan.execute(&a, &x, &y, &ops);
+        let r = fusedmm_reference(&a, &x, &y, &ops);
+        assert!(z.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn specialized_plan_executes_at_odd_dims() {
+        // A plan can freeze a specialized-table shape; at odd d that
+        // shape is the only register-blocked option, and executing the
+        // plan must match the reference.
+        let ops = OpSet::sigmoid_embedding(None);
+        let d = 100;
+        let kspec = crate::autotune::global_tuner().spec_for(&ops, d);
+        let plan = Plan::with_blocking(
+            &ops,
+            d,
+            Blocking::Specialized(kspec),
+            PartitionStrategy::NnzBalanced,
+        );
+        let (a, x, y) = setup(30, d);
         let z = plan.execute(&a, &x, &y, &ops);
         let r = fusedmm_reference(&a, &x, &y, &ops);
         assert!(z.max_abs_diff(&r) < 1e-4);

@@ -35,8 +35,11 @@ pub struct KernelProfile {
     /// SIMD backend the kernels ran on.
     pub backend: Backend,
     /// Resolved blocking level label: `const` (register-blocked),
-    /// `strip` (strip-mined), `dyn` (dynamic strips), or `generic`
-    /// (the unspecialized five-step kernel).
+    /// `strip` (strip-mined), `spec-m{M}-h{H}` (a plan-time
+    /// specialized shape from the generated table — per-variant
+    /// roofline rows fall out of the label), `dyn` (dynamic strips),
+    /// `generic` (the unspecialized five-step kernel), or the
+    /// `hybrid-short`/`hybrid-strip`/`hybrid-mega` per-class rows.
     pub blocking: &'static str,
     /// Launches recorded.
     pub calls: u64,

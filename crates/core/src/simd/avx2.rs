@@ -18,12 +18,27 @@
 #![cfg(target_arch = "x86_64")]
 
 use core::arch::x86_64::{
-    __m256, _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
-    _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps,
-    _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_movehdup_ps, _mm_movehl_ps,
+    __m256, __m256i, _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
+    _mm256_loadu_ps, _mm256_loadu_si256, _mm256_maskload_ps, _mm256_maskstore_ps, _mm256_set1_ps,
+    _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
+    _mm_movehdup_ps, _mm_movehl_ps,
 };
 
 use super::isa::{axpy_body, dot_body, sqdist_body, SimdIsa};
+use super::VLEN;
+
+/// Sliding-window source for `maskload`/`maskstore` lane masks: a
+/// window of 8 starting at index `VLEN - n` has exactly its first `n`
+/// entries set (high bit on selects the lane).
+static TAIL_MASK: [i32; 2 * VLEN] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+
+/// Lane mask selecting the first `n` of 8 lanes. `n <= VLEN`.
+#[inline(always)]
+unsafe fn lane_mask(n: usize) -> __m256i {
+    debug_assert!(n <= VLEN);
+    // Safety: VLEN - n + VLEN <= 2*VLEN keeps the window in bounds.
+    unsafe { _mm256_loadu_si256(TAIL_MASK.as_ptr().add(VLEN - n) as *const __m256i) }
+}
 
 /// The AVX2+FMA instantiation of the kernel vocabulary.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +65,17 @@ unsafe impl SimdIsa for Avx2Isa {
     #[inline(always)]
     unsafe fn storeu(p: *mut f32, v: __m256) {
         unsafe { _mm256_storeu_ps(p, v) }
+    }
+
+    #[inline(always)]
+    unsafe fn loadu_partial(p: *const f32, n: usize) -> __m256 {
+        // Masked lanes load as zero, matching the trait contract.
+        unsafe { _mm256_maskload_ps(p, lane_mask(n)) }
+    }
+
+    #[inline(always)]
+    unsafe fn storeu_partial(p: *mut f32, v: __m256, n: usize) {
+        unsafe { _mm256_maskstore_ps(p, lane_mask(n), v) }
     }
 
     #[inline(always)]

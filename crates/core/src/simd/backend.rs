@@ -5,17 +5,34 @@
 //! We decide once per process at run time instead: the first caller of
 //! [`active_backend`] probes the CPU (`is_x86_feature_detected!` /
 //! `is_aarch64_feature_detected!`), honors the `FUSEDMM_FORCE_SCALAR`
-//! environment variable, and caches the answer for the lifetime of the
-//! process. Everything downstream — the slice primitives in
-//! [`crate::simd`], the per-ISA kernel entries in
-//! [`crate::genkern::strip`] — routes through that single decision, so
-//! there is no per-operation feature sniffing on the hot path.
+//! and `FUSEDMM_FORCE_BACKEND` environment variables, and caches the
+//! answer for the lifetime of the process. Everything downstream — the
+//! slice primitives in [`crate::simd`], the per-ISA kernel entries in
+//! [`crate::genkern::strip`] and [`crate::genkern::table`] — routes
+//! through that single decision, so there is no per-operation feature
+//! sniffing on the hot path.
+//!
+//! Overrides:
+//!
+//! * `FUSEDMM_FORCE_SCALAR=1` pins the portable fallback (the original
+//!   escape hatch; wins over everything).
+//! * `FUSEDMM_FORCE_BACKEND=scalar|avx2|avx512|neon` requests one
+//!   backend by name. If the CPU cannot execute it, selection **falls
+//!   back to the best available backend** rather than aborting — this
+//!   is deliberate, so CI can set `FUSEDMM_FORCE_BACKEND=avx512` on
+//!   every runner and non-AVX-512 machines exercise the dispatch-miss
+//!   path while AVX-512 machines run the real thing. The fallback is
+//!   recorded in [`CpuFeatures::forced_unavailable`].
 
 use std::sync::OnceLock;
 
 /// Which SIMD implementation the process executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
+    /// x86-64 AVX-512F: 16-lane `__m512` arithmetic with fused
+    /// multiply-add (`_mm512_fmadd_ps`) and native masked tail
+    /// loads/stores.
+    Avx512,
     /// x86-64 AVX2 + FMA: 8-lane `__m256` arithmetic with true fused
     /// multiply-add (`_mm256_fmadd_ps`).
     Avx2Fma,
@@ -30,7 +47,8 @@ pub enum Backend {
 
 impl Backend {
     /// Every backend, in preference order.
-    pub const ALL: &'static [Backend] = &[Backend::Avx2Fma, Backend::Neon, Backend::Scalar];
+    pub const ALL: &'static [Backend] =
+        &[Backend::Avx512, Backend::Avx2Fma, Backend::Neon, Backend::Scalar];
 
     /// Whether this backend can execute on the current CPU. `Scalar`
     /// is always available; the ISA backends require both the matching
@@ -38,6 +56,22 @@ impl Backend {
     pub fn is_available(self) -> bool {
         match self {
             Backend::Scalar => true,
+            Backend::Avx512 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    // The zmm kernels finish reductions with ymm FMA
+                    // cleanup (see `simd::avx512`), so AVX2+FMA is
+                    // part of the executable contract. Every AVX-512F
+                    // part ships both, but probe explicitly anyway.
+                    is_x86_feature_detected!("avx512f")
+                        && is_x86_feature_detected!("avx2")
+                        && is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
             Backend::Avx2Fma => {
                 #[cfg(target_arch = "x86_64")]
                 {
@@ -64,9 +98,32 @@ impl Backend {
     /// Human-readable name used in reports and bench output.
     pub fn label(self) -> &'static str {
         match self {
+            Backend::Avx512 => "avx512",
             Backend::Avx2Fma => "avx2+fma",
             Backend::Neon => "neon",
             Backend::Scalar => "scalar",
+        }
+    }
+
+    /// Number of f32 lanes in this backend's widest register: 16 for
+    /// AVX-512 zmm, 8 everywhere else. The autotuner uses this to
+    /// filter panel-shape candidates (see [`crate::autotune`]).
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Avx512 => 16,
+            _ => crate::simd::VLEN,
+        }
+    }
+
+    /// Parse a `FUSEDMM_FORCE_BACKEND` value. Accepts the canonical
+    /// labels plus common spellings; `None` for anything else.
+    fn parse(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "avx512" | "avx512f" | "avx-512" => Some(Backend::Avx512),
+            "avx2" | "avx2+fma" | "avx2fma" => Some(Backend::Avx2Fma),
+            "neon" | "asimd" => Some(Backend::Neon),
+            "scalar" | "portable" => Some(Backend::Scalar),
+            _ => None,
         }
     }
 }
@@ -87,29 +144,71 @@ pub fn scalar_forced() -> bool {
     }
 }
 
-/// The one-time decision: the backend plus whether the scalar force
-/// flag drove it. Captured together so [`cpu_features`] can never
-/// attribute a backend to an env state it did not see.
-static ACTIVE: OnceLock<(Backend, bool)> = OnceLock::new();
+/// The backend named by `FUSEDMM_FORCE_BACKEND`, if the variable is
+/// set to a recognized name (see [`Backend::parse`] spellings).
+/// Unrecognized values are ignored rather than fatal.
+fn requested_backend() -> Option<Backend> {
+    match std::env::var("FUSEDMM_FORCE_BACKEND") {
+        Ok(v) if !v.is_empty() && v != "0" => Backend::parse(&v),
+        _ => None,
+    }
+}
 
-fn decide_backend() -> (Backend, bool) {
+/// The one-time decision, captured together with the env state that
+/// drove it so [`cpu_features`] can never attribute a backend to an
+/// env state it did not see.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    backend: Backend,
+    forced_scalar: bool,
+    /// `Some(requested)` when `FUSEDMM_FORCE_BACKEND` named a backend
+    /// this CPU cannot run and selection fell back.
+    forced_unavailable: Option<Backend>,
+}
+
+static ACTIVE: OnceLock<Decision> = OnceLock::new();
+
+fn best_available() -> Backend {
+    for &b in Backend::ALL {
+        if b.is_available() {
+            return b;
+        }
+    }
+    Backend::Scalar
+}
+
+fn decide_backend() -> Decision {
     *ACTIVE.get_or_init(|| {
         if scalar_forced() {
-            return (Backend::Scalar, true);
+            return Decision {
+                backend: Backend::Scalar,
+                forced_scalar: true,
+                forced_unavailable: None,
+            };
         }
-        for &b in Backend::ALL {
-            if b.is_available() {
-                return (b, false);
+        if let Some(req) = requested_backend() {
+            if req.is_available() {
+                return Decision { backend: req, forced_scalar: false, forced_unavailable: None };
             }
+            // Requested ISA missing on this CPU: degrade to the best
+            // real backend and record the miss (the CI fallback arm
+            // asserts this path keeps everything correct).
+            return Decision {
+                backend: best_available(),
+                forced_scalar: false,
+                forced_unavailable: Some(req),
+            };
         }
-        (Backend::Scalar, false)
+        Decision { backend: best_available(), forced_scalar: false, forced_unavailable: None }
     })
 }
 
 /// The backend this process runs on, decided once: forced scalar if
-/// the env var says so, otherwise the best ISA the CPU supports.
+/// `FUSEDMM_FORCE_SCALAR` says so, the `FUSEDMM_FORCE_BACKEND` choice
+/// when it is executable here, otherwise the best ISA the CPU
+/// supports.
 pub fn active_backend() -> Backend {
-    decide_backend().0
+    decide_backend().backend
 }
 
 /// What the CPU offers and what we chose — recorded by benchmark
@@ -124,6 +223,9 @@ pub struct CpuFeatures {
     /// Whether `FUSEDMM_FORCE_SCALAR` suppressed the ISA backends —
     /// as observed when the backend was decided, not at report time.
     pub forced_scalar: bool,
+    /// Set when `FUSEDMM_FORCE_BACKEND` named a backend this CPU
+    /// cannot execute and selection fell back to [`CpuFeatures::backend`].
+    pub forced_unavailable: Option<Backend>,
     /// The backend the process executes (see [`active_backend`]).
     pub backend: Backend,
 }
@@ -141,8 +243,14 @@ pub fn cpu_features() -> CpuFeatures {
     #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     let detected = Vec::new();
 
-    let (backend, forced_scalar) = decide_backend();
-    CpuFeatures { arch: std::env::consts::ARCH, detected, forced_scalar, backend }
+    let decision = decide_backend();
+    CpuFeatures {
+        arch: std::env::consts::ARCH,
+        detected,
+        forced_scalar: decision.forced_scalar,
+        forced_unavailable: decision.forced_unavailable,
+        backend: decision.backend,
+    }
 }
 
 impl std::fmt::Display for CpuFeatures {
@@ -154,6 +262,9 @@ impl std::fmt::Display for CpuFeatures {
         write!(f, " | simd backend: {}", self.backend)?;
         if self.forced_scalar {
             write!(f, " (FUSEDMM_FORCE_SCALAR)")?;
+        }
+        if let Some(req) = self.forced_unavailable {
+            write!(f, " (FUSEDMM_FORCE_BACKEND={req} unavailable, fell back)")?;
         }
         Ok(())
     }
@@ -179,6 +290,16 @@ mod tests {
     fn at_most_one_arch_backend_per_target() {
         // A single build can never see both x86 and ARM backends.
         assert!(!(Backend::Avx2Fma.is_available() && Backend::Neon.is_available()));
+        assert!(!(Backend::Avx512.is_available() && Backend::Neon.is_available()));
+    }
+
+    #[test]
+    fn avx512_implies_avx2() {
+        // The availability contract the zmm kernels rely on for their
+        // ymm cleanup sequences.
+        if Backend::Avx512.is_available() {
+            assert!(Backend::Avx2Fma.is_available());
+        }
     }
 
     #[test]
@@ -192,7 +313,26 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        assert_ne!(Backend::Avx2Fma.label(), Backend::Scalar.label());
-        assert_ne!(Backend::Neon.label(), Backend::Scalar.label());
+        let mut labels: Vec<&str> = Backend::ALL.iter().map(|b| b.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Backend::ALL.len());
+    }
+
+    #[test]
+    fn force_backend_names_parse() {
+        assert_eq!(Backend::parse("avx512"), Some(Backend::Avx512));
+        assert_eq!(Backend::parse("AVX-512"), Some(Backend::Avx512));
+        assert_eq!(Backend::parse("avx2"), Some(Backend::Avx2Fma));
+        assert_eq!(Backend::parse("neon"), Some(Backend::Neon));
+        assert_eq!(Backend::parse("scalar"), Some(Backend::Scalar));
+        assert_eq!(Backend::parse("riscv"), None);
+    }
+
+    #[test]
+    fn lanes_match_register_width() {
+        assert_eq!(Backend::Avx512.lanes(), 16);
+        assert_eq!(Backend::Avx2Fma.lanes(), 8);
+        assert_eq!(Backend::Scalar.lanes(), 8);
     }
 }

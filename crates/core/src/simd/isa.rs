@@ -17,7 +17,8 @@
 
 use crate::simd::{F32x8, VLEN};
 
-/// An 8-lane f32 vector ISA.
+/// An f32 vector ISA with `LANES` lanes (8 on AVX2/NEON/scalar, 16 on
+/// AVX-512).
 ///
 /// # Safety
 ///
@@ -26,26 +27,45 @@ use crate::simd::{F32x8, VLEN};
 /// CPU that supports its ISA; the per-backend entry functions uphold
 /// this by being reachable only through
 /// [`Backend`](crate::simd::Backend) detection. `loadu`/`storeu`
-/// additionally require pointers valid for `VLEN` consecutive `f32`
-/// reads/writes (any 4-byte alignment).
+/// additionally require pointers valid for `Self::LANES` consecutive
+/// `f32` reads/writes (any 4-byte alignment), and the partial forms
+/// require validity for the first `n` lanes only.
 pub unsafe trait SimdIsa {
-    /// The register type (8 f32 lanes).
+    /// The register type (`LANES` f32 lanes).
     type V: Copy;
+
+    /// Number of f32 lanes in [`Self::V`]. Always a multiple of
+    /// [`VLEN`]; kernel panel layout stays expressed in `VLEN` units
+    /// so wider ISAs see the same memory walk, just fewer iterations.
+    const LANES: usize = VLEN;
 
     /// All lanes zero (`VZERO`).
     fn zero() -> Self::V;
     /// All lanes set to `v` (`VBCAST`).
     fn splat(v: f32) -> Self::V;
-    /// Unaligned 8-lane load (`VLOAD`).
+    /// Unaligned full-width load (`VLOAD`).
     ///
     /// # Safety
-    /// `p` must be valid for reading `VLEN` consecutive `f32`s.
+    /// `p` must be valid for reading `Self::LANES` consecutive `f32`s.
     unsafe fn loadu(p: *const f32) -> Self::V;
-    /// Unaligned 8-lane store (`VSTORE`).
+    /// Unaligned full-width store (`VSTORE`).
     ///
     /// # Safety
-    /// `p` must be valid for writing `VLEN` consecutive `f32`s.
+    /// `p` must be valid for writing `Self::LANES` consecutive `f32`s.
     unsafe fn storeu(p: *mut f32, v: Self::V);
+    /// Masked load of the first `n` lanes (`n <= LANES`); lanes `>= n`
+    /// are zero. Lets the specialized kernels cover arbitrary (odd)
+    /// dims with a fused tail instead of a scalar remainder loop.
+    ///
+    /// # Safety
+    /// `p` must be valid for reading `n` consecutive `f32`s.
+    unsafe fn loadu_partial(p: *const f32, n: usize) -> Self::V;
+    /// Masked store of the first `n` lanes (`n <= LANES`); memory past
+    /// `p + n` is untouched.
+    ///
+    /// # Safety
+    /// `p` must be valid for writing `n` consecutive `f32`s.
+    unsafe fn storeu_partial(p: *mut f32, v: Self::V, n: usize);
     /// Lanewise `a + b` (`VADD`).
     fn add(a: Self::V, b: Self::V) -> Self::V;
     /// Lanewise `a - b` (`VSUB`).
@@ -57,6 +77,38 @@ pub unsafe trait SimdIsa {
     fn fma(acc: Self::V, a: Self::V, b: Self::V) -> Self::V;
     /// Horizontal sum of all lanes (`VHADD`).
     fn hsum(v: Self::V) -> f32;
+
+    /// Dot product `x · y` over `x.len()` elements. Defaults to
+    /// `dot_body`; wider ISAs override it to keep the reduction
+    /// *bit-identical* to the 8-lane backends (see the `avx512`
+    /// module docs in [`crate::simd`]).
+    #[inline(always)]
+    fn dot(x: &[f32], y: &[f32]) -> f32
+    where
+        Self: Sized,
+    {
+        dot_body::<Self>(x, y)
+    }
+
+    /// Squared L2 distance `‖x − y‖²` over `x.len()` elements; same
+    /// override contract as [`SimdIsa::dot`].
+    #[inline(always)]
+    fn sqdist(x: &[f32], y: &[f32]) -> f32
+    where
+        Self: Sized,
+    {
+        sqdist_body::<Self>(x, y)
+    }
+
+    /// `z += s * y` over `z.len()` elements; same override contract as
+    /// [`SimdIsa::dot`].
+    #[inline(always)]
+    fn axpy(s: f32, y: &[f32], z: &mut [f32])
+    where
+        Self: Sized,
+    {
+        axpy_body::<Self>(s, y, z)
+    }
 }
 
 /// The portable backend: [`F32x8`] lane loops, correct everywhere.
@@ -89,6 +141,20 @@ unsafe impl SimdIsa for ScalarIsa {
     }
 
     #[inline(always)]
+    unsafe fn loadu_partial(p: *const f32, n: usize) -> F32x8 {
+        debug_assert!(n <= VLEN);
+        let mut out = [0f32; VLEN];
+        unsafe { std::ptr::copy_nonoverlapping(p, out.as_mut_ptr(), n) };
+        F32x8(out)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu_partial(p: *mut f32, v: F32x8, n: usize) {
+        debug_assert!(n <= VLEN);
+        unsafe { std::ptr::copy_nonoverlapping(v.0.as_ptr(), p, n) };
+    }
+
+    #[inline(always)]
     fn add(a: F32x8, b: F32x8) -> F32x8 {
         a.add(b)
     }
@@ -115,8 +181,8 @@ unsafe impl SimdIsa for ScalarIsa {
 // body — intrinsics included — under the entry's feature set.
 // ---------------------------------------------------------------------------
 
-/// Dot product `x · y` over `x.len()` elements: two 8-lane accumulator
-/// chains (hides FMA latency), scalar tail.
+/// Dot product `x · y` over `x.len()` elements: two `I::LANES`-wide
+/// accumulator chains (hides FMA latency), scalar tail.
 #[inline(always)]
 pub(crate) fn dot_body<I: SimdIsa>(x: &[f32], y: &[f32]) -> f32 {
     let n = x.len();
@@ -126,16 +192,16 @@ pub(crate) fn dot_body<I: SimdIsa>(x: &[f32], y: &[f32]) -> f32 {
     let mut acc0 = I::zero();
     let mut acc1 = I::zero();
     let mut k = 0;
-    // Safety: k + 2*VLEN <= n bounds every read below.
+    // Safety: k + 2*LANES <= n bounds every read below.
     unsafe {
-        while k + 2 * VLEN <= n {
+        while k + 2 * I::LANES <= n {
             acc0 = I::fma(acc0, I::loadu(xp.add(k)), I::loadu(yp.add(k)));
-            acc1 = I::fma(acc1, I::loadu(xp.add(k + VLEN)), I::loadu(yp.add(k + VLEN)));
-            k += 2 * VLEN;
+            acc1 = I::fma(acc1, I::loadu(xp.add(k + I::LANES)), I::loadu(yp.add(k + I::LANES)));
+            k += 2 * I::LANES;
         }
-        while k + VLEN <= n {
+        while k + I::LANES <= n {
             acc0 = I::fma(acc0, I::loadu(xp.add(k)), I::loadu(yp.add(k)));
-            k += VLEN;
+            k += I::LANES;
         }
     }
     let mut s = I::hsum(I::add(acc0, acc1));
@@ -156,19 +222,19 @@ pub(crate) fn sqdist_body<I: SimdIsa>(x: &[f32], y: &[f32]) -> f32 {
     let mut acc0 = I::zero();
     let mut acc1 = I::zero();
     let mut k = 0;
-    // Safety: k + 2*VLEN <= n bounds every read below.
+    // Safety: k + 2*LANES <= n bounds every read below.
     unsafe {
-        while k + 2 * VLEN <= n {
+        while k + 2 * I::LANES <= n {
             let d0 = I::sub(I::loadu(xp.add(k)), I::loadu(yp.add(k)));
-            let d1 = I::sub(I::loadu(xp.add(k + VLEN)), I::loadu(yp.add(k + VLEN)));
+            let d1 = I::sub(I::loadu(xp.add(k + I::LANES)), I::loadu(yp.add(k + I::LANES)));
             acc0 = I::fma(acc0, d0, d0);
             acc1 = I::fma(acc1, d1, d1);
-            k += 2 * VLEN;
+            k += 2 * I::LANES;
         }
-        while k + VLEN <= n {
+        while k + I::LANES <= n {
             let d0 = I::sub(I::loadu(xp.add(k)), I::loadu(yp.add(k)));
             acc0 = I::fma(acc0, d0, d0);
-            k += VLEN;
+            k += I::LANES;
         }
     }
     let mut s = I::hsum(I::add(acc0, acc1));
@@ -189,20 +255,20 @@ pub(crate) fn axpy_body<I: SimdIsa>(s: f32, y: &[f32], z: &mut [f32]) {
     let zp = z.as_mut_ptr();
     let sv = I::splat(s);
     let mut k = 0;
-    // Safety: k + 2*VLEN <= n bounds every access below; y and z are
+    // Safety: k + 2*LANES <= n bounds every access below; y and z are
     // distinct slices (&/&mut), so reads and writes never alias.
     unsafe {
-        while k + 2 * VLEN <= n {
+        while k + 2 * I::LANES <= n {
             let z0 = I::fma(I::loadu(zp.add(k)), sv, I::loadu(yp.add(k)));
-            let z1 = I::fma(I::loadu(zp.add(k + VLEN)), sv, I::loadu(yp.add(k + VLEN)));
+            let z1 = I::fma(I::loadu(zp.add(k + I::LANES)), sv, I::loadu(yp.add(k + I::LANES)));
             I::storeu(zp.add(k), z0);
-            I::storeu(zp.add(k + VLEN), z1);
-            k += 2 * VLEN;
+            I::storeu(zp.add(k + I::LANES), z1);
+            k += 2 * I::LANES;
         }
-        while k + VLEN <= n {
+        while k + I::LANES <= n {
             let z0 = I::fma(I::loadu(zp.add(k)), sv, I::loadu(yp.add(k)));
             I::storeu(zp.add(k), z0);
-            k += VLEN;
+            k += I::LANES;
         }
     }
     while k < n {

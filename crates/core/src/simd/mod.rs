@@ -8,6 +8,7 @@
 //!
 //! | backend           | ISA                | selected when |
 //! |-------------------|--------------------|---------------|
+//! | [`Backend::Avx512`]  | x86-64 AVX-512F (16-lane `__m512`, masked tails) | `is_x86_feature_detected!("avx512f")` (plus avx2+fma) |
 //! | [`Backend::Avx2Fma`] | x86-64 AVX2 + FMA (`std::arch` intrinsics) | `is_x86_feature_detected!("avx2")` and `("fma")` |
 //! | [`Backend::Neon`]    | AArch64 NEON/ASIMD (`std::arch` intrinsics) | aarch64 build (NEON is baseline) |
 //! | [`Backend::Scalar`]  | portable lane loops ([`F32x8`])             | everything else, or `FUSEDMM_FORCE_SCALAR=1` |
@@ -18,8 +19,16 @@
 //! in [`crate::genkern`] are monomorphized per backend and picked by
 //! the dispatcher — so no hot loop ever sniffs CPU features. Setting
 //! `FUSEDMM_FORCE_SCALAR=1` before first use pins everything to the
-//! portable fallback for debugging and A/B runs, and
+//! portable fallback for debugging and A/B runs,
+//! `FUSEDMM_FORCE_BACKEND=<name>` requests one backend by name (falling
+//! back to the best available one when the CPU lacks it), and
 //! [`cpu_features`] reports what was detected and chosen.
+//!
+//! The AVX-512 and AVX2 backends are **bit-identical** to each other by
+//! construction (see the `avx512` submodule's docs); the scalar backend
+//! differs in final-rounding because its multiply-accumulate is
+//! deliberately unfused (see [`F32x8::fma`]) and is compared with a
+//! small tolerance instead.
 //!
 //! # Alignment contract
 //!
@@ -35,12 +44,17 @@
 //! aligned intrinsics here without also guaranteeing 32-byte row
 //! pitches in [`fusedmm_sparse::dense::Dense`].
 //!
-//! All lane counts are fixed at 8 (`VLEN`): wide enough to fill an AVX
-//! register exactly and an AVX-512/NEON pipeline via unrolling, and the
-//! greatest common divisor of all dimension values the paper benchmarks.
+//! Panel layout stays expressed in units of 8 lanes (`VLEN`): the
+//! greatest common divisor of all dimension values the paper
+//! benchmarks, and the exact width of an AVX ymm register. The AVX-512
+//! backend's register type spans two `VLEN` units (16 lanes,
+//! `SimdIsa::LANES = 16`), so the same memory walk fills zmm registers
+//! with half the iterations.
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
 mod backend;
 mod isa;
 #[cfg(target_arch = "aarch64")]
@@ -48,8 +62,10 @@ mod neon;
 
 #[cfg(target_arch = "x86_64")]
 pub(crate) use avx2::Avx2Isa;
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx512::Avx512Isa;
 pub use backend::{active_backend, cpu_features, scalar_forced, Backend, CpuFeatures};
-pub(crate) use isa::{axpy_body, dot_body, sqdist_body, ScalarIsa, SimdIsa};
+pub(crate) use isa::{ScalarIsa, SimdIsa};
 #[cfg(target_arch = "aarch64")]
 pub(crate) use neon::NeonIsa;
 
@@ -215,6 +231,10 @@ fn scalar_ops() -> SliceOps {
 
 fn ops_for(b: Backend) -> SliceOps {
     match b {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => {
+            SliceOps { dot: avx512::dot, sqdist: avx512::sqdist, axpy: avx512::axpy }
+        }
         #[cfg(target_arch = "x86_64")]
         Backend::Avx2Fma => SliceOps { dot: avx2::dot, sqdist: avx2::sqdist, axpy: avx2::axpy },
         #[cfg(target_arch = "aarch64")]

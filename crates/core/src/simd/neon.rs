@@ -18,6 +18,7 @@ use core::arch::aarch64::{
 };
 
 use super::isa::{axpy_body, dot_body, sqdist_body, SimdIsa};
+use super::VLEN;
 
 /// Two NEON q-registers acting as one 8-lane vector.
 #[derive(Clone, Copy)]
@@ -50,6 +51,29 @@ unsafe impl SimdIsa for NeonIsa {
         unsafe {
             vst1q_f32(p, v.0);
             vst1q_f32(p.add(4), v.1);
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn loadu_partial(p: *const f32, n: usize) -> NeonV {
+        debug_assert!(n <= VLEN);
+        // NEON has no lane-masked load; bounce through a zeroed stack
+        // buffer (used only on kernel tails, never the hot panel loop).
+        let mut buf = [0f32; VLEN];
+        unsafe {
+            std::ptr::copy_nonoverlapping(p, buf.as_mut_ptr(), n);
+            NeonV(vld1q_f32(buf.as_ptr()), vld1q_f32(buf.as_ptr().add(4)))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn storeu_partial(p: *mut f32, v: NeonV, n: usize) {
+        debug_assert!(n <= VLEN);
+        let mut buf = [0f32; VLEN];
+        unsafe {
+            vst1q_f32(buf.as_mut_ptr(), v.0);
+            vst1q_f32(buf.as_mut_ptr().add(4), v.1);
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), p, n);
         }
     }
 

@@ -578,11 +578,31 @@ impl RemoteShardedEngine {
             sub.push(pair);
         }
         let mut out = vec![0f32; pairs.len()];
-        for (s, (idx, sub)) in per_shard.iter().enumerate() {
-            if sub.is_empty() {
-                continue;
-            }
-            let scores = self.transport.score_part(s, sub, epoch.epoch())?;
+        let pinned = epoch.epoch();
+        // Fan out to every owning worker before the first wait: each
+        // non-empty shard's round-trip runs on its own thread, so one
+        // slow worker overlaps the others instead of serializing them.
+        // All calls are joined before the error scan, which walks in
+        // shard order — the reported failure is deterministic (lowest
+        // failing shard index) regardless of completion order.
+        let results: Vec<(usize, Result<Vec<f32>, ServeError>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, sub))| !sub.is_empty())
+                .map(|(s, (_, sub))| {
+                    let transport = &self.transport;
+                    scope.spawn(move || (s, transport.score_part(s, sub, pinned)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("score_part fan-out thread panicked"))
+                .collect()
+        });
+        for (s, res) in results {
+            let scores = res?;
+            let (idx, sub) = &per_shard[s];
             if scores.len() != sub.len() {
                 return Err(ServeError::PartFailed { shard: Some(s) });
             }
@@ -1205,6 +1225,94 @@ mod tests {
         let transport = Arc::new(LocalTransport::new(&a, 2, d, false));
         let remote = RemoteShardedEngine::new(x, y, transport, config());
         let pairs = [(0usize, 5usize), (59, 0), (30, 30), (7, 41)];
+        assert_eq!(remote.score_edges(&pairs).unwrap(), local.score_edges(&pairs).unwrap());
+    }
+
+    #[test]
+    fn score_edges_fans_out_to_all_shards_before_waiting() {
+        use std::sync::{Condvar, Mutex};
+
+        /// Wraps the in-process transport with an entry latch: every
+        /// `score_part` call blocks until all `expected` shards' calls
+        /// are in flight at once. The sequential resolution this guards
+        /// against waits on shard 0's reply before issuing shard 1's
+        /// call, so the latch can never fill — the timeout then turns
+        /// that regression into a typed failure rather than a hang
+        /// (and blocked threads cost nothing, so this holds on one
+        /// core too).
+        struct LatchTransport {
+            inner: LocalTransport,
+            entered: Mutex<usize>,
+            all_in: Condvar,
+            expected: usize,
+        }
+
+        impl ShardTransport for LatchTransport {
+            fn nshards(&self) -> usize {
+                self.inner.nshards()
+            }
+
+            fn boundaries(&self) -> Vec<usize> {
+                self.inner.boundaries()
+            }
+
+            fn embed_part(
+                &self,
+                shard: usize,
+                nodes: &[usize],
+                epoch: u64,
+                quality: Quality,
+                deadline: Option<Instant>,
+                slot: PartSlot,
+            ) {
+                self.inner.embed_part(shard, nodes, epoch, quality, deadline, slot);
+            }
+
+            fn score_part(
+                &self,
+                shard: usize,
+                pairs: &[(usize, usize)],
+                epoch: u64,
+            ) -> Result<Vec<f32>, ServeError> {
+                let mut n = self.entered.lock().unwrap();
+                *n += 1;
+                self.all_in.notify_all();
+                while *n < self.expected {
+                    let (guard, timeout) =
+                        self.all_in.wait_timeout(n, Duration::from_secs(10)).unwrap();
+                    n = guard;
+                    if timeout.timed_out() && *n < self.expected {
+                        return Err(ServeError::PartFailed { shard: Some(shard) });
+                    }
+                }
+                drop(n);
+                self.inner.score_part(shard, pairs, epoch)
+            }
+
+            fn ship(&self, record: &EpochRecord) {
+                self.inner.ship(record);
+            }
+        }
+
+        let n = 60;
+        let d = 8;
+        let nshards = 3;
+        let a = graph(n);
+        let x = Dense::from_fn(n, d, |r, k| ((r + k) as f32 * 0.07).sin());
+        let y = Dense::from_fn(n, d, |r, k| ((r * 2 + k) as f32 * 0.03).cos());
+        let ops = OpSet::sigmoid_embedding(None);
+        let local =
+            crate::ShardedEngine::new(a.clone(), x.clone(), y.clone(), ops, nshards, config());
+        let transport = Arc::new(LatchTransport {
+            inner: LocalTransport::new(&a, nshards, d, false),
+            entered: Mutex::new(0),
+            all_in: Condvar::new(),
+            expected: nshards,
+        });
+        let remote = RemoteShardedEngine::new(x, y, transport, config());
+        // Sources span 0..n, so every shard's band owns at least one
+        // pair and all three latch slots must fill.
+        let pairs: Vec<(usize, usize)> = (0..n).map(|u| (u, (u * 7 + 3) % n)).collect();
         assert_eq!(remote.score_edges(&pairs).unwrap(), local.score_edges(&pairs).unwrap());
     }
 

@@ -158,11 +158,30 @@ fn matrix_market_round_trip_on_random_graph() {
 
 /// The dimensions the dispatch rework targets: generated const dims
 /// (8), strip-minable serving dims (24/48/96/192/384) — all multiples
-/// of 8 so every blocking level below is eligible.
+/// of 8 so every blocking level below is eligible. On an AVX-512
+/// machine the whole sweep runs with 16-lane kernels as the active
+/// backend, so these cases double as the AVX-512 agreement sweep.
 const SWEEP_DIMS: [usize; 6] = [8, 24, 48, 96, 192, 384];
+
+/// Odd dimensions the strip-mined family rejects; only the plan-time
+/// specialized table (masked-tail panels) and the dyn/generic levels
+/// accept them.
+const ODD_DIMS: [usize; 2] = [7, 100];
 
 fn sweep_features(n: usize, d: usize, seed: u64) -> Dense {
     Dense::from_fn(n, d, |r, c| (((r * 131 + c * 17) as f32 + seed as f32) * 0.013).sin() * 0.3)
+}
+
+/// Clamp an arbitrary COO into a 40×40 square with positive weights —
+/// the graph shape the kernel-agreement sweeps run on.
+fn square_graph(coo: &Coo) -> Csr {
+    let mut square = Coo::new(40, 40);
+    for &(r, c, v) in coo.entries() {
+        if r < 40 && c < 40 {
+            square.push(r, c, v.abs().clamp(0.1, 1.0));
+        }
+    }
+    square.to_csr(Dedup::Sum)
 }
 
 proptest! {
@@ -171,7 +190,7 @@ proptest! {
     #[test]
     fn simd_backends_match_scalar_within_1e5(seed in 0u64..500) {
         use fusedmm::kernel::simd::{axpy_with, dot_with, sqdist_with};
-        for d in SWEEP_DIMS {
+        for d in SWEEP_DIMS.into_iter().chain(ODD_DIMS) {
             let x: Vec<f32> =
                 (0..d).map(|i| (((i as u64 * 29 + seed) % 97) as f32 * 0.01).sin() * 0.5).collect();
             let y: Vec<f32> =
@@ -199,13 +218,7 @@ proptest! {
     fn blocking_levels_agree_across_serving_dims(coo in arb_coo(), seed in 0u64..100) {
         use fusedmm::kernel::fusedmm_opt_with;
         use fusedmm::kernel::genkern::GENERATED_DIMS;
-        let mut square = Coo::new(40, 40);
-        for &(r, c, v) in coo.entries() {
-            if r < 40 && c < 40 {
-                square.push(r, c, v.abs().clamp(0.1, 1.0));
-            }
-        }
-        let a = square.to_csr(Dedup::Sum);
+        let a = square_graph(&coo);
         for d in SWEEP_DIMS {
             let x = sweep_features(40, d, seed);
             let y = sweep_features(40, d, seed + 7);
@@ -223,6 +236,49 @@ proptest! {
                 if GENERATED_DIMS.contains(&d) {
                     blockings.push(Blocking::RegisterBlocked);
                 }
+                for blocking in blockings {
+                    let z = fusedmm_opt_with(
+                        &a, &x, &y, &ops, blocking, Some(3), PartitionStrategy::NnzBalanced,
+                    );
+                    prop_assert!(
+                        z.max_abs_diff(&reference) < tol * scale,
+                        "{:?} {:?} d={}: diff {}",
+                        ops.pattern, blocking, d, z.max_abs_diff(&reference)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The plan-time specialized table and the hybrid executor accept
+    /// every dimension — including odd ones the strip family rejects —
+    /// and agree with the naive reference for every candidate shape on
+    /// the active (on this machine: widest available) backend.
+    #[test]
+    fn specialized_table_and_hybrid_cover_odd_dims(coo in arb_coo(), seed in 0u64..100) {
+        use fusedmm::kernel::fusedmm_opt_with;
+        use fusedmm::kernel::genkern::candidate_specs;
+        use fusedmm::kernel::simd::active_backend;
+        let a = square_graph(&coo);
+        let lanes = active_backend().lanes();
+        for d in SWEEP_DIMS.into_iter().chain(ODD_DIMS) {
+            let x = sweep_features(40, d, seed);
+            let y = sweep_features(40, d, seed + 7);
+            for (ops, tol) in [
+                (OpSet::sigmoid_embedding(None), 1e-5f32),
+                (OpSet::gcn(), 1e-5),
+                (OpSet::fr_model(0.4), 1e-4),
+            ] {
+                let reference = fusedmm_reference(&a, &x, &y, &ops);
+                let scale = 1.0 + reference.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let mut blockings: Vec<Blocking> = candidate_specs(lanes, d, true)
+                    .into_iter()
+                    .map(Blocking::Specialized)
+                    .collect();
+                // Hybrid routes through the same specialized shapes per
+                // degree class (short/strip/mega) at strip *and* dyn
+                // resolved levels, so odd d exercises its masked tails.
+                blockings.push(Blocking::Hybrid(HybridConfig::default()));
                 for blocking in blockings {
                     let z = fusedmm_opt_with(
                         &a, &x, &y, &ops, blocking, Some(3), PartitionStrategy::NnzBalanced,
